@@ -1,0 +1,88 @@
+// Ablation A3 (DESIGN.md): the geo-report threshold n of Algorithm 1.
+//
+// A deployment with 6 genuinely fixed candidates and 6 *mobile* devices
+// (random walk: relocating every 8 s). Sweep the minimum-report threshold:
+// a tiny n lets a briefly-stationary mobile device slip into the committee
+// (false promotion); a large n delays or starves legitimate promotions.
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "bench_util.hpp"
+#include "sim/cluster.hpp"
+#include "sim/mobility.hpp"
+
+namespace {
+
+using namespace gpbft;
+
+struct ThresholdResult {
+  std::size_t fixed_promoted{0};
+  std::size_t mobile_promoted{0};
+};
+
+ThresholdResult run_with_threshold(std::size_t min_reports) {
+  sim::GpbftClusterConfig config;
+  config.nodes = 16;  // 1..4 core, 5..10 fixed candidates, 11..16 mobile
+  config.initial_committee = 4;
+  config.clients = 0;
+  config.seed = 5;
+  config.protocol.genesis.era_period = Duration::seconds(10);
+  config.protocol.genesis.geo_report_period = Duration::seconds(2);
+  config.protocol.genesis.geo_window = Duration::seconds(10);
+  config.protocol.genesis.min_geo_reports = min_reports;
+  config.protocol.genesis.promotion_threshold = Duration::seconds(6);
+  config.protocol.genesis.policy.min_endorsers = 4;
+  config.protocol.genesis.policy.max_endorsers = 40;
+  config.protocol.pbft.request_timeout = Duration::seconds(4000);
+
+  sim::GpbftCluster cluster(config);
+
+  // Devices 11..16 are mobile: they hop between disjoint grid slots every
+  // 8 s (honest moves — the registry follows).
+  sim::Mobility mobility(cluster.simulator(), cluster.area(), cluster.placement());
+  for (std::size_t i = 10; i < 16; ++i) {
+    mobility.random_hop(cluster.endorser(i), Duration::seconds(8),
+                        /*slot_base=*/100 + i * 20, /*slot_count=*/18,
+                        /*start=*/Duration::seconds(4));
+  }
+
+  cluster.start();
+
+  // Sample the roster as eras pass: a mobile device that slips in is often
+  // demoted again shortly after, so count everyone *ever* admitted.
+  std::set<std::uint64_t> ever_member;
+  while (cluster.simulator().now().to_seconds() < 90.0) {
+    cluster.run_for(Duration::millis(500));
+    for (const NodeId member : cluster.roster()) ever_member.insert(member.value);
+  }
+  cluster.stop();
+
+  ThresholdResult result;
+  for (std::uint64_t id = 5; id <= 10; ++id) {
+    if (ever_member.contains(id)) ++result.fixed_promoted;
+  }
+  for (std::uint64_t id = 11; id <= 16; ++id) {
+    if (ever_member.contains(id)) ++result.mobile_promoted;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A3: Algorithm 1 report threshold n\n");
+  std::printf("(16 nodes: 4 core + 6 fixed candidates + 6 mobile hopping every 8 s;\n");
+  std::printf(" reports every 2 s, window 10 s -> ~5 reports per full window)\n");
+  std::printf("%4s %17s %18s\n", "n", "fixed promoted/6", "mobile promoted/6");
+  for (const std::size_t n : {1u, 2u, 3u, 4u, 5u}) {
+    const ThresholdResult result = run_with_threshold(n);
+    std::printf("%4zu %17zu %18zu\n", n, result.fixed_promoted, result.mobile_promoted);
+    std::fflush(stdout);
+  }
+  std::printf("(n below window/report-period admits devices stationary for only part of\n"
+              " the window — hopping devices slip in between moves; n ~= window/period\n"
+              " demands full-window stationarity and shuts them out, at some recall cost\n"
+              " for genuinely fixed devices whose reports drop near the window edge)\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the figure/table harnesses.
+//
+// Environment knobs:
+//   GPBFT_BENCH_RUNS   seeded repetitions per point for Fig. 3 (default 3;
+//                      the paper used 10 — raise it when you have the time)
+//   GPBFT_BENCH_QUICK  when set (non-empty), use a coarse node grid so the
+//                      whole suite finishes in about a minute
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace gpbft::bench {
+
+inline std::size_t runs_per_point() {
+  if (const char* env = std::getenv("GPBFT_BENCH_RUNS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 3;
+}
+
+inline bool quick_mode() {
+  const char* env = std::getenv("GPBFT_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0';
+}
+
+/// The paper's x-axis: 4 to 202 nodes (Fig. 3/5).
+inline std::vector<std::size_t> node_grid() {
+  if (quick_mode()) return {4, 22, 40, 76, 130, 202};
+  return {4, 22, 40, 58, 76, 94, 112, 130, 148, 166, 184, 202};
+}
+
+/// Extended grid for Figs. 4/6 ("further increase the number of nodes");
+/// the PBFT series stops at 202 — "PBFT network cannot work at all when the
+/// number of nodes is larger than 202" — while G-PBFT continues.
+inline std::vector<std::size_t> extended_grid() {
+  if (quick_mode()) return {4, 40, 130, 202, 244, 286};
+  return {4, 22, 40, 58, 76, 94, 112, 130, 148, 166, 184, 202, 223, 244, 265, 286};
+}
+
+inline void print_boxplot_header(const char* title) {
+  std::printf("%s\n", title);
+  std::printf("%6s %9s %9s %9s %9s %9s %9s %6s %10s\n", "nodes", "min(s)", "q1(s)", "med(s)",
+              "q3(s)", "max(s)", "mean(s)", "cmte", "committed");
+}
+
+inline void print_boxplot_row(const sim::ExperimentResult& r) {
+  std::printf("%6zu %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %6zu %5llu/%llu\n", r.nodes,
+              r.latency.min, r.latency.q1, r.latency.median, r.latency.q3, r.latency.max,
+              r.latency.mean, r.committee, static_cast<unsigned long long>(r.committed),
+              static_cast<unsigned long long>(r.expected));
+}
+
+}  // namespace gpbft::bench

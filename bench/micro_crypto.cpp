@@ -1,0 +1,83 @@
+// Micro-benchmarks: SHA-256, HMAC, Merkle trees, authenticators.
+#include <benchmark/benchmark.h>
+
+#include "crypto/authenticator.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+
+namespace {
+
+using namespace gpbft;
+using namespace gpbft::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(BytesView(data.data(), data.size())));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(256)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key(32, 0x11);
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0x22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hmac_sha256(BytesView(key.data(), key.size()), BytesView(data.data(), data.size())));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < state.range(0); ++i) leaves.push_back(sha256("leaf" + std::to_string(i)));
+  for (auto _ : state) {
+    MerkleTree tree(leaves);
+    benchmark::DoNotOptimize(tree.root());
+  }
+}
+BENCHMARK(BM_MerkleBuild)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_MerkleProveVerify(benchmark::State& state) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < state.range(0); ++i) leaves.push_back(sha256("leaf" + std::to_string(i)));
+  const MerkleTree tree(leaves);
+  std::size_t index = 0;
+  for (auto _ : state) {
+    const MerkleProof proof = tree.prove(index % leaves.size());
+    benchmark::DoNotOptimize(
+        MerkleTree::verify(leaves[index % leaves.size()], proof, tree.root()));
+    ++index;
+  }
+}
+BENCHMARK(BM_MerkleProveVerify)->Arg(64)->Arg(512);
+
+void BM_AuthenticatorTag(benchmark::State& state) {
+  const KeyRegistry keys(1);
+  const Bytes payload(128, 0x33);
+  std::vector<NodeId> receivers;
+  for (std::uint64_t i = 2; i < 2 + static_cast<std::uint64_t>(state.range(0)); ++i) {
+    receivers.push_back(NodeId{i});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        keys.authenticate(NodeId{1}, receivers, BytesView(payload.data(), payload.size())));
+  }
+}
+BENCHMARK(BM_AuthenticatorTag)->Arg(1)->Arg(40)->Arg(200);
+
+void BM_AuthenticatorVerify(benchmark::State& state) {
+  const KeyRegistry keys(1);
+  const Bytes payload(128, 0x33);
+  const Authenticator auth =
+      keys.authenticate(NodeId{1}, {NodeId{2}}, BytesView(payload.data(), payload.size()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keys.verify(auth, NodeId{2}, BytesView(payload.data(), payload.size())));
+  }
+}
+BENCHMARK(BM_AuthenticatorVerify);
+
+}  // namespace

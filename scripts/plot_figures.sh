@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Regenerates the paper's figures as data files + gnuplot scripts.
+#
+# Uses gpbft_cli sweeps (CSV) for the latency figures and cost runs for the
+# communication figures, then writes plots/*.gp. If gnuplot is installed the
+# PNGs are rendered; otherwise the .dat/.gp files are left for any tool.
+#
+#   scripts/plot_figures.sh [runs-per-point]   (default 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+RUNS="${1:-3}"
+CLI=build/tools/gpbft_cli
+GRID="4,22,40,58,76,94,112,130,148,166,184,202"
+EXT_GRID="$GRID,223,244,265,286"
+
+mkdir -p plots
+
+echo "sweeping PBFT latency ($RUNS runs/point)..."
+$CLI sweep --protocol pbft --nodes "$GRID" --runs "$RUNS" --csv | tail -n +2 \
+  > plots/fig3a_pbft.dat
+echo "sweeping G-PBFT latency ($RUNS runs/point)..."
+$CLI sweep --protocol gpbft --nodes "$EXT_GRID" --runs "$RUNS" --csv | tail -n +2 \
+  > plots/fig3b_gpbft.dat
+echo "sweeping communication costs..."
+$CLI cost --protocol pbft --nodes "$GRID" --csv | tail -n +2 > plots/fig5a_pbft.dat
+$CLI cost --protocol gpbft --nodes "$EXT_GRID" --csv | tail -n +2 > plots/fig5b_gpbft.dat
+
+cat > plots/figures.gp <<'EOF'
+set datafile separator ","
+set terminal pngcairo size 900,600
+set grid
+
+# Fig. 3/4: consensus latency vs nodes (columns: 2=nodes, 4..8=boxplot, 9=mean)
+set output "plots/fig4_latency.png"
+set title "Average consensus latency (paper Fig. 4)"
+set xlabel "number of nodes"; set ylabel "latency (s)"; set key top left
+plot "plots/fig3a_pbft.dat"  using 2:9 with linespoints title "PBFT", \
+     "plots/fig3b_gpbft.dat" using 2:9 with linespoints title "G-PBFT"
+
+set output "plots/fig3_boxes.png"
+set title "Consensus latency spread (paper Fig. 3): whiskers = min/max, box = q1/q3"
+plot "plots/fig3a_pbft.dat"  using 2:6:4:8:7 with candlesticks title "PBFT", \
+     "plots/fig3b_gpbft.dat" using 2:6:4:8:7 with candlesticks title "G-PBFT"
+
+# Fig. 5/6: communication cost (column 10 = consensus KB)
+set output "plots/fig6_costs.png"
+set title "Communication cost per transaction (paper Fig. 6)"
+set ylabel "consensus traffic (KB)"
+plot "plots/fig5a_pbft.dat"  using 2:10 with linespoints title "PBFT", \
+     "plots/fig5b_gpbft.dat" using 2:10 with linespoints title "G-PBFT"
+EOF
+
+if command -v gnuplot >/dev/null 2>&1; then
+  gnuplot plots/figures.gp
+  echo "rendered plots/*.png"
+else
+  echo "gnuplot not found; data in plots/*.dat, script in plots/figures.gp"
+fi

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Reproduces the whole evaluation: build, test, every figure/table harness,
+# ablations and micro-benchmarks. Outputs land in test_output.txt and
+# bench_output.txt at the repository root.
+#
+# Knobs:
+#   GPBFT_BENCH_RUNS=10   the paper's ten runs per Fig. 3 point (default 3)
+#   GPBFT_BENCH_QUICK=1   coarse grids; finishes in about a minute
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in \
+      build/bench/fig3a_pbft_latency \
+      build/bench/fig3b_gpbft_latency \
+      build/bench/fig4_latency_comparison \
+      build/bench/fig5_comm_costs \
+      build/bench/fig6_comm_comparison \
+      build/bench/table3_summary \
+      build/bench/table4_consensus_matrix \
+      build/bench/ablation_era_period \
+      build/bench/ablation_committee_size \
+      build/bench/ablation_geo_threshold \
+      build/bench/ablation_processing_rate \
+      build/bench/ablation_batch_size \
+      build/bench/ablation_heterogeneity \
+      build/bench/micro_crypto \
+      build/bench/micro_geo \
+      build/bench/micro_serde \
+      build/bench/micro_sim; do
+    echo "=== ${b##*/} ==="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: see test_output.txt and bench_output.txt"

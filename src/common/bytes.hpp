@@ -1,0 +1,29 @@
+// Byte-buffer alias and hex conversion helpers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpbft {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Lowercase hex encoding of an arbitrary byte span.
+[[nodiscard]] std::string to_hex(BytesView data);
+
+/// Parses a hex string (case-insensitive, even length). Returns nullopt on
+/// any malformed input instead of throwing.
+[[nodiscard]] std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Convenience: bytes of a string literal / std::string payload.
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+
+/// Inverse of to_bytes for printable payloads.
+[[nodiscard]] std::string to_string(BytesView data);
+
+}  // namespace gpbft

@@ -1,0 +1,39 @@
+#include "common/logging.hpp"
+
+namespace gpbft {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (level < level_) return;
+  if (has_sim_time_) {
+    std::fprintf(stderr, "[%s t=%.6fs] %s\n", level_name(level), sim_time_, message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  }
+}
+
+void log_trace(const std::string& message) { Logger::instance().log(LogLevel::Trace, message); }
+void log_debug(const std::string& message) { Logger::instance().log(LogLevel::Debug, message); }
+void log_info(const std::string& message) { Logger::instance().log(LogLevel::Info, message); }
+void log_warn(const std::string& message) { Logger::instance().log(LogLevel::Warn, message); }
+void log_error(const std::string& message) { Logger::instance().log(LogLevel::Error, message); }
+
+}  // namespace gpbft

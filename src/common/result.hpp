@@ -1,0 +1,55 @@
+// Minimal expected-style result type.
+//
+// The codebase avoids exceptions on hot protocol paths; fallible operations
+// return Result<T> with a human-readable error string, mirroring the
+// std::expected shape (C++23) on a C++20 toolchain.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gpbft {
+
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] T& value() & { return std::get<T>(data_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(data_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(data_)); }
+
+  [[nodiscard]] const std::string& error() const { return std::get<Error>(data_).message; }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialisation for operations that produce no value.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error.message)), failed_(true) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+ private:
+  std::string error_;
+  bool failed_{false};
+};
+
+inline Error make_error(std::string message) { return Error{std::move(message)}; }
+
+}  // namespace gpbft

@@ -1,0 +1,57 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the simulation (link jitter, workload arrival
+// times, device placement, fault schedules) draws from a seeded Rng so that
+// an experiment is exactly reproducible from its seed. xoshiro256** is used
+// as the core generator with splitmix64 seeding, per the reference
+// implementations by Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace gpbft {
+
+/// splitmix64 step; used for seed expansion and as a cheap standalone mixer.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** deterministic generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit draw.
+  std::uint64_t next();
+
+  /// UniformRandomBitGenerator interface (usable with <random> adapters).
+  std::uint64_t operator()() { return next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ull; }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Derives an independent child generator; children with distinct labels
+  /// are decorrelated from the parent and from each other.
+  [[nodiscard]] Rng fork(std::uint64_t label) const;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  std::uint64_t seed_;
+};
+
+}  // namespace gpbft

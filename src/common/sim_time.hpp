@@ -1,0 +1,66 @@
+// Simulated time.
+//
+// All protocol timing runs on the discrete-event simulator's clock, not on
+// wall-clock time. Time is kept as integral nanoseconds to make event
+// ordering exact and runs reproducible.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace gpbft {
+
+/// A span of simulated time, in nanoseconds. Value type, totally ordered.
+struct Duration {
+  std::int64_t ns{0};
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  static constexpr Duration nanos(std::int64_t v) { return Duration{v}; }
+  static constexpr Duration micros(std::int64_t v) { return Duration{v * 1'000}; }
+  static constexpr Duration millis(std::int64_t v) { return Duration{v * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t v) { return Duration{v * 1'000'000'000}; }
+  static constexpr Duration minutes(std::int64_t v) { return seconds(v * 60); }
+  static constexpr Duration hours(std::int64_t v) { return seconds(v * 3600); }
+
+  /// Closest Duration to `s` seconds; used for rate -> interval conversion.
+  static constexpr Duration from_seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9)};
+  }
+
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns) / 1e9; }
+  [[nodiscard]] constexpr double to_millis() const { return static_cast<double>(ns) / 1e6; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ns + b.ns}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ns - b.ns}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.ns * k}; }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration{a.ns / k}; }
+};
+
+/// An instant on the simulated clock (nanoseconds since simulation start).
+struct TimePoint {
+  std::int64_t ns{0};
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) { return TimePoint{t.ns + d.ns}; }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) { return Duration{a.ns - b.ns}; }
+
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(ns) / 1e9; }
+};
+
+/// "1h 02m 03s"-style rendering for logs and election-table printing.
+[[nodiscard]] inline std::string format_hms(Duration d) {
+  std::int64_t total = d.ns / 1'000'000'000;
+  const std::int64_t h = total / 3600;
+  const std::int64_t m = (total % 3600) / 60;
+  const std::int64_t s = total % 60;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%02lld:%02lld:%02lld", static_cast<long long>(h),
+                static_cast<long long>(m), static_cast<long long>(s));
+  return buf;
+}
+
+}  // namespace gpbft

@@ -1,0 +1,52 @@
+// Fundamental identifier and numeric types shared by every module.
+//
+// Strong typedefs are deliberately minimal: a NodeId is a plain integral
+// wrapper with value semantics, ordered and hashable so it can key maps in
+// the registries and the simulator.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gpbft {
+
+/// Identifies one participant (endorser, candidate, or client/IoT device).
+struct NodeId {
+  std::uint64_t value{0};
+
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint64_t v) : value(v) {}
+
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+
+  [[nodiscard]] std::string str() const { return "node-" + std::to_string(value); }
+};
+
+/// Monotone view number within one era of PBFT.
+using ViewId = std::uint64_t;
+
+/// Sequence number assigned by the primary to a request.
+using SeqNum = std::uint64_t;
+
+/// Era number: each era is one intact PBFT run with a fixed roster.
+using EraId = std::uint64_t;
+
+/// Block height on the chain (genesis = 0).
+using Height = std::uint64_t;
+
+/// Smallest fee/reward unit used by the incentive mechanism.
+using Amount = std::uint64_t;
+
+/// A client-chosen request identifier, unique per client.
+using RequestId = std::uint64_t;
+
+}  // namespace gpbft
+
+template <>
+struct std::hash<gpbft::NodeId> {
+  std::size_t operator()(const gpbft::NodeId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

@@ -1,0 +1,67 @@
+#include "crypto/authenticator.hpp"
+
+#include <algorithm>
+
+#include "serde/writer.hpp"
+
+namespace gpbft::crypto {
+
+KeyRegistry::KeyRegistry(std::uint64_t genesis_seed) : genesis_seed_(genesis_seed) {}
+
+const Hash256& KeyRegistry::identity_key(NodeId id) const {
+  auto it = identity_cache_.find(id);
+  if (it != identity_cache_.end()) return it->second;
+
+  serde::Writer w;
+  w.string("gpbft-identity-key");
+  w.u64(genesis_seed_);
+  w.u64(id.value);
+  Hash256 key = sha256(BytesView(w.buffer().data(), w.buffer().size()));
+  return identity_cache_.emplace(id, key).first->second;
+}
+
+Hash256 KeyRegistry::session_key(NodeId a, NodeId b) const {
+  const NodeId lo = std::min(a, b);
+  const NodeId hi = std::max(a, b);
+  serde::Writer w;
+  w.string("gpbft-session-key");
+  w.u64(hi.value);
+  return hmac_sha256(identity_key(lo).view(), BytesView(w.buffer().data(), w.buffer().size()));
+}
+
+std::array<std::uint8_t, 8> KeyRegistry::tag_for(NodeId sender, NodeId receiver,
+                                                 BytesView payload) const {
+  const Hash256 key = session_key(sender, receiver);
+  // Bind the sender direction into the MAC input so A->B and B->A tags differ
+  // even though the session key is symmetric.
+  serde::Writer w;
+  w.u64(sender.value);
+  w.bytes(payload);
+  const Hash256 mac = hmac_sha256(key.view(), BytesView(w.buffer().data(), w.buffer().size()));
+  std::array<std::uint8_t, 8> tag;
+  std::copy(mac.bytes.begin(), mac.bytes.begin() + 8, tag.begin());
+  return tag;
+}
+
+Authenticator KeyRegistry::authenticate(NodeId sender, const std::vector<NodeId>& receivers,
+                                        BytesView payload) const {
+  Authenticator auth;
+  auth.sender = sender;
+  auth.tags.reserve(receivers.size());
+  for (NodeId receiver : receivers) {
+    auth.tags.push_back(AuthTag{receiver, tag_for(sender, receiver, payload)});
+  }
+  return auth;
+}
+
+bool KeyRegistry::verify(const Authenticator& auth, NodeId receiver, BytesView payload) const {
+  for (const AuthTag& entry : auth.tags) {
+    if (entry.receiver != receiver) continue;
+    const std::array<std::uint8_t, 8> expected = tag_for(auth.sender, receiver, payload);
+    return constant_time_equal(BytesView(entry.tag.data(), entry.tag.size()),
+                               BytesView(expected.data(), expected.size()));
+  }
+  return false;
+}
+
+}  // namespace gpbft::crypto

@@ -1,0 +1,41 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+
+namespace gpbft::crypto {
+
+Hash256 hmac_sha256(BytesView key, BytesView data) {
+  std::array<std::uint8_t, 64> block_key{};
+  if (key.size() > 64) {
+    const Hash256 hashed = sha256(key);
+    std::copy(hashed.bytes.begin(), hashed.bytes.end(), block_key.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block_key.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad;
+  std::array<std::uint8_t, 64> opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = block_key[i] ^ 0x36;
+    opad[i] = block_key[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(BytesView(ipad.data(), ipad.size()));
+  inner.update(data);
+  const Hash256 inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(BytesView(opad.data(), opad.size()));
+  outer.update(inner_digest.view());
+  return outer.finalize();
+}
+
+bool constant_time_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace gpbft::crypto

@@ -1,0 +1,20 @@
+// HMAC-SHA256 (RFC 2104), verified against the RFC 4231 test vectors.
+//
+// Message authentication in this system follows the MAC-based variant of
+// Castro-Liskov PBFT: replicas share pairwise session keys (distributed via
+// the genesis key registry, appropriate for the consortium chains G-PBFT
+// targets) and authenticate protocol messages with HMAC tags.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace gpbft::crypto {
+
+/// HMAC-SHA256 over `data` with `key` (any key length).
+[[nodiscard]] Hash256 hmac_sha256(BytesView key, BytesView data);
+
+/// Constant-time tag comparison; prevents timing side channels on verify.
+[[nodiscard]] bool constant_time_equal(BytesView a, BytesView b);
+
+}  // namespace gpbft::crypto

@@ -1,0 +1,41 @@
+#include "dbft/stake.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace gpbft::dbft {
+
+Amount StakeRegistry::stake_of(NodeId holder) const {
+  const auto it = stakes_.find(holder);
+  return it == stakes_.end() ? 0 : it->second;
+}
+
+Amount StakeRegistry::weight_of(NodeId candidate) const {
+  Amount weight = 0;
+  for (const auto& [voter, voted_for] : votes_) {
+    if (voted_for == candidate) weight += stake_of(voter);
+  }
+  return weight;
+}
+
+std::vector<NodeId> StakeRegistry::elect(std::size_t count) const {
+  std::map<NodeId, Amount> weights;
+  for (const auto& [voter, candidate] : votes_) {
+    weights[candidate] += stake_of(voter);
+  }
+
+  std::vector<std::pair<NodeId, Amount>> ranked(weights.begin(), weights.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  std::vector<NodeId> elected;
+  for (const auto& [candidate, weight] : ranked) {
+    if (weight == 0 || elected.size() >= count) break;
+    elected.push_back(candidate);
+  }
+  return elected;
+}
+
+}  // namespace gpbft::dbft

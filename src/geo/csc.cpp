@@ -1,0 +1,36 @@
+#include "geo/csc.hpp"
+
+#include "crypto/sha256.hpp"
+#include "serde/writer.hpp"
+
+namespace gpbft::geo {
+
+namespace {
+constexpr char kBase32[] = "0123456789bcdefghjkmnpqrstuvwxyz";
+
+std::string identity_suffix(const std::string& cell, const crypto::Address& address) {
+  serde::Writer w;
+  w.string(cell);
+  w.raw(address.view());
+  const crypto::Hash256 digest =
+      crypto::sha256(BytesView(w.buffer().data(), w.buffer().size()));
+  std::string out;
+  out.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    out.push_back(kBase32[digest.bytes[static_cast<std::size_t>(i)] & 0x1f]);
+  }
+  return out;
+}
+}  // namespace
+
+Csc::Csc(const GeoPoint& point, const crypto::Address& address, int precision) {
+  cell_ = geohash_encode(point, precision);
+  value_ = cell_ + "-" + identity_suffix(cell_, address);
+}
+
+bool Csc::within(const std::string& area_prefix) const {
+  return cell_.size() >= area_prefix.size() &&
+         cell_.compare(0, area_prefix.size(), area_prefix) == 0;
+}
+
+}  // namespace gpbft::geo

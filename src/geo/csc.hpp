@@ -1,0 +1,50 @@
+// Crypto-Spatial Coordinates (CSC).
+//
+// Per §III-B3, a CSC associates an IoT device's location with its blockchain
+// address: CSC = f(geohash, contract address). It is hierarchical — a prefix
+// names a containing area — and resolves to about one square meter. We
+// realise the CSC as:
+//
+//   csc_string = base32( sha256( geohash || address )[0..10] )
+//
+// prefixed by the geohash itself so the hierarchical-prefix property of
+// geohash carries over to CSC comparisons, while the hashed suffix binds the
+// location claim to one chain identity (two devices at the same place still
+// have distinct CSCs; the *cell* part is what the Sybil rule compares).
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "crypto/address.hpp"
+#include "geo/geohash.hpp"
+
+namespace gpbft::geo {
+
+class Csc {
+ public:
+  Csc() = default;
+  Csc(const GeoPoint& point, const crypto::Address& address, int precision = kCscPrecision);
+
+  /// Full CSC string: "<geohash>-<identity suffix>".
+  [[nodiscard]] const std::string& str() const { return value_; }
+
+  /// The location cell alone (geohash prefix).
+  [[nodiscard]] const std::string& cell() const { return cell_; }
+
+  /// True when two CSCs claim the same geographic cell — the comparison the
+  /// Sybil detector and Algorithm 1 rely on.
+  [[nodiscard]] bool same_cell(const Csc& other) const { return cell_ == other.cell_; }
+
+  /// True when this CSC's cell is inside `area_prefix` (hierarchical check:
+  /// a shorter geohash names a larger area).
+  [[nodiscard]] bool within(const std::string& area_prefix) const;
+
+  friend auto operator<=>(const Csc&, const Csc&) = default;
+
+ private:
+  std::string value_;
+  std::string cell_;
+};
+
+}  // namespace gpbft::geo

@@ -1,0 +1,149 @@
+#include "geo/geohash.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace gpbft::geo {
+
+namespace {
+constexpr char kBase32[] = "0123456789bcdefghjkmnpqrstuvwxyz";
+
+int base32_value(char c) {
+  for (int i = 0; i < 32; ++i) {
+    if (kBase32[i] == c) return i;
+  }
+  return -1;
+}
+}  // namespace
+
+std::string geohash_encode(const GeoPoint& point, int precision) {
+  precision = std::max(1, std::min(precision, 22));
+  double lat_min = -90.0, lat_max = 90.0;
+  double lng_min = -180.0, lng_max = 180.0;
+
+  std::string hash;
+  hash.reserve(static_cast<std::size_t>(precision));
+  int bit = 0;
+  int current = 0;
+  bool even_bit = true;  // even bits encode longitude
+
+  while (static_cast<int>(hash.size()) < precision) {
+    if (even_bit) {
+      const double mid = (lng_min + lng_max) / 2;
+      if (point.longitude >= mid) {
+        current = (current << 1) | 1;
+        lng_min = mid;
+      } else {
+        current <<= 1;
+        lng_max = mid;
+      }
+    } else {
+      const double mid = (lat_min + lat_max) / 2;
+      if (point.latitude >= mid) {
+        current = (current << 1) | 1;
+        lat_min = mid;
+      } else {
+        current <<= 1;
+        lat_max = mid;
+      }
+    }
+    even_bit = !even_bit;
+    if (++bit == 5) {
+      hash.push_back(kBase32[current]);
+      bit = 0;
+      current = 0;
+    }
+  }
+  return hash;
+}
+
+std::optional<GeoBox> geohash_decode(const std::string& hash) {
+  if (hash.empty()) return std::nullopt;
+
+  GeoBox box{-90.0, 90.0, -180.0, 180.0};
+  bool even_bit = true;
+  for (char c : hash) {
+    const int value = base32_value(c);
+    if (value < 0) return std::nullopt;
+    for (int shift = 4; shift >= 0; --shift) {
+      const int bit = (value >> shift) & 1;
+      if (even_bit) {
+        const double mid = (box.lng_min + box.lng_max) / 2;
+        if (bit) {
+          box.lng_min = mid;
+        } else {
+          box.lng_max = mid;
+        }
+      } else {
+        const double mid = (box.lat_min + box.lat_max) / 2;
+        if (bit) {
+          box.lat_min = mid;
+        } else {
+          box.lat_max = mid;
+        }
+      }
+      even_bit = !even_bit;
+    }
+  }
+  return box;
+}
+
+std::optional<GeoPoint> geohash_decode_center(const std::string& hash) {
+  const auto box = geohash_decode(hash);
+  if (!box) return std::nullopt;
+  return box->center();
+}
+
+std::optional<std::string> geohash_adjacent(const std::string& hash, Direction direction) {
+  const auto box = geohash_decode(hash);
+  if (!box) return std::nullopt;
+
+  const double lat_span = box->lat_max - box->lat_min;
+  const double lng_span = box->lng_max - box->lng_min;
+  GeoPoint center = box->center();
+
+  int lat_step = 0, lng_step = 0;
+  switch (direction) {
+    case Direction::North: lat_step = 1; break;
+    case Direction::NorthEast: lat_step = 1; lng_step = 1; break;
+    case Direction::East: lng_step = 1; break;
+    case Direction::SouthEast: lat_step = -1; lng_step = 1; break;
+    case Direction::South: lat_step = -1; break;
+    case Direction::SouthWest: lat_step = -1; lng_step = -1; break;
+    case Direction::West: lng_step = -1; break;
+    case Direction::NorthWest: lat_step = 1; lng_step = -1; break;
+  }
+
+  center.latitude += lat_step * lat_span;
+  center.longitude += lng_step * lng_span;
+  // Stepping past a pole has no neighbour; longitude wraps.
+  if (center.latitude > 90.0 || center.latitude < -90.0) return std::nullopt;
+  if (center.longitude >= 180.0) center.longitude -= 360.0;
+  if (center.longitude < -180.0) center.longitude += 360.0;
+
+  return geohash_encode(center, static_cast<int>(hash.size()));
+}
+
+std::optional<std::vector<std::string>> geohash_neighbors(const std::string& hash) {
+  if (!geohash_decode(hash)) return std::nullopt;
+  std::vector<std::string> out;
+  for (const Direction d :
+       {Direction::North, Direction::NorthEast, Direction::East, Direction::SouthEast,
+        Direction::South, Direction::SouthWest, Direction::West, Direction::NorthWest}) {
+    if (auto neighbor = geohash_adjacent(hash, d)) out.push_back(std::move(*neighbor));
+  }
+  return out;
+}
+
+CellSize geohash_cell_size(int precision) {
+  precision = std::max(1, std::min(precision, 22));
+  const int total_bits = precision * 5;
+  const int lng_bits = (total_bits + 1) / 2;
+  const int lat_bits = total_bits / 2;
+  // 1 degree latitude ~ 111 320 m; longitude the same at the equator.
+  const double lat_deg = 180.0 / std::pow(2.0, lat_bits);
+  const double lng_deg = 360.0 / std::pow(2.0, lng_bits);
+  return CellSize{lat_deg * 111'320.0, lng_deg * 111'320.0};
+}
+
+}  // namespace gpbft::geo

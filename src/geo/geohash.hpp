@@ -1,0 +1,62 @@
+// Geohash encoding (base-32 interleaved latitude/longitude).
+//
+// Crypto-Spatial Coordinates (§III-B3) are built on geohash: a shorter hash
+// names a larger cell, a longer one a more specific location; 12 characters
+// give sub-meter resolution, matching the paper's "about one square meter".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "geo/geopoint.hpp"
+
+namespace gpbft::geo {
+
+/// Geohash cell bounding box returned by decode.
+struct GeoBox {
+  double lat_min{0}, lat_max{0};
+  double lng_min{0}, lng_max{0};
+
+  [[nodiscard]] GeoPoint center() const {
+    return GeoPoint{(lat_min + lat_max) / 2, (lng_min + lng_max) / 2};
+  }
+  [[nodiscard]] bool contains(const GeoPoint& p) const {
+    return p.latitude >= lat_min && p.latitude <= lat_max && p.longitude >= lng_min &&
+           p.longitude <= lng_max;
+  }
+};
+
+/// Sub-meter precision used for CSCs.
+inline constexpr int kCscPrecision = 12;
+
+/// Encodes a point to `precision` base-32 characters (1..22).
+[[nodiscard]] std::string geohash_encode(const GeoPoint& point, int precision = kCscPrecision);
+
+/// Decodes a geohash to its cell; nullopt on invalid characters/empty input.
+[[nodiscard]] std::optional<GeoBox> geohash_decode(const std::string& hash);
+
+/// Decoded cell center as a point; nullopt on invalid input.
+[[nodiscard]] std::optional<GeoPoint> geohash_decode_center(const std::string& hash);
+
+/// Cell edge sizes (meters, approximate at the equator) for a precision.
+struct CellSize {
+  double lat_meters{0};
+  double lng_meters{0};
+};
+[[nodiscard]] CellSize geohash_cell_size(int precision);
+
+/// Compass directions for neighbour lookups.
+enum class Direction { North, NorthEast, East, SouthEast, South, SouthWest, West, NorthWest };
+
+/// The adjacent cell in `direction` at the same precision; nullopt for
+/// invalid input or when stepping past the poles. Longitude wraps at the
+/// antimeridian.
+[[nodiscard]] std::optional<std::string> geohash_adjacent(const std::string& hash,
+                                                          Direction direction);
+
+/// All (up to 8) neighbours of a cell, clockwise from north. Cells at the
+/// pole edges have fewer. Nullopt on invalid input.
+[[nodiscard]] std::optional<std::vector<std::string>> geohash_neighbors(const std::string& hash);
+
+}  // namespace gpbft::geo

@@ -1,0 +1,43 @@
+#include "geo/geopoint.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gpbft::geo {
+
+namespace {
+constexpr double kEarthRadiusMeters = 6'371'000.0;
+constexpr double kPi = 3.14159265358979323846;
+
+double radians(double degrees) { return degrees * kPi / 180.0; }
+}  // namespace
+
+bool GeoPoint::valid() const {
+  return latitude >= -90.0 && latitude <= 90.0 && longitude >= -180.0 && longitude < 180.0 &&
+         std::isfinite(latitude) && std::isfinite(longitude);
+}
+
+std::string GeoPoint::str() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.6f, %.6f)", latitude, longitude);
+  return buf;
+}
+
+double haversine_meters(const GeoPoint& a, const GeoPoint& b) {
+  const double phi1 = radians(a.latitude);
+  const double phi2 = radians(b.latitude);
+  const double dphi = radians(b.latitude - a.latitude);
+  const double dlambda = radians(b.longitude - a.longitude);
+
+  const double s = std::sin(dphi / 2) * std::sin(dphi / 2) +
+                   std::cos(phi1) * std::cos(phi2) * std::sin(dlambda / 2) * std::sin(dlambda / 2);
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+bool same_location(const GeoPoint& a, const GeoPoint& b) {
+  // CSC resolution is about one square meter (§III-B3); anything closer than
+  // half a meter is "the same place".
+  return haversine_meters(a, b) < 0.5;
+}
+
+}  // namespace gpbft::geo

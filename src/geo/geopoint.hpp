@@ -1,0 +1,42 @@
+// Geographic information primitives.
+//
+// Per §II-C of the paper, a piece of geographic information has the shape
+// <longitude, latitude, timestamp>. GeoPoint carries the coordinate pair;
+// GeoReport couples it with the simulated timestamp at which a device
+// reported it (periodic reports drive Algorithm 1 and the election table).
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "common/sim_time.hpp"
+
+namespace gpbft::geo {
+
+struct GeoPoint {
+  double latitude{0.0};   // degrees, [-90, 90]
+  double longitude{0.0};  // degrees, [-180, 180)
+
+  friend constexpr auto operator<=>(const GeoPoint&, const GeoPoint&) = default;
+
+  [[nodiscard]] bool valid() const;
+  [[nodiscard]] std::string str() const;
+};
+
+/// One periodic location report: <longitude, latitude, timestamp>.
+struct GeoReport {
+  GeoPoint point;
+  TimePoint timestamp;
+
+  friend constexpr auto operator<=>(const GeoReport&, const GeoReport&) = default;
+};
+
+/// Great-circle distance in meters (haversine, mean Earth radius 6371 km).
+[[nodiscard]] double haversine_meters(const GeoPoint& a, const GeoPoint& b);
+
+/// True when the two coordinates are identical per Algorithm 1's equality
+/// test (the paper compares lng/lat exactly; we allow a sub-meter epsilon to
+/// absorb floating-point noise from encode/decode roundtrips).
+[[nodiscard]] bool same_location(const GeoPoint& a, const GeoPoint& b);
+
+}  // namespace gpbft::geo

@@ -1,0 +1,55 @@
+#include "gpbft/area_registry.hpp"
+
+namespace gpbft::gpbft {
+
+bool AreaRegistry::claim_is_truthful(NodeId device, const geo::GeoPoint& claim,
+                                     double tolerance_meters) const {
+  const auto actual = position_of(device);
+  if (!actual) return false;  // no such physical device: a fabricated identity
+  return geo::haversine_meters(*actual, claim) <= tolerance_meters;
+}
+
+const char* verdict_name(ReportVerdict verdict) {
+  switch (verdict) {
+    case ReportVerdict::Accepted: return "accepted";
+    case ReportVerdict::OutsideArea: return "outside-area";
+    case ReportVerdict::UntruthfulClaim: return "untruthful-claim";
+    case ReportVerdict::DuplicateLocation: return "duplicate-location";
+  }
+  return "?";
+}
+
+SybilFilter::SybilFilter(std::string area_prefix, const AreaRegistry* registry)
+    : area_prefix_(std::move(area_prefix)), registry_(registry) {}
+
+ReportVerdict SybilFilter::check(NodeId device, const geo::GeoPoint& claim,
+                                 TimePoint reported_at) {
+  const std::string cell = geo::geohash_encode(claim);
+
+  if (!area_prefix_.empty() &&
+      (cell.size() < area_prefix_.size() ||
+       cell.compare(0, area_prefix_.size(), area_prefix_) != 0)) {
+    flagged_.insert(device);
+    return ReportVerdict::OutsideArea;
+  }
+
+  if (registry_ != nullptr && !registry_->claim_is_truthful(device, claim)) {
+    flagged_.insert(device);
+    return ReportVerdict::UntruthfulClaim;
+  }
+
+  // Two *different* nodes claiming one cell at the same instant cannot both
+  // be real (§IV-A1); flag both, since an honest observer cannot tell which
+  // of the two actually occupies the spot.
+  const auto it = last_claim_.find(cell);
+  if (it != last_claim_.end() && it->second.device != device &&
+      it->second.at == reported_at) {
+    flagged_.insert(device);
+    flagged_.insert(it->second.device);
+    return ReportVerdict::DuplicateLocation;
+  }
+  last_claim_[cell] = CellClaim{device, reported_at};
+  return ReportVerdict::Accepted;
+}
+
+}  // namespace gpbft::gpbft

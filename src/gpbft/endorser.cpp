@@ -1,0 +1,469 @@
+#include "gpbft/endorser.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace gpbft::gpbft {
+
+namespace {
+ledger::EraConfig genesis_config(const ledger::Block& genesis) {
+  for (const ledger::Transaction& tx : genesis.transactions) {
+    if (tx.kind == ledger::TxKind::Config) return tx.era_config;
+  }
+  return {};
+}
+
+std::vector<NodeId> genesis_roster(const ledger::Block& genesis) {
+  return genesis_config(genesis).endorsers;
+}
+
+EnrolledCells enrolled_from(const ledger::EraConfig& config) {
+  EnrolledCells cells;
+  for (std::size_t i = 0; i < config.endorsers.size() && i < config.cells.size(); ++i) {
+    cells[config.endorsers[i]] = config.cells[i];
+  }
+  return cells;
+}
+}  // namespace
+
+Endorser::Endorser(NodeId id, geo::GeoPoint location, GpbftConfig config, ledger::Block genesis,
+                   net::Network& network, const crypto::KeyRegistry& keys,
+                   const AreaRegistry* area)
+    : Replica(id, genesis_roster(genesis), genesis, config.pbft, network, keys),
+      config_(std::move(config)),
+      location_(location),
+      filter_(config_.genesis.area_prefix, area) {
+  producer_order_ = genesis_roster(genesis);
+  known_committee_ = producer_order_;
+  enrolled_cells_ = enrolled_from(genesis_config(genesis));
+  role_ = std::find(producer_order_.begin(), producer_order_.end(), id) != producer_order_.end()
+              ? Role::Active
+              : Role::Candidate;
+}
+
+void Endorser::start_protocol() {
+  if (protocol_started_) return;
+  protocol_started_ = true;
+  start();
+  // Stagger the first geo report per node id to avoid an artificial
+  // thundering herd at t=0 (real devices report on independent clocks).
+  network().simulator().schedule(
+      Duration{static_cast<std::int64_t>(id().value % 1000) * 1'000'000}, [this]() {
+        if (!protocol_started_) return;
+        send_geo_report();
+        arm_geo_timer();
+      });
+  arm_era_timer();
+}
+
+void Endorser::stop_protocol() {
+  protocol_started_ = false;
+  stop();
+}
+
+void Endorser::set_known_committee(std::vector<NodeId> committee) {
+  known_committee_ = std::move(committee);
+}
+
+NodeId Endorser::primary_of(ViewId view) const {
+  if (producer_order_.empty()) return Replica::primary_of(view);
+  return producer_order_[static_cast<std::size_t>(view % producer_order_.size())];
+}
+
+// --- geo reporting -----------------------------------------------------------
+
+void Endorser::arm_geo_timer() {
+  network().simulator().schedule(config_.genesis.geo_report_period, [this]() {
+    if (!protocol_started_) return;
+    send_geo_report();
+    arm_geo_timer();
+  });
+}
+
+void Endorser::send_geo_report() {
+  if (network().is_crashed(id())) return;
+
+  if (config_.geo_reports_on_chain) {
+    // Full-fidelity mode: the report is a zero-fee transaction, so G(v, t)
+    // is literally a chain lookup once it commits.
+    geo::GeoReport report;
+    report.point = location_;
+    report.timestamp = now();
+    const ledger::Transaction tx =
+        ledger::make_geo_report_tx(id(), next_request_id_++, report);
+    // The report must reach the primary to be ordered: broadcast it to the
+    // committee like any client request (and enqueue locally when active).
+    const pbft::ClientRequest request{tx};
+    const Bytes body = request.encode();
+    const std::vector<NodeId>& targets =
+        role_ == Role::Active ? committee() : known_committee_;
+    for (NodeId peer : targets) {
+      if (peer == id()) continue;
+      send_to(peer, pbft::msg_type::kClientRequest, BytesView(body.data(), body.size()));
+    }
+    if (role_ == Role::Active) accept_request(tx);
+    return;
+  }
+
+  pbft::GeoReportMsg msg;
+  msg.device = id();
+  msg.latitude = location_.latitude;
+  msg.longitude = location_.longitude;
+  msg.reported_at = now();
+  const Bytes body = msg.encode();
+
+  const std::vector<NodeId>& targets =
+      role_ == Role::Active ? committee() : known_committee_;
+  for (NodeId peer : targets) {
+    if (peer == id()) continue;
+    send_to(peer, pbft::msg_type::kGeoReport, BytesView(body.data(), body.size()));
+  }
+  // Record the self-report locally (an endorser supervises itself too).
+  if (role_ == Role::Active) process_geo_report(id(), msg);
+}
+
+void Endorser::process_geo_report(NodeId from, const pbft::GeoReportMsg& msg) {
+  if (from != msg.device) return;  // relayed reports are not accepted
+  const geo::GeoPoint point{msg.latitude, msg.longitude};
+  if (!point.valid()) return;
+
+  const ReportVerdict verdict = filter_.check(msg.device, point, msg.reported_at);
+  if (verdict != ReportVerdict::Accepted) {
+    log_debug(id().str() + ": rejected geo report from " + msg.device.str() + " (" +
+              verdict_name(verdict) + ")");
+    return;
+  }
+  record_geo(msg.device, point, msg.reported_at);
+
+  const auto& roster = committee();
+  if (std::find(roster.begin(), roster.end(), msg.device) == roster.end()) {
+    known_candidates_.insert(msg.device);
+  }
+}
+
+void Endorser::record_geo(NodeId device, const geo::GeoPoint& point, TimePoint at) {
+  const geo::Csc csc(point, crypto::address_for_node(device));
+  table_.record(device, csc, at);
+}
+
+// --- era switches -------------------------------------------------------------
+
+void Endorser::arm_era_timer() {
+  network().simulator().schedule(config_.genesis.era_period, [this]() {
+    if (!protocol_started_) return;
+    on_era_timer();
+    arm_era_timer();
+  });
+}
+
+void Endorser::on_era_timer() {
+  if (network().is_crashed(id())) return;
+  if (role_ != Role::Active || switch_in_progress_ || in_view_change()) return;
+  // The current primary leads the switch (§III-E); if it is down, the view
+  // change replaces it and the next timer firing is led by its successor.
+  if (primary_of(view()) != id()) return;
+  initiate_era_switch();
+}
+
+void Endorser::initiate_era_switch() {
+  switch_in_progress_ = true;
+  switch_started_ = now();
+  set_halted(true);
+
+  pbft::EraHaltMsg halt;
+  halt.closing_era = era_;
+  halt.sender = id();
+  const Bytes body = halt.encode();
+  broadcast_committee(pbft::msg_type::kEraHalt, BytesView(body.data(), body.size()));
+
+  // Let in-flight instances land, then elect and propose the new roster.
+  network().simulator().schedule(config_.halt_settle, [this, closing = era_]() {
+    if (!protocol_started_ || era_ != closing || !switch_in_progress_) return;
+
+    ElectionParams params;
+    params.window = config_.genesis.geo_window;
+    params.min_reports = config_.genesis.min_geo_reports;
+    params.promotion_threshold = config_.genesis.promotion_threshold;
+
+    std::vector<NodeId> candidates(known_candidates_.begin(), known_candidates_.end());
+    const ElectionOutcome outcome = run_geographic_authentication(
+        table_, committee(), candidates, now(), params, &enrolled_cells_);
+    for (NodeId demoted : outcome.demoted) {
+      log_info(id().str() + ": era " + std::to_string(era_) + " election demotes " +
+               demoted.str() + " (reports in window: " +
+               std::to_string(table_.reports_in_window(demoted, now(), params.window).size()) +
+               ")");
+    }
+    for (NodeId promoted : outcome.promoted) {
+      log_info(id().str() + ": era " + std::to_string(era_) + " election promotes " +
+               promoted.str());
+    }
+
+    RosterInputs inputs;
+    inputs.current = committee();
+    inputs.outcome = outcome;
+    inputs.penalized = penalized_;
+    for (NodeId flagged : known_candidates_) {
+      if (filter_.is_flagged(flagged)) inputs.sybil_flagged.insert(flagged);
+    }
+    for (NodeId member : committee()) {
+      if (filter_.is_flagged(member)) inputs.sybil_flagged.insert(member);
+    }
+    for (NodeId candidate : candidates) {
+      if (config_.genesis.policy.whitelisted(candidate)) {
+        inputs.whitelisted_candidates.push_back(candidate);
+      }
+    }
+
+    std::vector<NodeId> roster =
+        build_roster(inputs, config_.genesis.policy, table_, now());
+
+    // Compare as sets: if membership is unchanged there is nothing to
+    // reconfigure — cancel the switch and resume (the production order is
+    // refreshed only when membership changes, keeping switches meaningful).
+    std::vector<NodeId> old_sorted = committee();
+    std::vector<NodeId> new_sorted = roster;
+    std::sort(new_sorted.begin(), new_sorted.end());
+    if (new_sorted == old_sorted) {
+      set_halted(false);
+      switch_in_progress_ = false;
+      pbft::EraLaunchMsg launch;
+      launch.config.era = era_;  // unchanged era: peers just unhalt
+      launch.config.endorsers = producer_order_;
+      launch.config_height = chain().height();
+      launch.sender = id();
+      const Bytes launch_body = launch.encode();
+      broadcast_committee(pbft::msg_type::kEraLaunch,
+                          BytesView(launch_body.data(), launch_body.size()));
+      return;
+    }
+
+    if (roster.size() < config_.genesis.policy.min_endorsers) {
+      // Below the minimum the system must not continue (§III-C); keep the
+      // old roster rather than committing an unsafe configuration.
+      log_warn(id().str() + ": era switch aborted, roster below minimum");
+      set_halted(false);
+      switch_in_progress_ = false;
+      return;
+    }
+
+    ledger::EraConfig next;
+    next.era = era_ + 1;
+    next.endorsers = std::move(roster);
+    // Record each member's enrolled cell: elected members keep theirs, new
+    // promotions enroll at the cell they qualified from.
+    next.cells.reserve(next.endorsers.size());
+    for (const NodeId member : next.endorsers) {
+      const auto it = enrolled_cells_.find(member);
+      if (it != enrolled_cells_.end()) {
+        next.cells.push_back(it->second);
+      } else if (const auto latest = table_.latest(member)) {
+        next.cells.push_back(latest->csc.cell());
+      } else {
+        next.cells.push_back("");
+      }
+    }
+
+    geo::GeoReport self_geo;
+    self_geo.point = location_;
+    self_geo.timestamp = now();
+    ledger::Transaction tx =
+        ledger::make_config_tx(id(), next_request_id_++, std::move(next), self_geo);
+    accept_request(tx);
+    propose_config(tx, 0);
+  });
+}
+
+void Endorser::propose_config(const ledger::Transaction& tx, int attempt) {
+  if (!switch_in_progress_ || !protocol_started_) return;
+  if (propose_batch({tx})) return;
+  // An in-flight instance (proposed just before the halt) is still landing;
+  // retry until it clears. Give up after ~20 attempts — the halt failsafe
+  // then resumes normal operation and the next era period tries again.
+  if (attempt >= 20) {
+    log_warn(id().str() + ": could not propose configuration block; abandoning switch");
+    switch_in_progress_ = false;
+    set_halted(false);
+    return;
+  }
+  network().simulator().schedule(config_.halt_settle,
+                                 [this, tx, attempt]() { propose_config(tx, attempt + 1); });
+}
+
+void Endorser::record_block_geo(const ledger::Block& block) {
+  // Record transaction geo trailers into the election table ("data uploaded
+  // from IoT devices to blockchains will add an entry", §III-B3). Trailers
+  // pass the same Sybil filter as direct reports — a committed transaction
+  // proves its sender paid for inclusion, not that its location is genuine.
+  for (const ledger::Transaction& tx : block.transactions) {
+    if (tx.kind != ledger::TxKind::Normal) continue;
+    if (!tx.geo.point.valid() || tx.geo.point == geo::GeoPoint{}) continue;
+    const ReportVerdict verdict = filter_.check(tx.sender, tx.geo.point, tx.geo.timestamp);
+    if (verdict != ReportVerdict::Accepted) continue;
+    record_geo(tx.sender, tx.geo.point, tx.geo.timestamp);
+    // On-chain location reports are candidate applications (§III-D).
+    if (ledger::is_geo_report_tx(tx)) {
+      const auto& roster = committee();
+      if (std::find(roster.begin(), roster.end(), tx.sender) == roster.end()) {
+        known_candidates_.insert(tx.sender);
+      }
+    }
+  }
+}
+
+void Endorser::on_executed(const ledger::Block& block) {
+  record_block_geo(block);
+
+  // Producing a block resets the producer's geographic timer (§III-B5).
+  table_.reset_timer(block.header.producer, now());
+
+  for (const ledger::Transaction& tx : block.transactions) {
+    if (tx.kind != ledger::TxKind::Config) continue;
+    apply_era_config(tx.era_config, block.header.height);
+  }
+}
+
+void Endorser::apply_era_config(const ledger::EraConfig& config, Height config_height) {
+  if (config.era <= era_) return;
+
+  const bool was_lead = switch_in_progress_ && primary_of(view()) == id();
+  const std::vector<NodeId> old_committee = committee();
+
+  era_ = config.era;
+  producer_order_ = config.endorsers;
+  known_committee_ = config.endorsers;
+  enrolled_cells_ = enrolled_from(config);
+  reconfigure_committee(config.endorsers);
+
+  const bool member = std::find(config.endorsers.begin(), config.endorsers.end(), id()) !=
+                      config.endorsers.end();
+  role_ = member ? Role::Active : Role::Candidate;
+  set_halted(false);
+
+  for (NodeId m : config.endorsers) known_candidates_.erase(m);
+
+  if (switch_started_ != TimePoint{}) {
+    last_switch_duration_ = now() - switch_started_;
+  }
+  switch_in_progress_ = false;
+  ++era_switches_;
+
+  // The lead performs state transfer to members who were not in the old
+  // committee (they have not followed the chain).
+  if (was_lead) {
+    std::vector<NodeId> newcomers;
+    for (NodeId m : config.endorsers) {
+      if (std::find(old_committee.begin(), old_committee.end(), m) == old_committee.end()) {
+        newcomers.push_back(m);
+      }
+    }
+    if (!newcomers.empty()) {
+      pbft::EraLaunchMsg launch;
+      launch.config = config;
+      launch.config_height = config_height;
+      launch.sender = id();
+      for (Height h = 1; h <= chain().height(); ++h) launch.blocks.push_back(chain().at(h));
+      const Bytes body = launch.encode();
+      for (NodeId newcomer : newcomers) {
+        send_to(newcomer, pbft::msg_type::kEraLaunch, BytesView(body.data(), body.size()));
+      }
+    }
+  }
+
+  if (roster_cb_) roster_cb_(era_, producer_order_);
+  log_info(id().str() + ": entered era " + std::to_string(era_) + " with " +
+           std::to_string(producer_order_.size()) + " endorsers");
+}
+
+// --- extra message handling -----------------------------------------------------
+
+void Endorser::handle_extra(const net::Envelope& envelope) {
+  // The base class already verified the seal; re-open without verification
+  // to extract the body (cheap: just framing).
+  auto body = pbft::open(keys(), envelope.from, id(),
+                         BytesView(envelope.payload.data(), envelope.payload.size()),
+                         /*compute_macs=*/false);
+  if (!body) return;
+  const BytesView view(body.value().data(), body.value().size());
+
+  switch (envelope.type) {
+    case pbft::msg_type::kGeoReport: {
+      if (role_ != Role::Active) return;  // only endorsers keep election tables
+      if (auto m = pbft::GeoReportMsg::decode(view)) process_geo_report(envelope.from, m.value());
+      break;
+    }
+    case pbft::msg_type::kEraHalt: {
+      if (role_ != Role::Active) return;
+      auto m = pbft::EraHaltMsg::decode(view);
+      if (!m) return;
+      // Only the current lead may halt the committee.
+      if (m.value().sender != primary_of(this->view()) || m.value().closing_era != era_) return;
+      switch_in_progress_ = true;
+      switch_started_ = now();
+      set_halted(true);
+      // Failsafe: if the lead dies mid-switch, resume after half a period.
+      network().simulator().schedule(config_.genesis.era_period / 2,
+                                     [this, closing = era_]() {
+                                       if (switch_in_progress_ && era_ == closing) {
+                                         switch_in_progress_ = false;
+                                         set_halted(false);
+                                       }
+                                     });
+      break;
+    }
+    case pbft::msg_type::kEraLaunch: {
+      auto m = pbft::EraLaunchMsg::decode(view);
+      if (!m) return;
+      const pbft::EraLaunchMsg& launch = m.value();
+      if (launch.config.era == era_) {
+        // Cancelled switch: membership unchanged, just resume.
+        if (switch_in_progress_) {
+          switch_in_progress_ = false;
+          set_halted(false);
+        }
+        return;
+      }
+      if (launch.config.era < era_) return;
+      // A newcomer: adopt the chain suffix (on_executed fires per adopted
+      // block, which replays geo trailers into the election table and
+      // applies any configuration transactions), then the era config.
+      if (!launch.blocks.empty()) {
+        if (auto adopted = adopt_chain_suffix(launch.blocks); !adopted) {
+          log_warn(id().str() + ": state transfer failed: " + adopted.error());
+          return;
+        }
+      }
+      apply_era_config(launch.config, launch.config_height);
+      break;
+    }
+    default:
+      Replica::handle_extra(envelope);
+      break;
+  }
+}
+
+void Endorser::on_view_changed(ViewId previous, ViewId current) {
+  // The primary of the abandoned view failed to drive a request to
+  // execution: a "missed block". It loses endorsement and is expelled at
+  // the next era switch (§III-B5).
+  const NodeId missed = primary_of(previous);
+  log_info(id().str() + ": view change " + std::to_string(previous) + " -> " +
+           std::to_string(current) + " in era " + std::to_string(era_) + "; penalizing " +
+           missed.str());
+  if (missed != id()) penalized_.insert(missed);
+  // A view change during a switch means the lead died; resume normal
+  // operation under the new primary.
+  if (switch_in_progress_) {
+    switch_in_progress_ = false;
+    set_halted(false);
+  }
+}
+
+void Endorser::report_fork(const ledger::ForkEvidence& evidence) {
+  penalized_.insert(evidence.producer);
+  log_warn(id().str() + ": fork evidence against " + evidence.producer.str() + " at height " +
+           std::to_string(evidence.height));
+}
+
+}  // namespace gpbft::gpbft

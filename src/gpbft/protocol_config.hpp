@@ -1,0 +1,30 @@
+// G-PBFT protocol configuration: the PBFT engine settings plus the
+// geographic/era machinery parameters fixed in the genesis block (§III-C).
+#pragma once
+
+#include "ledger/genesis.hpp"
+#include "pbft/config.hpp"
+
+namespace gpbft::gpbft {
+
+struct GpbftConfig {
+  pbft::PbftConfig pbft;
+  ledger::GenesisConfig genesis;
+
+  /// Extra settling delay the lead endorser waits after announcing a halt
+  /// before proposing the configuration block, letting in-flight instances
+  /// finish. Together with the config-block consensus this forms the
+  /// observable "switch period" (~0.25 s in the paper's Fig. 3b).
+  Duration halt_settle = Duration::millis(50);
+
+  /// When true, devices upload their periodic location reports as zero-fee
+  /// transactions so they are *committed to the chain* — the full-fidelity
+  /// reading of the paper's chain-based G(v, t) (§III-D): any node,
+  /// including a freshly joined endorser, can rebuild the election table
+  /// from blocks alone. When false (default) reports travel as direct
+  /// messages to the committee — cheaper, and the configuration the
+  /// communication-cost experiments measure.
+  bool geo_reports_on_chain{false};
+};
+
+}  // namespace gpbft::gpbft

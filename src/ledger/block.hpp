@@ -1,0 +1,58 @@
+// Blocks.
+//
+// A block commits an ordered batch of transactions agreed by one PBFT
+// instance. The header records the era/view/sequence coordinates of that
+// agreement plus the producer (the primary that proposed it), which the
+// incentive mechanism pays 70% of the block's fees.
+#pragma once
+
+#include <vector>
+
+#include "common/result.hpp"
+#include "crypto/merkle.hpp"
+#include "ledger/transaction.hpp"
+
+namespace gpbft::ledger {
+
+struct BlockHeader {
+  Height height{0};
+  crypto::Hash256 prev_hash;
+  crypto::Hash256 merkle_root;
+  EraId era{0};
+  ViewId view{0};
+  SeqNum seq{0};
+  TimePoint timestamp;
+  NodeId producer;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static Result<BlockHeader> decode(BytesView data);
+
+  friend bool operator==(const BlockHeader&, const BlockHeader&) = default;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> transactions;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static Result<Block> decode(BytesView data);
+
+  /// Hash of the header (the merkle_root already commits to the body).
+  [[nodiscard]] crypto::Hash256 hash() const;
+
+  /// Recomputes the Merkle root from the transactions.
+  [[nodiscard]] crypto::Hash256 compute_merkle_root() const;
+
+  /// Total fees carried by the block's transactions.
+  [[nodiscard]] Amount total_fees() const;
+
+  friend bool operator==(const Block&, const Block&) = default;
+};
+
+/// Builds a block over `transactions` on top of `prev`, filling the Merkle
+/// root and consensus coordinates.
+[[nodiscard]] Block build_block(const BlockHeader& prev, std::vector<Transaction> transactions,
+                                EraId era, ViewId view, SeqNum seq, TimePoint timestamp,
+                                NodeId producer);
+
+}  // namespace gpbft::ledger

@@ -1,0 +1,60 @@
+// Chain store with validation and fork detection.
+//
+// Each replica keeps its own Chain. append() enforces linkage (height,
+// previous-hash, Merkle root); observe_header() additionally watches for a
+// *different* block at an already-committed height — the fork evidence the
+// incentive mechanism uses to expel a misbehaving producer (§III-B3/5).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "ledger/block.hpp"
+
+namespace gpbft::ledger {
+
+/// Evidence that a producer signed two different blocks for one height.
+struct ForkEvidence {
+  Height height{0};
+  crypto::Hash256 committed;
+  crypto::Hash256 conflicting;
+  NodeId producer;  // producer of the conflicting block
+};
+
+class Chain {
+ public:
+  /// Starts from a genesis block (height 0).
+  explicit Chain(Block genesis);
+
+  /// Validates and appends. Errors on wrong height, broken prev-hash link,
+  /// or a Merkle root that does not match the body.
+  [[nodiscard]] Result<void> append(Block block);
+
+  /// Validation without mutation (what append checks).
+  [[nodiscard]] Result<void> validate_next(const Block& block) const;
+
+  /// Checks a header observed from a peer; returns fork evidence when it
+  /// conflicts with a block this chain already committed at that height.
+  [[nodiscard]] std::optional<ForkEvidence> observe_header(const BlockHeader& header) const;
+
+  [[nodiscard]] Height height() const { return blocks_.back().header.height; }
+  [[nodiscard]] const Block& tip() const { return blocks_.back(); }
+  [[nodiscard]] const Block& at(Height h) const { return blocks_.at(h); }
+  [[nodiscard]] std::size_t size() const { return blocks_.size(); }
+
+  /// Looks a transaction up by digest (linear in chain length per block
+  /// index bucket; fine at simulation scale).
+  [[nodiscard]] std::optional<Height> find_transaction(const crypto::Hash256& digest) const;
+
+  /// Latest era configuration recorded on chain (from config transactions).
+  [[nodiscard]] EraConfig current_era_config() const;
+
+ private:
+  std::vector<Block> blocks_;
+  std::unordered_map<crypto::Hash256, Height> tx_index_;
+  EraConfig latest_era_;
+};
+
+}  // namespace gpbft::ledger

@@ -1,0 +1,45 @@
+#include "ledger/genesis.hpp"
+
+#include <algorithm>
+
+#include "geo/geohash.hpp"
+
+namespace gpbft::ledger {
+
+bool AdmittancePolicy::blacklisted(NodeId id) const {
+  return std::find(blacklist.begin(), blacklist.end(), id) != blacklist.end();
+}
+
+bool AdmittancePolicy::whitelisted(NodeId id) const {
+  return std::find(whitelist.begin(), whitelist.end(), id) != whitelist.end();
+}
+
+Block make_genesis_block(const GenesisConfig& config) {
+  EraConfig era0;
+  era0.era = 0;
+  era0.endorsers.reserve(config.initial_endorsers.size());
+  era0.cells.reserve(config.initial_endorsers.size());
+  for (const EndorserInfo& info : config.initial_endorsers) {
+    era0.endorsers.push_back(info.id);
+    // The genesis block records each core device's location (§III-C).
+    era0.cells.push_back(geo::geohash_encode(info.location));
+  }
+
+  // The genesis configuration transaction is "sent" by the null system node.
+  geo::GeoReport origin;
+  Transaction config_tx = make_config_tx(NodeId{0}, 0, era0, origin);
+
+  Block genesis;
+  genesis.transactions.push_back(std::move(config_tx));
+  genesis.header.height = 0;
+  genesis.header.prev_hash = crypto::Hash256{};  // all-zero: no parent
+  genesis.header.merkle_root = genesis.compute_merkle_root();
+  genesis.header.era = 0;
+  genesis.header.view = 0;
+  genesis.header.seq = 0;
+  genesis.header.timestamp = TimePoint{0};
+  genesis.header.producer = NodeId{0};
+  return genesis;
+}
+
+}  // namespace gpbft::ledger

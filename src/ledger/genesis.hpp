@@ -1,0 +1,71 @@
+// Genesis block and chain configuration (§III-C of the paper).
+//
+// The genesis block names the initial (core-node) endorsers with their
+// geographic locations, and carries the admittance policies: blacklist,
+// whitelist, and the minimum / maximum endorser counts. Below the minimum
+// the system stops accepting transactions; at the maximum the endorser
+// election pauses until old endorsers leave and no era switch adds members.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "ledger/block.hpp"
+
+namespace gpbft::ledger {
+
+/// One initial endorser: identity plus its fixed location.
+struct EndorserInfo {
+  NodeId id;
+  geo::GeoPoint location;
+
+  friend bool operator==(const EndorserInfo&, const EndorserInfo&) = default;
+};
+
+struct AdmittancePolicy {
+  std::vector<NodeId> blacklist;
+  std::vector<NodeId> whitelist;
+  std::size_t min_endorsers{4};
+  std::size_t max_endorsers{40};
+
+  [[nodiscard]] bool blacklisted(NodeId id) const;
+  [[nodiscard]] bool whitelisted(NodeId id) const;
+};
+
+/// Full chain configuration fixed at genesis.
+struct GenesisConfig {
+  /// Seeds the deployment's key registry (trusted setup, see crypto docs).
+  std::uint64_t chain_seed{1};
+
+  std::vector<EndorserInfo> initial_endorsers;
+  AdmittancePolicy policy;
+
+  /// Era switch period T (§III-E): Algorithm 1 runs and the roster is
+  /// reconfigured every era_period.
+  Duration era_period = Duration::seconds(60);
+
+  /// How long a device must stay put to qualify as endorser (72 h in the
+  /// paper; examples/tests shrink it to keep runs small).
+  Duration promotion_threshold = Duration::hours(72);
+
+  /// Algorithm 1's n: minimum number of geo reports in the lookback window
+  /// for a node to be judged at all.
+  std::size_t min_geo_reports{3};
+
+  /// Lookback window t of the chain-based G(v, t) query.
+  Duration geo_window = Duration::seconds(60);
+
+  /// How often devices upload their location (periodic reports, §III-B3).
+  Duration geo_report_period = Duration::seconds(10);
+
+  /// Geohash prefix of the deployment area; reports outside it are invalid
+  /// (all devices of one application sit in a small physical area, §III-A).
+  std::string area_prefix;
+};
+
+/// Builds the genesis block: height 0, zero previous hash, and one
+/// configuration transaction carrying the initial roster (era 0).
+[[nodiscard]] Block make_genesis_block(const GenesisConfig& config);
+
+}  // namespace gpbft::ledger

@@ -1,0 +1,37 @@
+// Chain persistence.
+//
+// Serializes a chain to a single file and restores it with full
+// re-validation (hash linkage, Merkle roots), so a node can stop and
+// resume without replaying consensus — the operational feature an
+// IoT-blockchain deployment needs for devices that reboot.
+//
+// File format (little-endian, serde framing):
+//   magic "GPBFTCHN" | format version u32 | block count varint |
+//   length-prefixed encoded blocks, genesis first |
+//   sha256 over everything before it (integrity tail)
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "ledger/chain.hpp"
+
+namespace gpbft::ledger {
+
+inline constexpr std::uint32_t kChainFileVersion = 1;
+
+/// Serializes `chain` (genesis..tip) into an in-memory image.
+[[nodiscard]] Bytes serialize_chain(const Chain& chain);
+
+/// Parses and re-validates an image produced by serialize_chain. Errors on
+/// bad magic/version, a corrupted integrity tail, or any block that fails
+/// chain validation.
+[[nodiscard]] Result<Chain> deserialize_chain(BytesView image);
+
+/// Writes the chain image to `path` (atomically via a temp file + rename).
+[[nodiscard]] Result<void> save_chain(const Chain& chain, const std::string& path);
+
+/// Loads and validates a chain from `path`.
+[[nodiscard]] Result<Chain> load_chain(const std::string& path);
+
+}  // namespace gpbft::ledger

@@ -1,0 +1,131 @@
+#include "ledger/transaction.hpp"
+
+#include "serde/reader.hpp"
+#include "serde/writer.hpp"
+
+namespace gpbft::ledger {
+
+Bytes Transaction::encode() const {
+  serde::Writer w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u64(sender.value);
+  w.raw(sender_address.view());
+  w.u64(request_id);
+  w.bytes(BytesView(payload.data(), payload.size()));
+  w.u64(fee);
+  w.u64(era_config.era);
+  w.varint(era_config.endorsers.size());
+  for (NodeId id : era_config.endorsers) w.u64(id.value);
+  w.varint(era_config.cells.size());
+  for (const std::string& cell : era_config.cells) w.string(cell);
+  // Geographic information trailer, at the end of the body (§III-B2).
+  w.f64(geo.point.longitude);
+  w.f64(geo.point.latitude);
+  w.i64(geo.timestamp.ns);
+  return w.take();
+}
+
+Result<Transaction> Transaction::decode(BytesView data) {
+  serde::Reader r(data);
+  Transaction tx;
+
+  auto kind = r.u8();
+  if (!kind) return make_error(kind.error());
+  if (kind.value() > 1) return make_error("transaction: unknown kind");
+  tx.kind = static_cast<TxKind>(kind.value());
+
+  auto sender = r.u64();
+  if (!sender) return make_error(sender.error());
+  tx.sender = NodeId{sender.value()};
+
+  auto addr = r.raw(20);
+  if (!addr) return make_error(addr.error());
+  std::copy(addr.value().begin(), addr.value().end(), tx.sender_address.bytes.begin());
+
+  auto request_id = r.u64();
+  if (!request_id) return make_error(request_id.error());
+  tx.request_id = request_id.value();
+
+  auto payload = r.bytes();
+  if (!payload) return make_error(payload.error());
+  tx.payload = std::move(payload.value());
+
+  auto fee = r.u64();
+  if (!fee) return make_error(fee.error());
+  tx.fee = fee.value();
+
+  auto era = r.u64();
+  if (!era) return make_error(era.error());
+  tx.era_config.era = era.value();
+
+  auto count = r.varint();
+  if (!count) return make_error(count.error());
+  if (count.value() > 100'000) return make_error("transaction: roster too large");
+  tx.era_config.endorsers.reserve(static_cast<std::size_t>(count.value()));
+  for (std::uint64_t i = 0; i < count.value(); ++i) {
+    auto id = r.u64();
+    if (!id) return make_error(id.error());
+    tx.era_config.endorsers.push_back(NodeId{id.value()});
+  }
+
+  auto cell_count = r.varint();
+  if (!cell_count) return make_error(cell_count.error());
+  if (cell_count.value() > 100'000) return make_error("transaction: too many cells");
+  for (std::uint64_t i = 0; i < cell_count.value(); ++i) {
+    auto cell = r.string(64);
+    if (!cell) return make_error(cell.error());
+    tx.era_config.cells.push_back(std::move(cell.value()));
+  }
+
+  auto lng = r.f64();
+  if (!lng) return make_error(lng.error());
+  auto lat = r.f64();
+  if (!lat) return make_error(lat.error());
+  auto ts = r.i64();
+  if (!ts) return make_error(ts.error());
+  tx.geo.point = geo::GeoPoint{lat.value(), lng.value()};
+  tx.geo.timestamp = TimePoint{ts.value()};
+
+  if (!r.exhausted()) return make_error("transaction: trailing bytes");
+  return tx;
+}
+
+crypto::Hash256 Transaction::digest() const {
+  const Bytes encoded = encode();
+  return crypto::sha256(BytesView(encoded.data(), encoded.size()));
+}
+
+Transaction make_normal_tx(NodeId sender, RequestId request_id, Bytes payload, Amount fee,
+                           const geo::GeoReport& geo) {
+  Transaction tx;
+  tx.kind = TxKind::Normal;
+  tx.sender = sender;
+  tx.sender_address = crypto::address_for_node(sender);
+  tx.request_id = request_id;
+  tx.payload = std::move(payload);
+  tx.fee = fee;
+  tx.geo = geo;
+  return tx;
+}
+
+Transaction make_geo_report_tx(NodeId sender, RequestId request_id, const geo::GeoReport& geo) {
+  return make_normal_tx(sender, request_id, Bytes{}, 0, geo);
+}
+
+bool is_geo_report_tx(const Transaction& tx) {
+  return tx.kind == TxKind::Normal && tx.payload.empty() && tx.fee == 0;
+}
+
+Transaction make_config_tx(NodeId sender, RequestId request_id, EraConfig config,
+                           const geo::GeoReport& geo) {
+  Transaction tx;
+  tx.kind = TxKind::Config;
+  tx.sender = sender;
+  tx.sender_address = crypto::address_for_node(sender);
+  tx.request_id = request_id;
+  tx.era_config = std::move(config);
+  tx.geo = geo;
+  return tx;
+}
+
+}  // namespace gpbft::ledger

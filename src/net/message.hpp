@@ -1,0 +1,29 @@
+// Wire envelope delivered between simulated nodes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace gpbft::net {
+
+/// Protocol-level message kind; interpreted by the receiving node. Kept in
+/// the envelope (not the payload) so the network layer can account traffic
+/// per message class.
+using MessageType = std::uint16_t;
+
+struct Envelope {
+  NodeId from;
+  NodeId to;
+  MessageType type{0};
+  Bytes payload;
+
+  /// Size on the wire: payload plus a fixed transport header (addresses,
+  /// type, length, checksum — 32 bytes, a realistic UDP-framing overhead).
+  [[nodiscard]] std::size_t wire_size() const { return payload.size() + kHeaderBytes; }
+
+  static constexpr std::size_t kHeaderBytes = 32;
+};
+
+}  // namespace gpbft::net

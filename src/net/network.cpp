@@ -1,0 +1,134 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace gpbft::net {
+
+Network::Network(Simulator& sim, NetConfig config) : sim_(sim), config_(config) {}
+
+void Network::attach(INetNode* node) {
+  nodes_[node->id()] = node;
+  busy_until_.emplace(node->id(), sim_.now());
+}
+
+void Network::detach(NodeId id) {
+  nodes_.erase(id);
+  busy_until_.erase(id);
+}
+
+bool Network::partitioned_apart(NodeId a, NodeId b) const {
+  if (!partitioned_) return false;
+  const auto group_of = [this](NodeId id) {
+    const auto it = partition_group_.find(id);
+    return it == partition_group_.end() ? 0 : it->second;
+  };
+  return group_of(a) != group_of(b);
+}
+
+void Network::send(Envelope envelope) {
+  const std::size_t size = envelope.wire_size();
+
+  // Sender-side accounting: bytes leave the NIC regardless of what happens
+  // to them downstream. A crashed sender sends nothing.
+  if (crashed_.contains(envelope.from)) return;
+
+  stats_.total_messages += 1;
+  stats_.total_bytes += size;
+  stats_.bytes_by_type[envelope.type] += size;
+  stats_.per_node[envelope.from].messages_sent += 1;
+  stats_.per_node[envelope.from].bytes_sent += size;
+
+  const bool blocked = blocked_links_.contains({envelope.from.value, envelope.to.value});
+  if (blocked || partitioned_apart(envelope.from, envelope.to) ||
+      sim_.rng().chance(config_.drop_rate)) {
+    stats_.dropped_messages += 1;
+    return;
+  }
+
+  const Duration jitter =
+      config_.jitter.ns > 0
+          ? Duration{static_cast<std::int64_t>(
+                sim_.rng().uniform(0, static_cast<std::uint64_t>(config_.jitter.ns)))}
+          : Duration{0};
+  const Duration transmission =
+      Duration::from_seconds(static_cast<double>(size) / config_.bandwidth_bytes_per_sec);
+  const TimePoint arrival = sim_.now() + config_.base_latency + jitter + transmission;
+
+  sim_.schedule_at(arrival, [this, envelope = std::move(envelope), size]() mutable {
+    const auto it = nodes_.find(envelope.to);
+    if (it == nodes_.end() || crashed_.contains(envelope.to)) {
+      stats_.dropped_messages += 1;
+      return;
+    }
+
+    // Receiver-side queueing: the node is a serial processor handling
+    // messages at its rate (the paper's `s`, §IV-B; per-node overrides for
+    // heterogeneous fleets).
+    const Duration processing = Duration::from_seconds(
+        1.0 / processing_rate_of(envelope.to) +
+        static_cast<double>(size) * config_.processing_secs_per_byte);
+    TimePoint& busy = busy_until_[envelope.to];
+    const TimePoint start = std::max(sim_.now(), busy);
+    const TimePoint done = start + processing;
+    busy = done;
+
+    sim_.schedule_at(done, [this, envelope = std::move(envelope), size]() {
+      const auto node_it = nodes_.find(envelope.to);
+      if (node_it == nodes_.end() || crashed_.contains(envelope.to)) {
+        stats_.dropped_messages += 1;
+        return;
+      }
+      stats_.per_node[envelope.to].messages_received += 1;
+      stats_.per_node[envelope.to].bytes_received += size;
+      node_it->second->handle(envelope);
+    });
+  });
+}
+
+void Network::broadcast(NodeId from, const std::vector<NodeId>& destinations, MessageType type,
+                        const Bytes& payload) {
+  for (NodeId to : destinations) {
+    if (to == from) continue;
+    send(Envelope{from, to, type, payload});
+  }
+}
+
+void Network::set_processing_rate(NodeId id, double msgs_per_sec) {
+  if (msgs_per_sec <= 0) {
+    rate_overrides_.erase(id);
+  } else {
+    rate_overrides_[id] = msgs_per_sec;
+  }
+}
+
+double Network::processing_rate_of(NodeId id) const {
+  const auto it = rate_overrides_.find(id);
+  return it == rate_overrides_.end() ? config_.processing_rate_msgs_per_sec : it->second;
+}
+
+void Network::partition(const std::vector<std::vector<NodeId>>& groups) {
+  partition_group_.clear();
+  int group_index = 0;
+  for (const auto& group : groups) {
+    for (NodeId id : group) partition_group_[id] = group_index;
+    ++group_index;
+  }
+  partitioned_ = true;
+}
+
+void Network::heal_partition() {
+  partition_group_.clear();
+  partitioned_ = false;
+}
+
+void Network::block_link(NodeId from, NodeId to) {
+  blocked_links_.insert({from.value, to.value});
+}
+
+void Network::unblock_link(NodeId from, NodeId to) {
+  blocked_links_.erase({from.value, to.value});
+}
+
+}  // namespace gpbft::net

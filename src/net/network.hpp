@@ -1,0 +1,142 @@
+// Simulated network with per-node processing queues and fault injection.
+//
+// Timing model (calibrated in DESIGN.md §4):
+//
+//   delivery = link propagation (base + jitter)
+//            + transmission (wire_size / bandwidth)
+//   handling = max(arrival, receiver busy-until)
+//            + processing (1/s + wire_size * per-byte cost)
+//
+// The receiver-side queue is the load-bearing part: the paper's analysis
+// (§IV-B) models a node as processing s messages per second, and the
+// superlinear PBFT latency of Fig. 3a/4 emerges from exactly this queueing
+// once n nodes broadcast O(n) messages each. Byte counters feed the
+// communication-cost experiments (Figs. 5-6, Table III).
+//
+// Fault injection covers the behaviours the protocols must tolerate: drops,
+// crashes, and partitions. Byzantine *content* faults live in the protocol
+// layers (a faulty replica sends bad payloads); the network only models
+// lossy/partitioned transport.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/simulator.hpp"
+
+namespace gpbft::net {
+
+/// A node attached to the network. Implementations are the PBFT replica,
+/// the G-PBFT endorser, and client/IoT-device models.
+class INetNode {
+ public:
+  virtual ~INetNode() = default;
+  [[nodiscard]] virtual NodeId id() const = 0;
+  virtual void handle(const Envelope& envelope) = 0;
+};
+
+struct NetConfig {
+  /// One-way propagation delay per link.
+  Duration base_latency = Duration::millis(2);
+  /// Uniform jitter added on top of base latency: U[0, jitter].
+  Duration jitter = Duration::millis(1);
+  /// Link bandwidth in bytes per simulated second (transmission delay).
+  double bandwidth_bytes_per_sec = 12.5e6;  // 100 Mbit/s
+  /// Receiver processing rate: messages handled per second (the paper's s).
+  /// This is the fleet default; per-node overrides model the heterogeneity
+  /// the paper builds on — "fixed IoT devices always have more
+  /// computational power than other IoT devices such as mobile phones and
+  /// sensors" (§III-B). See Network::set_processing_rate.
+  double processing_rate_msgs_per_sec = 160.0;
+  /// Additional per-byte processing cost (models MAC checks over payloads).
+  double processing_secs_per_byte = 0.0;
+  /// Probability a message is silently dropped.
+  double drop_rate = 0.0;
+};
+
+struct NodeTraffic {
+  std::uint64_t messages_sent{0};
+  std::uint64_t messages_received{0};
+  std::uint64_t bytes_sent{0};
+  std::uint64_t bytes_received{0};
+};
+
+struct NetStats {
+  std::uint64_t total_messages{0};
+  std::uint64_t total_bytes{0};
+  std::uint64_t dropped_messages{0};
+  std::unordered_map<NodeId, NodeTraffic> per_node;
+  std::map<MessageType, std::uint64_t> bytes_by_type;
+
+  [[nodiscard]] double total_kilobytes() const { return static_cast<double>(total_bytes) / 1024.0; }
+  void reset() { *this = NetStats{}; }
+};
+
+class Network {
+ public:
+  Network(Simulator& sim, NetConfig config);
+
+  /// Registers a node. The pointer must outlive the network (nodes are owned
+  /// by the cluster/harness layer).
+  void attach(INetNode* node);
+  void detach(NodeId id);
+
+  /// Sends an envelope; accounts traffic and schedules delivery + handling.
+  /// Sending to an unknown or crashed destination still costs the sender
+  /// bandwidth (the bytes go on the wire) but is not delivered.
+  void send(Envelope envelope);
+
+  /// Broadcast helper: one unicast per destination (PBFT's all-to-all).
+  void broadcast(NodeId from, const std::vector<NodeId>& destinations, MessageType type,
+                 const Bytes& payload);
+
+  /// Overrides one node's processing rate (heterogeneous fleets: powerful
+  /// fixed endorsers next to weak sensors). Pass <= 0 to restore default.
+  void set_processing_rate(NodeId id, double msgs_per_sec);
+  [[nodiscard]] double processing_rate_of(NodeId id) const;
+
+  // --- fault injection -----------------------------------------------------
+  void set_drop_rate(double p) { config_.drop_rate = p; }
+  void crash(NodeId id) { crashed_.insert(id); }
+  void recover(NodeId id) { crashed_.erase(id); }
+  [[nodiscard]] bool is_crashed(NodeId id) const { return crashed_.contains(id); }
+
+  /// Splits the network: messages between nodes in different groups drop.
+  /// Nodes not mentioned in any group stay in group 0.
+  void partition(const std::vector<std::vector<NodeId>>& groups);
+  void heal_partition();
+
+  /// Adds a one-way rule dropping all traffic from `from` to `to`.
+  void block_link(NodeId from, NodeId to);
+  void unblock_link(NodeId from, NodeId to);
+
+  // --- accounting ----------------------------------------------------------
+  [[nodiscard]] const NetStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+  [[nodiscard]] const NetConfig& config() const { return config_; }
+  void set_config(const NetConfig& config) { config_ = config; }
+
+ private:
+  [[nodiscard]] bool partitioned_apart(NodeId a, NodeId b) const;
+
+  Simulator& sim_;
+  NetConfig config_;
+  std::unordered_map<NodeId, INetNode*> nodes_;
+  std::unordered_map<NodeId, TimePoint> busy_until_;
+  std::unordered_map<NodeId, double> rate_overrides_;
+  std::unordered_set<NodeId> crashed_;
+  std::unordered_map<NodeId, int> partition_group_;
+  bool partitioned_{false};
+  std::set<std::pair<std::uint64_t, std::uint64_t>> blocked_links_;
+  NetStats stats_;
+};
+
+}  // namespace gpbft::net

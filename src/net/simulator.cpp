@@ -1,0 +1,42 @@
+#include "net/simulator.hpp"
+
+#include "common/logging.hpp"
+
+namespace gpbft::net {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+void Simulator::schedule(Duration delay, std::function<void()> fn) {
+  if (delay.ns < 0) delay = Duration{0};
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the handle must be copied out before pop.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.when;
+  Logger::instance().set_sim_time_seconds(now_.to_seconds());
+  ++events_processed_;
+  event.fn();
+  return true;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  std::uint64_t fired = 0;
+  while (fired < max_events && step()) ++fired;
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+  Logger::instance().set_sim_time_seconds(now_.to_seconds());
+}
+
+}  // namespace gpbft::net

@@ -1,0 +1,103 @@
+#include "pbft/client.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace gpbft::pbft {
+
+Client::Client(NodeId id, std::vector<NodeId> committee, net::Network& network,
+               const crypto::KeyRegistry& keys, bool compute_macs)
+    : id_(id),
+      committee_(std::move(committee)),
+      network_(network),
+      keys_(keys),
+      compute_macs_(compute_macs) {
+  std::sort(committee_.begin(), committee_.end());
+}
+
+void Client::set_committee(std::vector<NodeId> committee) {
+  committee_ = std::move(committee);
+  std::sort(committee_.begin(), committee_.end());
+}
+
+void Client::start() {
+  if (started_) return;
+  started_ = true;
+  network_.attach(this);
+  arm_retry_tick();
+}
+
+void Client::arm_retry_tick() {
+  if (retry_interval_.ns <= 0) return;
+  network_.simulator().schedule(retry_interval_ / 2, [this]() {
+    if (!started_) return;
+    on_retry_tick();
+    arm_retry_tick();
+  });
+}
+
+void Client::on_retry_tick() {
+  const TimePoint now = network_.simulator().now();
+  for (auto& [digest, pending] : outstanding_) {
+    if (now - pending.last_sent_at >= retry_interval_) {
+      pending.last_sent_at = now;
+      send_request(pending.transaction);
+    }
+  }
+}
+
+void Client::send_request(const ledger::Transaction& tx) {
+  ClientRequest request{tx};
+  const Bytes body = request.encode();
+  for (NodeId endorser : committee_) {
+    net::Envelope envelope;
+    envelope.from = id_;
+    envelope.to = endorser;
+    envelope.type = msg_type::kClientRequest;
+    envelope.payload =
+        seal(keys_, id_, endorser, BytesView(body.data(), body.size()), compute_macs_);
+    network_.send(std::move(envelope));
+  }
+}
+
+void Client::submit(const ledger::Transaction& tx) {
+  const crypto::Hash256 digest = tx.digest();
+  auto [it, inserted] = outstanding_.try_emplace(digest);
+  if (inserted) {
+    it->second.submitted_at = network_.simulator().now();
+    it->second.transaction = tx;
+  }
+  it->second.last_sent_at = network_.simulator().now();
+  send_request(tx);
+}
+
+void Client::handle(const net::Envelope& envelope) {
+  if (envelope.type != msg_type::kReply) return;
+  auto body = open(keys_, envelope.from, id_,
+                   BytesView(envelope.payload.data(), envelope.payload.size()), compute_macs_);
+  if (!body) return;
+  auto reply = Reply::decode(BytesView(body.value().data(), body.value().size()));
+  if (!reply) return;
+
+  const auto it = outstanding_.find(reply.value().tx_digest);
+  if (it == outstanding_.end()) return;  // already committed or unknown
+
+  Pending& pending = it->second;
+  pending.votes[reply.value().replica.value] = reply.value().height;
+
+  // Count the most common claimed height; commit on f+1 agreement.
+  std::map<Height, std::size_t> tally;
+  for (const auto& [replica, height] : pending.votes) ++tally[height];
+  for (const auto& [height, count] : tally) {
+    if (count >= reply_quorum()) {
+      const Duration latency = network_.simulator().now() - pending.submitted_at;
+      ++committed_count_;
+      const crypto::Hash256 digest = reply.value().tx_digest;
+      outstanding_.erase(it);
+      if (commit_cb_) commit_cb_(digest, height, latency);
+      return;
+    }
+  }
+}
+
+}  // namespace gpbft::pbft

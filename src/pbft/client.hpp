@@ -1,0 +1,86 @@
+// PBFT client — the model of an IoT device submitting transactions.
+//
+// Per §III-B1 of the paper, a client "will send the transaction to multiple
+// endorsers at the same time" to survive message loss; we send to every
+// committee member. A transaction counts as committed when f+1 matching
+// REPLY messages arrive (matching digest and height); the recorded latency
+// — submission to (f+1)-th matching reply — is exactly the quantity Fig. 3
+// and Fig. 4 of the paper plot.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "crypto/authenticator.hpp"
+#include "net/network.hpp"
+#include "pbft/config.hpp"
+#include "pbft/messages.hpp"
+
+namespace gpbft::pbft {
+
+class Client : public net::INetNode {
+ public:
+  /// Invoked when a transaction commits: (digest, height, latency).
+  using CommitCallback =
+      std::function<void(const crypto::Hash256&, Height, Duration)>;
+
+  Client(NodeId id, std::vector<NodeId> committee, net::Network& network,
+         const crypto::KeyRegistry& keys, bool compute_macs = true);
+
+  /// Attaches to the network and arms the retransmission tick: outstanding
+  /// transactions older than the retry interval are resubmitted (replicas
+  /// deduplicate; already-committed ones answer from the reply cache).
+  void start();
+
+  /// Stops the retransmission tick so a simulation can drain to idle.
+  void stop() { started_ = false; }
+
+  /// Retransmission interval; zero disables retries.
+  void set_retry_interval(Duration interval) { retry_interval_ = interval; }
+
+  // --- INetNode ---------------------------------------------------------------
+  [[nodiscard]] NodeId id() const override { return id_; }
+  void handle(const net::Envelope& envelope) override;
+
+  /// Submits a transaction to the whole committee.
+  void submit(const ledger::Transaction& tx);
+
+  /// Updates the committee the client talks to (after an era switch).
+  void set_committee(std::vector<NodeId> committee);
+
+  void set_commit_callback(CommitCallback cb) { commit_cb_ = std::move(cb); }
+
+  [[nodiscard]] std::uint64_t committed_count() const { return committed_count_; }
+  [[nodiscard]] std::size_t outstanding() const { return outstanding_.size(); }
+
+ private:
+  struct Pending {
+    TimePoint submitted_at;
+    TimePoint last_sent_at;
+    ledger::Transaction transaction;  // kept for retransmission
+    // votes per (replica): height claimed; commit at f+1 matching heights.
+    std::unordered_map<std::uint64_t, Height> votes;  // replica id -> height
+  };
+
+  void send_request(const ledger::Transaction& tx);
+  void arm_retry_tick();
+  void on_retry_tick();
+
+  [[nodiscard]] std::size_t reply_quorum() const {
+    return (committee_.size() - 1) / 3 + 1;  // f + 1
+  }
+
+  NodeId id_;
+  std::vector<NodeId> committee_;
+  net::Network& network_;
+  const crypto::KeyRegistry& keys_;
+  bool compute_macs_;
+
+  std::unordered_map<crypto::Hash256, Pending> outstanding_;
+  CommitCallback commit_cb_;
+  std::uint64_t committed_count_{0};
+  Duration retry_interval_ = Duration::seconds(20);
+  bool started_{false};
+};
+
+}  // namespace gpbft::pbft

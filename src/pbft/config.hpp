@@ -1,0 +1,55 @@
+// PBFT replica configuration.
+#pragma once
+
+#include <cstddef>
+
+#include "common/sim_time.hpp"
+
+namespace gpbft::pbft {
+
+struct PbftConfig {
+  /// Maximum transactions batched into one block proposal.
+  std::size_t max_batch_size{8};
+
+  /// Concurrent consensus instances the primary keeps in flight. 1 gives the
+  /// strict one-at-a-time ordering whose queueing the paper's latency curves
+  /// exhibit; larger values pipeline.
+  std::size_t pipeline_depth{1};
+
+  /// Log window above the low watermark within which sequences are accepted.
+  SeqNum watermark_window{128};
+
+  /// Executions between checkpoints (log GC).
+  SeqNum checkpoint_interval{16};
+
+  /// A request not executed within this time triggers a view change.
+  Duration request_timeout = Duration::seconds(20);
+
+  /// Backoff added per failed view change attempt.
+  Duration view_change_timeout = Duration::seconds(10);
+
+  /// When false, HMAC tags are accounted on the wire but not recomputed —
+  /// a simulation-speed knob for large sweeps (correctness suites keep it
+  /// on; see DESIGN.md). Tag bytes are always present either way.
+  bool compute_macs{true};
+
+  /// Two-phase mode (dBFT 1.0 style): an instance commits directly on a
+  /// 2f+1 PREPARE quorum (the speaker's PRE-PREPARE counts as its vote);
+  /// no COMMIT round is sent. One-block finality with one fewer phase —
+  /// the delegated-BFT baseline of the paper's Table IV uses this.
+  bool two_phase{false};
+};
+
+/// Byzantine behaviours injectable into a replica for fault testing.
+enum class FaultMode {
+  None,
+  /// Crashed-silent: participates in nothing.
+  Silent,
+  /// Sends PREPAREs whose digest is corrupted (equivocation attempt).
+  EquivocateDigest,
+  /// As primary, proposes blocks whose Merkle root does not commit to the
+  /// body (honest backups must reject them; the view change removes it).
+  CorruptProposals,
+};
+
+}  // namespace gpbft::pbft

@@ -1,0 +1,779 @@
+#include "pbft/replica.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace gpbft::pbft {
+
+Replica::Replica(NodeId id, std::vector<NodeId> committee, ledger::Block genesis,
+                 PbftConfig config, net::Network& network, const crypto::KeyRegistry& keys)
+    : id_(id),
+      committee_(std::move(committee)),
+      config_(config),
+      network_(network),
+      keys_(keys),
+      chain_(std::move(genesis)) {
+  std::sort(committee_.begin(), committee_.end());
+}
+
+void Replica::start() {
+  if (started_) return;
+  started_ = true;
+  network_.attach(this);
+  arm_tick();
+}
+
+NodeId Replica::primary_of(ViewId view) const {
+  return committee_[static_cast<std::size_t>(view % committee_.size())];
+}
+
+void Replica::send_to(NodeId to, net::MessageType type, BytesView body) {
+  if (to == id_) return;
+  net::Envelope envelope;
+  envelope.from = id_;
+  envelope.to = to;
+  envelope.type = type;
+  envelope.payload = seal(keys_, id_, to, body, config_.compute_macs);
+  network_.send(std::move(envelope));
+}
+
+void Replica::broadcast_committee(net::MessageType type, BytesView body) {
+  for (NodeId peer : committee_) send_to(peer, type, body);
+}
+
+Bytes Replica::open_or_drop(const net::Envelope& envelope) {
+  auto body = open(keys_, envelope.from, id_, BytesView(envelope.payload.data(),
+                                                        envelope.payload.size()),
+                   config_.compute_macs);
+  if (!body) {
+    log_debug(id_.str() + ": dropping message with bad seal: " + body.error());
+    return {};
+  }
+  return std::move(body).value();
+}
+
+void Replica::handle(const net::Envelope& envelope) {
+  if (fault_mode_ == FaultMode::Silent) return;
+
+  const Bytes body = open_or_drop(envelope);
+  if (body.empty()) return;  // seal failure (all valid bodies are non-empty)
+  const BytesView view(body.data(), body.size());
+
+  switch (envelope.type) {
+    case msg_type::kClientRequest: {
+      if (auto m = ClientRequest::decode(view)) accept_request(std::move(m.value().transaction));
+      break;
+    }
+    case msg_type::kPrePrepare: {
+      if (auto m = PrePrepare::decode(view)) on_preprepare(envelope.from, m.value());
+      break;
+    }
+    case msg_type::kPrepare: {
+      if (auto m = Prepare::decode(view)) on_prepare(envelope.from, m.value());
+      break;
+    }
+    case msg_type::kCommit: {
+      if (auto m = Commit::decode(view)) on_commit(envelope.from, m.value());
+      break;
+    }
+    case msg_type::kCheckpoint: {
+      if (auto m = CheckpointMsg::decode(view)) on_checkpoint(envelope.from, m.value());
+      break;
+    }
+    case msg_type::kViewChange: {
+      if (auto m = ViewChangeMsg::decode(view)) on_view_change(envelope.from, std::move(m.value()));
+      break;
+    }
+    case msg_type::kNewView: {
+      if (auto m = NewViewMsg::decode(view)) on_new_view(envelope.from, m.value());
+      break;
+    }
+    case msg_type::kSyncRequest: {
+      if (auto m = SyncRequest::decode(view)) on_sync_request(m.value());
+      break;
+    }
+    case msg_type::kSyncResponse: {
+      if (auto m = SyncResponse::decode(view)) on_sync_response(m.value());
+      break;
+    }
+    default:
+      handle_extra(envelope);
+      break;
+  }
+}
+
+void Replica::handle_extra(const net::Envelope& envelope) {
+  log_debug(id_.str() + ": unknown message type " + std::to_string(envelope.type));
+}
+
+// --- client requests ---------------------------------------------------------
+
+void Replica::accept_request(ledger::Transaction tx) {
+  const crypto::Hash256 digest = tx.digest();
+  if (const auto height = chain_.find_transaction(digest)) {
+    // Already committed: a client retransmitting lost its REPLY — answer
+    // from the executed state (PBFT's reply cache, Castro-Liskov §4.1).
+    Reply reply;
+    reply.view = view_;
+    reply.replica = id_;
+    reply.tx_digest = digest;
+    reply.height = *height;
+    const Bytes body = reply.encode();
+    send_to(tx.sender, msg_type::kReply, BytesView(body.data(), body.size()));
+    return;
+  }
+  if (!mempool_.add(std::move(tx))) return;  // duplicate or full
+  pending_since_.emplace(digest, now());
+  maybe_propose();
+}
+
+std::vector<ledger::Transaction> Replica::select_batch() {
+  return mempool_.pop_batch(config_.max_batch_size, [this](const crypto::Hash256& digest) {
+    return chain_.find_transaction(digest).has_value();
+  });
+}
+
+void Replica::on_view_changed(ViewId, ViewId) {}
+
+Result<void> Replica::adopt_chain_suffix(const std::vector<ledger::Block>& blocks) {
+  for (const ledger::Block& block : blocks) {
+    if (block.header.height <= chain_.height()) continue;  // already have it
+    if (auto appended = chain_.append(block); !appended) return appended;
+    state_.apply_block(block, committee_);
+    for (const ledger::Transaction& tx : block.transactions) {
+      pending_since_.erase(tx.digest());
+      mempool_.remove(tx.digest());
+    }
+    // Retire the instance slot this block occupied, if any.
+    const auto it = log_.find(block.header.height);
+    if (it != log_.end()) it->second.executed = true;
+    on_executed(block);
+    if (executed_cb_) executed_cb_(block);
+  }
+  return {};
+}
+
+// --- chain sync ------------------------------------------------------------------
+
+void Replica::maybe_request_sync() {
+  const SeqNum next = chain_.height() + 1;
+  const auto next_it = log_.find(next);
+  if (next_it != log_.end() && next_it->second.block.has_value()) return;  // will execute
+
+  // Evidence that the committee committed past us: f+1 commit votes (in any
+  // digest bucket, current view or stashed from newer views) for a height
+  // we cannot produce locally.
+  const std::size_t f = faults_tolerated();
+  bool behind = false;
+  for (const auto& [seq, instance] : log_) {
+    if (seq < next) continue;
+    for (const auto& [digest, voters] : instance.commit_votes) {
+      if (voters.size() >= f + 1) {
+        behind = true;
+        break;
+      }
+    }
+    if (behind) break;
+  }
+  if (!behind) {
+    // A straggler in an older view stashes newer-view commits instead of
+    // counting them; enough distinct stashed voters are the same evidence.
+    std::map<SeqNum, std::set<NodeId>> stashed_voters;
+    for (const Commit& commit : stashed_commits_) {
+      if (commit.seq >= next) stashed_voters[commit.seq].insert(commit.replica);
+    }
+    for (const auto& [seq, voters] : stashed_voters) {
+      if (voters.size() >= f + 1) {
+        behind = true;
+        break;
+      }
+    }
+  }
+  if (!behind) return;
+  if (now() - last_sync_request_ < config_.request_timeout / 4) return;  // rate limit
+  last_sync_request_ = now();
+
+  SyncRequest request;
+  request.from_height = next;
+  request.requester = id_;
+  const Bytes body = request.encode();
+  // Ask the current primary plus one rotating alternate (the primary may be
+  // the faulty party).
+  send_to(primary_of(view_), msg_type::kSyncRequest, BytesView(body.data(), body.size()));
+  const NodeId alternate =
+      committee_[static_cast<std::size_t>((view_ + 1 + next) % committee_.size())];
+  if (alternate != primary_of(view_)) {
+    send_to(alternate, msg_type::kSyncRequest, BytesView(body.data(), body.size()));
+  }
+}
+
+void Replica::request_sync_from(NodeId peer) {
+  if (now() - last_sync_request_ < config_.request_timeout / 4) return;  // rate limit
+  last_sync_request_ = now();
+  SyncRequest request;
+  request.from_height = chain_.height() + 1;
+  request.requester = id_;
+  const Bytes body = request.encode();
+  send_to(peer, msg_type::kSyncRequest, BytesView(body.data(), body.size()));
+}
+
+void Replica::on_sync_request(const SyncRequest& msg) {
+  if (msg.from_height > chain_.height()) return;  // nothing to offer
+  SyncResponse response;
+  response.responder = id_;
+  constexpr Height kMaxBlocksPerResponse = 64;
+  const Height last =
+      std::min(chain_.height(), msg.from_height + kMaxBlocksPerResponse - 1);
+  for (Height h = msg.from_height; h <= last; ++h) response.blocks.push_back(chain_.at(h));
+  const Bytes body = response.encode();
+  send_to(msg.requester, msg_type::kSyncResponse, BytesView(body.data(), body.size()));
+}
+
+void Replica::on_sync_response(const SyncResponse& msg) {
+  if (msg.blocks.empty()) return;
+  // Cross-check against any commit certificates we hold: a synced block
+  // conflicting with a locally committed digest is a forgery (or a fork) —
+  // refuse the whole response.
+  for (const ledger::Block& block : msg.blocks) {
+    const auto it = log_.find(block.header.height);
+    if (it != log_.end() && it->second.committed && it->second.digest != block.hash()) {
+      log_warn(id_.str() + ": sync response conflicts with commit certificate at height " +
+               std::to_string(block.header.height));
+      return;
+    }
+  }
+  if (auto adopted = adopt_chain_suffix(msg.blocks); !adopted) {
+    log_debug(id_.str() + ": sync adoption stopped: " + adopted.error());
+  }
+  try_execute();
+}
+
+void Replica::maybe_propose() {
+  if (halted_ || in_view_change_ || !is_primary() || !ready_to_propose()) return;
+  const SeqNum next_seq = chain_.height() + 1;
+  const auto it = log_.find(next_seq);
+  if (it != log_.end() && it->second.preprepared && !it->second.executed) return;  // in flight
+  if (mempool_.empty()) return;
+
+  std::vector<ledger::Transaction> batch = select_batch();
+  if (batch.empty()) return;
+  propose_batch(std::move(batch));
+}
+
+bool Replica::propose_batch(std::vector<ledger::Transaction> batch) {
+  if (in_view_change_ || !is_primary()) return false;
+  const SeqNum seq = chain_.height() + 1;
+  if (!seq_in_window(seq)) return false;
+  Instance& existing = log_[seq];
+  if (existing.preprepared && !existing.executed) return false;
+
+  ledger::Block block = ledger::build_block(chain_.tip().header, std::move(batch), current_era(),
+                                            view_, seq, now(), id_);
+  if (fault_mode_ == FaultMode::CorruptProposals) {
+    block.header.merkle_root.bytes[0] ^= 0xff;  // body no longer committed to
+  }
+  PrePrepare msg;
+  msg.view = view_;
+  msg.seq = seq;
+  msg.digest = block.hash();
+  msg.block = std::move(block);
+
+  Instance& instance = log_[seq];
+  instance.view = view_;
+  instance.digest = msg.digest;
+  instance.block = msg.block;
+  instance.preprepared = true;
+  if (config_.two_phase) instance.prepare_votes[msg.digest].insert(id_);  // speaker's vote
+
+  const Bytes body = msg.encode();
+  broadcast_committee(msg_type::kPrePrepare, BytesView(body.data(), body.size()));
+  // The primary's pre-prepare stands in for its prepare; backups' prepares
+  // are counted against it in try_prepare.
+  try_prepare(seq);
+  return true;
+}
+
+// --- three-phase protocol ------------------------------------------------------
+
+namespace {
+bool config_only(const ledger::Block& block) {
+  for (const ledger::Transaction& tx : block.transactions) {
+    if (tx.kind != ledger::TxKind::Config) return false;
+  }
+  return !block.transactions.empty();
+}
+}  // namespace
+
+void Replica::on_preprepare(NodeId from, const PrePrepare& msg) {
+  // While halted for an era switch, only configuration blocks may proceed
+  // (§III-E: the switch itself is committed under consensus).
+  if (halted_ && !config_only(msg.block)) return;
+  if (in_view_change_ || msg.view > view_) {
+    // Possibly a new primary running ahead of its NEW-VIEW: hold the
+    // message and replay once the view settles.
+    if (msg.view >= view_ && stashed_preprepares_.size() < kMaxStashed) {
+      stashed_preprepares_.emplace_back(from, msg);
+    }
+    return;
+  }
+  if (msg.view != view_) return;
+  if (from != primary_of(msg.view)) return;  // only the primary may propose
+  if (!seq_in_window(msg.seq)) return;
+  if (msg.digest != msg.block.hash()) return;
+  if (msg.block.header.merkle_root != msg.block.compute_merkle_root()) return;
+
+  Instance& instance = log_[msg.seq];
+  if (instance.preprepared && instance.view == msg.view && instance.digest != msg.digest) {
+    // Conflicting proposal from the primary for the same (view, seq):
+    // evidence of a faulty primary; refuse and let the timeout fire.
+    log_warn(id_.str() + ": conflicting pre-prepare at seq " + std::to_string(msg.seq));
+    return;
+  }
+
+  instance.view = msg.view;
+  instance.digest = msg.digest;
+  instance.block = msg.block;
+  instance.preprepared = true;
+  if (config_.two_phase) instance.prepare_votes[msg.digest].insert(from);  // speaker's vote
+
+  // Track request arrival for timeout purposes (backup may not have seen
+  // the client request directly).
+  for (const ledger::Transaction& tx : msg.block.transactions) {
+    pending_since_.emplace(tx.digest(), now());
+  }
+
+  send_prepare(msg.seq, instance);
+  try_prepare(msg.seq);
+}
+
+void Replica::send_prepare(SeqNum seq, const Instance& instance) {
+  if (instance.prepare_sent) return;
+  log_[seq].prepare_sent = true;
+
+  Prepare msg;
+  msg.view = instance.view;
+  msg.seq = seq;
+  msg.digest = instance.digest;
+  msg.replica = id_;
+
+  if (fault_mode_ == FaultMode::EquivocateDigest) {
+    // Byzantine behaviour: send a corrupted digest to half the peers.
+    bool flip = false;
+    for (NodeId peer : committee_) {
+      if (peer == id_) continue;
+      Prepare sent = msg;
+      if (flip) sent.digest.bytes[0] ^= 0xff;
+      flip = !flip;
+      const Bytes body = sent.encode();
+      send_to(peer, msg_type::kPrepare, BytesView(body.data(), body.size()));
+    }
+  } else {
+    const Bytes body = msg.encode();
+    broadcast_committee(msg_type::kPrepare, BytesView(body.data(), body.size()));
+  }
+
+  log_[seq].prepare_votes[instance.digest].insert(id_);
+  try_prepare(seq);
+}
+
+void Replica::on_prepare(NodeId from, const Prepare& msg) {
+  if ((in_view_change_ || msg.view > view_) && msg.view >= view_) {
+    if (stashed_prepares_.size() < kMaxStashed) stashed_prepares_.push_back(msg);
+    return;
+  }
+  if (msg.view != view_ || !seq_in_window(msg.seq)) return;
+  Instance& instance = log_[msg.seq];
+  // Digest-keyed: early votes (before the pre-prepare) park under their
+  // digest; only the pre-prepared digest's bucket counts toward the quorum.
+  instance.prepare_votes[msg.digest].insert(from);
+  try_prepare(msg.seq);
+}
+
+void Replica::try_prepare(SeqNum seq) {
+  Instance& instance = log_[seq];
+  if (!instance.preprepared || instance.prepared) return;
+  const std::size_t f = faults_tolerated();
+  const auto votes_it = instance.prepare_votes.find(instance.digest);
+  const std::size_t votes = votes_it == instance.prepare_votes.end() ? 0 : votes_it->second.size();
+
+  if (config_.two_phase) {
+    // dBFT-style: 2f+1 PREPAREs (speaker's proposal included) finalize the
+    // block directly; no COMMIT round.
+    if (votes >= 2 * f + 1) {
+      instance.prepared = true;
+      instance.committed = true;
+      try_execute();
+    }
+    return;
+  }
+
+  // prepared == pre-prepare + 2f matching prepares from distinct replicas.
+  if (votes >= 2 * f) {
+    instance.prepared = true;
+    // Record the durable P-set entry (see Instance docs).
+    instance.has_prepared = true;
+    instance.prepared_view = instance.view;
+    instance.prepared_digest = instance.digest;
+    instance.prepared_block = instance.block;
+    send_commit(seq, instance);
+  }
+}
+
+void Replica::send_commit(SeqNum seq, const Instance& instance) {
+  if (log_[seq].commit_sent) return;
+  log_[seq].commit_sent = true;
+
+  Commit msg;
+  msg.view = instance.view;
+  msg.seq = seq;
+  msg.digest = instance.digest;
+  msg.replica = id_;
+  const Bytes body = msg.encode();
+  broadcast_committee(msg_type::kCommit, BytesView(body.data(), body.size()));
+
+  log_[seq].commit_votes[instance.digest].insert(id_);
+  try_commit(seq);
+}
+
+void Replica::on_commit(NodeId from, const Commit& msg) {
+  // COMMIT certificates are view-scoped like PREPAREs: stash future-view
+  // votes, drop stale ones, park same-view votes under their digest.
+  if ((in_view_change_ || msg.view > view_) && msg.view >= view_) {
+    if (stashed_commits_.size() < kMaxStashed) stashed_commits_.push_back(msg);
+    return;
+  }
+  if (msg.view != view_ || !seq_in_window(msg.seq)) return;
+  Instance& instance = log_[msg.seq];
+  instance.commit_votes[msg.digest].insert(from);
+  try_commit(msg.seq);
+}
+
+void Replica::try_commit(SeqNum seq) {
+  Instance& instance = log_[seq];
+  if (!instance.prepared || instance.committed) return;
+  const std::size_t f = faults_tolerated();
+  const auto votes_it = instance.commit_votes.find(instance.digest);
+  const std::size_t votes = votes_it == instance.commit_votes.end() ? 0 : votes_it->second.size();
+  if (votes >= 2 * f + 1) {
+    instance.committed = true;
+    try_execute();
+  }
+}
+
+void Replica::try_execute() {
+  while (true) {
+    const SeqNum next = chain_.height() + 1;
+    const auto it = log_.find(next);
+    if (it == log_.end() || !it->second.committed || it->second.executed) break;
+    Instance& instance = it->second;
+    if (!instance.block) break;
+
+    ledger::Block block = *instance.block;
+    if (auto appended = chain_.append(block); !appended) {
+      log_error(id_.str() + ": committed block failed validation: " + appended.error());
+      break;
+    }
+    state_.apply_block(block, committee_);
+    instance.executed = true;
+    ++executed_blocks_;
+
+    for (const ledger::Transaction& tx : block.transactions) {
+      const crypto::Hash256 digest = tx.digest();
+      pending_since_.erase(digest);
+      mempool_.remove(digest);
+
+      Reply reply;
+      reply.view = view_;
+      reply.replica = id_;
+      reply.tx_digest = digest;
+      reply.height = block.header.height;
+      const Bytes body = reply.encode();
+      send_to(tx.sender, msg_type::kReply, BytesView(body.data(), body.size()));
+    }
+
+    on_executed(block);
+    if (executed_cb_) executed_cb_(block);
+    maybe_checkpoint();
+  }
+  maybe_propose();
+}
+
+void Replica::on_executed(const ledger::Block&) {}
+
+// --- checkpoints -----------------------------------------------------------------
+
+void Replica::maybe_checkpoint() {
+  const SeqNum height = chain_.height();
+  if (height == 0 || height % config_.checkpoint_interval != 0) return;
+  if (height <= stable_seq_) return;
+
+  CheckpointMsg msg;
+  msg.seq = height;
+  msg.chain_digest = chain_.tip().hash();
+  msg.replica = id_;
+  const Bytes body = msg.encode();
+  broadcast_committee(msg_type::kCheckpoint, BytesView(body.data(), body.size()));
+
+  checkpoint_votes_[height][msg.chain_digest].insert(id_);
+  on_checkpoint(id_, msg);
+}
+
+void Replica::on_checkpoint(NodeId from, const CheckpointMsg& msg) {
+  if (msg.seq <= stable_seq_) return;
+  auto& voters = checkpoint_votes_[msg.seq][msg.chain_digest];
+  voters.insert(from);
+  const std::size_t f = faults_tolerated();
+  if (voters.size() < 2 * f + 1) return;
+
+  // Stable: garbage-collect everything at or below.
+  stable_seq_ = msg.seq;
+  log_.erase(log_.begin(), log_.upper_bound(stable_seq_));
+  checkpoint_votes_.erase(checkpoint_votes_.begin(), checkpoint_votes_.upper_bound(stable_seq_));
+}
+
+bool Replica::seq_in_window(SeqNum seq) const {
+  return seq > stable_seq_ && seq <= stable_seq_ + config_.watermark_window;
+}
+
+// --- view changes -----------------------------------------------------------------
+
+ViewChangeMsg Replica::build_view_change(ViewId new_view) const {
+  ViewChangeMsg msg;
+  msg.new_view = new_view;
+  msg.last_executed = chain_.height();
+  for (const auto& [seq, instance] : log_) {
+    // The P set: every instance that EVER prepared (in any view) and is not
+    // yet executed travels with the view change, highest-view entry first
+    // at the new primary.
+    if (instance.has_prepared && !instance.executed && instance.prepared_block) {
+      PreparedProof proof;
+      proof.view = instance.prepared_view;
+      proof.seq = seq;
+      proof.digest = instance.prepared_digest;
+      proof.block = *instance.prepared_block;
+      msg.prepared.push_back(std::move(proof));
+    }
+  }
+  msg.replica = id_;
+  return msg;
+}
+
+void Replica::initiate_view_change() {
+  pending_view_ = in_view_change_ ? pending_view_ + 1 : view_ + 1;
+  in_view_change_ = true;
+  view_change_started_ = now();
+
+  ViewChangeMsg msg = build_view_change(pending_view_);
+  const Bytes body = msg.encode();
+  broadcast_committee(msg_type::kViewChange, BytesView(body.data(), body.size()));
+  on_view_change(id_, std::move(msg));
+}
+
+void Replica::on_view_change(NodeId from, ViewChangeMsg msg) {
+  // A peer's VIEW-CHANGE advertises its executed height: if it is ahead of
+  // us, we are a straggler — fetch the gap. This is what breaks the
+  // straggler-induced view-change storm: the storm's own messages carry
+  // the evidence the straggler needs to catch up and stop timing out.
+  if (msg.last_executed > chain_.height()) request_sync_from(from);
+
+  if (msg.new_view <= view_) return;
+  auto& entries = view_changes_[msg.new_view];
+  entries.emplace(from, std::move(msg));
+
+  const ViewId candidate = view_changes_.rbegin()->first;  // highest requested view
+  auto& votes = view_changes_[candidate];
+  const std::size_t f = faults_tolerated();
+
+  // A replica that sees f+1 view changes for a higher view joins in even if
+  // its own timer has not fired (prevents laggards from stalling).
+  if (!votes.contains(id_) && votes.size() >= f + 1) {
+    pending_view_ = candidate;
+    in_view_change_ = true;
+    view_change_started_ = now();
+    ViewChangeMsg own = build_view_change(candidate);
+    const Bytes body = own.encode();
+    broadcast_committee(msg_type::kViewChange, BytesView(body.data(), body.size()));
+    votes.emplace(id_, std::move(own));
+  }
+
+  // New primary forms the certificate at 2f+1.
+  if (primary_of(candidate) != id_ || votes.size() < 2 * f + 1) return;
+
+  NewViewMsg new_view;
+  new_view.new_view = candidate;
+  for (const auto& [replica, vc] : votes) new_view.proofs.push_back(vc);
+  new_view.primary = id_;
+
+  // Re-propose the highest-view prepared proof per sequence number above
+  // this primary's OWN executed height. Skipping by someone else's height
+  // would be unsound: the primary would then propose a fresh block for a
+  // slot another replica already executed, forking the chain. Slots the
+  // primary itself executed are skipped (peers fetch them via chain sync).
+  std::map<SeqNum, const PreparedProof*> best;
+  for (const auto& [replica, vc] : votes) {
+    for (const PreparedProof& proof : vc.prepared) {
+      auto it = best.find(proof.seq);
+      if (it == best.end() || proof.view > it->second->view) best[proof.seq] = &proof;
+    }
+  }
+  for (const auto& [seq, proof] : best) {
+    if (seq <= chain_.height()) continue;
+    PrePrepare pp;
+    pp.view = candidate;
+    pp.seq = seq;
+    pp.digest = proof->digest;
+    pp.block = proof->block;
+    new_view.preprepares.push_back(std::move(pp));
+  }
+
+  const Bytes body = new_view.encode();
+  broadcast_committee(msg_type::kNewView, BytesView(body.data(), body.size()));
+  enter_new_view(candidate, new_view.preprepares);
+}
+
+void Replica::on_new_view(NodeId from, const NewViewMsg& msg) {
+  for (const ViewChangeMsg& vc : msg.proofs) {
+    if (vc.last_executed > chain_.height()) {
+      request_sync_from(from);
+      break;
+    }
+  }
+  if (msg.new_view <= view_) return;
+  if (from != primary_of(msg.new_view) || msg.primary != from) return;
+  const std::size_t f = faults_tolerated();
+  std::set<NodeId> distinct;
+  for (const ViewChangeMsg& vc : msg.proofs) {
+    if (vc.new_view == msg.new_view) distinct.insert(vc.replica);
+  }
+  if (distinct.size() < 2 * f + 1) return;
+  enter_new_view(msg.new_view, msg.preprepares);
+}
+
+void Replica::enter_new_view(ViewId view, const std::vector<PrePrepare>& reproposals) {
+  const ViewId previous = view_;
+  view_ = view;
+  in_view_change_ = false;
+  view_changes_.erase(view_changes_.begin(), view_changes_.upper_bound(view));
+  ++completed_view_changes_;
+
+  // Reset per-view state on uncommitted instances: votes and sent flags are
+  // scoped to a view, so they must not carry over — but the durable P-set
+  // fields (has_prepared / prepared_*) are deliberately KEPT, so later
+  // view changes still carry the prepared value (safety; see Instance).
+  // Committed-but-unexecuted instances stay untouched: their blocks are
+  // fixed by a commit quorum.
+  for (auto& [seq, instance] : log_) {
+    if (instance.committed || instance.executed) continue;
+    // Requeue the transactions so they are not lost if the new primary
+    // proposes something else for this slot (dedup prevents double-commit).
+    if (instance.block) {
+      for (const ledger::Transaction& tx : instance.block->transactions) {
+        if (!chain_.find_transaction(tx.digest())) mempool_.add(tx);
+      }
+    }
+    instance.preprepared = false;
+    instance.prepared = false;
+    instance.prepare_sent = false;
+    instance.commit_sent = false;
+    instance.prepare_votes.clear();
+    instance.commit_votes.clear();
+    instance.block.reset();
+    instance.digest = crypto::Hash256{};
+  }
+
+  // Give every pending request a fresh timeout under the new primary.
+  for (auto& [digest, since] : pending_since_) since = now();
+
+  // Process the new primary's re-proposals, then any messages that raced
+  // ahead of the NEW-VIEW.
+  for (const PrePrepare& pp : reproposals) on_preprepare(primary_of(view_), pp);
+
+  const auto preprepares = std::move(stashed_preprepares_);
+  stashed_preprepares_.clear();
+  for (const auto& [from, pp] : preprepares) {
+    if (pp.view == view_) on_preprepare(from, pp);
+  }
+  const auto prepares = std::move(stashed_prepares_);
+  stashed_prepares_.clear();
+  for (const Prepare& prepare : prepares) {
+    if (prepare.view == view_) on_prepare(prepare.replica, prepare);
+  }
+  const auto commits = std::move(stashed_commits_);
+  stashed_commits_.clear();
+  for (const Commit& commit : commits) {
+    if (commit.view == view_) on_commit(commit.replica, commit);
+  }
+
+  on_view_changed(previous, view_);
+  maybe_propose();
+}
+
+// --- timers ----------------------------------------------------------------------
+
+void Replica::arm_tick() {
+  const Duration interval = config_.request_timeout / 4;
+  network_.simulator().schedule(interval, [this]() {
+    on_tick();
+    if (started_) arm_tick();
+  });
+}
+
+void Replica::on_tick() {
+  if (network_.is_crashed(id_) || fault_mode_ == FaultMode::Silent) return;
+
+  const TimePoint current = now();
+
+  if (in_view_change_) {
+    // Escalate if the pending view did not form in time.
+    const Duration elapsed = current - view_change_started_;
+    const Duration budget =
+        config_.view_change_timeout * static_cast<std::int64_t>(pending_view_ - view_);
+    if (elapsed > budget) initiate_view_change();
+    return;
+  }
+
+  maybe_request_sync();
+
+  if (halted_) return;
+
+  for (const auto& [digest, since] : pending_since_) {
+    if (current - since > config_.request_timeout) {
+      log_debug(id_.str() + ": request " + digest.short_hex() + " pending for " +
+                std::to_string((current - since).to_seconds()) +
+                "s; initiating view change from view " + std::to_string(view_));
+      initiate_view_change();
+      return;
+    }
+  }
+}
+
+void Replica::reconfigure_committee(std::vector<NodeId> committee) {
+  committee_ = std::move(committee);
+  std::sort(committee_.begin(), committee_.end());
+  view_ = 0;
+  in_view_change_ = false;
+  pending_view_ = 0;
+  view_changes_.clear();
+  stashed_preprepares_.clear();
+  stashed_prepares_.clear();
+  stashed_commits_.clear();
+
+  // Abandon in-flight instances; their transactions return to the mempool.
+  for (auto it = log_.begin(); it != log_.end();) {
+    Instance& instance = it->second;
+    if (!instance.executed) {
+      if (instance.block) {
+        for (const ledger::Transaction& tx : instance.block->transactions) {
+          if (!chain_.find_transaction(tx.digest())) mempool_.add(tx);
+        }
+      }
+      it = log_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [digest, since] : pending_since_) since = now();
+}
+
+}  // namespace gpbft::pbft

@@ -1,0 +1,240 @@
+// PBFT replica (Castro & Liskov, OSDI'99), adapted to blockchain batching.
+//
+// The primary of the current view drains the mempool into a block proposal
+// and drives the three-phase protocol:
+//
+//   PRE-PREPARE -> PREPARE (2f matching) -> COMMIT (2f+1 matching) -> execute
+//
+// Execution appends the block to the replica's chain, applies state, and
+// sends a REPLY to each transaction's sender; clients accept f+1 matching
+// replies. View changes fire on request timeouts; checkpoints garbage-
+// collect the instance log every checkpoint_interval executions.
+//
+// One consensus instance is in flight at a time (sequence number == block
+// height), because each block links to its predecessor's hash. Pending
+// transactions queue in the mempool — this receiver-side queueing is what
+// produces the latency growth the paper measures for plain PBFT.
+//
+// The class exposes protected hooks (select_batch, primary_of, current_era,
+// on_executed, handle_extra, halted) through which gpbft::Endorser layers
+// the era/election machinery on top without duplicating the state machine.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "crypto/authenticator.hpp"
+#include "ledger/chain.hpp"
+#include "ledger/mempool.hpp"
+#include "ledger/state.hpp"
+#include "net/network.hpp"
+#include "pbft/config.hpp"
+#include "pbft/messages.hpp"
+
+namespace gpbft::pbft {
+
+class Replica : public net::INetNode {
+ public:
+  using ExecutedCallback = std::function<void(const ledger::Block&)>;
+
+  Replica(NodeId id, std::vector<NodeId> committee, ledger::Block genesis, PbftConfig config,
+          net::Network& network, const crypto::KeyRegistry& keys);
+  ~Replica() override = default;
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// Attaches to the network and arms the timeout tick. Call once.
+  void start();
+
+  /// Stops rescheduling the timeout tick so a simulation can drain to idle.
+  void stop() { started_ = false; }
+
+  // --- INetNode --------------------------------------------------------------
+  [[nodiscard]] NodeId id() const override { return id_; }
+  void handle(const net::Envelope& envelope) override;
+
+  // --- introspection ----------------------------------------------------------
+  [[nodiscard]] const ledger::Chain& chain() const { return chain_; }
+  [[nodiscard]] const ledger::State& state() const { return state_; }
+  [[nodiscard]] ViewId view() const { return view_; }
+  [[nodiscard]] const std::vector<NodeId>& committee() const { return committee_; }
+  [[nodiscard]] bool is_primary() const { return primary_of(view_) == id_; }
+  [[nodiscard]] std::size_t faults_tolerated() const { return (committee_.size() - 1) / 3; }
+  [[nodiscard]] std::uint64_t executed_blocks() const { return executed_blocks_; }
+  [[nodiscard]] std::uint64_t completed_view_changes() const { return completed_view_changes_; }
+  [[nodiscard]] std::size_t mempool_size() const { return mempool_.size(); }
+  [[nodiscard]] SeqNum stable_checkpoint() const { return stable_seq_; }
+
+  /// Primary of a view; round-robin over the committee roster by default,
+  /// overridden by G-PBFT's geographic-timer weighting.
+  [[nodiscard]] virtual NodeId primary_of(ViewId view) const;
+
+  // --- knobs -------------------------------------------------------------------
+  void set_fault_mode(FaultMode mode) { fault_mode_ = mode; }
+  void set_executed_callback(ExecutedCallback cb) { executed_cb_ = std::move(cb); }
+
+ protected:
+  // Hooks for the G-PBFT layer -------------------------------------------------
+  /// Batch selection for the next proposal; default drains the mempool.
+  [[nodiscard]] virtual std::vector<ledger::Transaction> select_batch();
+  /// Gate on spontaneous proposals; dBFT's pacing overrides this so blocks
+  /// are produced on a fixed cadence instead of as soon as requests queue.
+  [[nodiscard]] virtual bool ready_to_propose() const { return true; }
+  /// Attempts a proposal if this replica is the primary, a batch exists,
+  /// and ready_to_propose() allows it.
+  void maybe_propose();
+  /// Era stamped into produced blocks (always 0 for plain PBFT).
+  [[nodiscard]] virtual EraId current_era() const { return 0; }
+  /// Called after a block is appended and applied.
+  virtual void on_executed(const ledger::Block& block);
+  /// Messages the base protocol does not know (geo reports, era control).
+  virtual void handle_extra(const net::Envelope& envelope);
+  /// Called when a view change completes; `previous` is the abandoned view
+  /// (its primary failed to make progress — G-PBFT penalizes it, §III-B5).
+  virtual void on_view_changed(ViewId previous, ViewId current);
+
+  /// While halted (era switch period, §III-E) the replica neither proposes
+  /// nor accepts pre-prepares; era-switch machinery drives commits directly.
+  void set_halted(bool halted) { halted_ = halted; }
+  [[nodiscard]] bool halted() const { return halted_; }
+
+  /// Reconfigures the roster (era switch): resets view/in-flight bookkeeping
+  /// while keeping chain, state and mempool. `view` restarts at 0.
+  void reconfigure_committee(std::vector<NodeId> committee);
+
+  /// Proposes a specific batch immediately if this replica is the primary
+  /// and no instance is in flight (used for configuration blocks).
+  bool propose_batch(std::vector<ledger::Transaction> batch);
+
+  void send_to(NodeId to, net::MessageType type, BytesView body);
+  void broadcast_committee(net::MessageType type, BytesView body);
+
+  [[nodiscard]] TimePoint now() const { return network_.simulator().now(); }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] const crypto::KeyRegistry& keys() const { return keys_; }
+  [[nodiscard]] const PbftConfig& config() const { return config_; }
+  [[nodiscard]] ledger::Mempool& mempool() { return mempool_; }
+  [[nodiscard]] bool in_view_change() const { return in_view_change_; }
+
+  /// Enqueues a request locally (also used by the G-PBFT layer when it
+  /// generates configuration transactions).
+  void accept_request(ledger::Transaction tx);
+
+  /// Fast-forwards the chain with validated blocks (state transfer for an
+  /// endorser joining mid-chain at an era switch). Stops at the first
+  /// invalid block and reports it.
+  [[nodiscard]] Result<void> adopt_chain_suffix(const std::vector<ledger::Block>& blocks);
+
+ private:
+  // One consensus instance (one block height).
+  struct Instance {
+    ViewId view{0};
+    crypto::Hash256 digest;
+    std::optional<ledger::Block> block;
+    bool preprepared{false};
+    bool prepared{false};
+    bool committed{false};
+    bool executed{false};
+    bool prepare_sent{false};
+    bool commit_sent{false};
+    // Votes are keyed by digest and scoped to the current view (cleared at
+    // view entry; messages from other views are stashed or dropped). A
+    // certificate is therefore always "2f(+1) same-view same-digest votes",
+    // the form PBFT's quorum-intersection safety argument requires. Votes
+    // arriving before the PRE-PREPARE park under their digest.
+    std::map<crypto::Hash256, std::set<NodeId>> prepare_votes;
+    std::map<crypto::Hash256, std::set<NodeId>> commit_votes;
+
+    // Durable P-set entry (Castro-Liskov §4.4): once an instance prepares,
+    // the (view, digest, block) it prepared with must survive view changes
+    // — every later VIEW-CHANGE message carries it, which is what makes a
+    // committed value impossible to forget (quorum-intersection argument).
+    // Vote sets above are per-view and reset on view entry; this is not.
+    bool has_prepared{false};
+    ViewId prepared_view{0};
+    crypto::Hash256 prepared_digest;
+    std::optional<ledger::Block> prepared_block;
+  };
+
+  // Message handlers.
+  void on_preprepare(NodeId from, const PrePrepare& msg);
+  void on_prepare(NodeId from, const Prepare& msg);
+  void on_commit(NodeId from, const Commit& msg);
+  void on_checkpoint(NodeId from, const CheckpointMsg& msg);
+  void on_view_change(NodeId from, ViewChangeMsg msg);
+  void on_new_view(NodeId from, const NewViewMsg& msg);
+
+  void try_prepare(SeqNum seq);
+  void try_commit(SeqNum seq);
+  void try_execute();
+  void send_prepare(SeqNum seq, const Instance& instance);
+  void send_commit(SeqNum seq, const Instance& instance);
+  void maybe_checkpoint();
+
+  void initiate_view_change();
+  void enter_new_view(ViewId view, const std::vector<PrePrepare>& reproposals);
+  [[nodiscard]] ViewChangeMsg build_view_change(ViewId new_view) const;
+
+  // Chain sync (see SyncRequest in messages.hpp).
+  void maybe_request_sync();
+  void request_sync_from(NodeId peer);
+  void on_sync_request(const SyncRequest& msg);
+  void on_sync_response(const SyncResponse& msg);
+
+  void arm_tick();
+  void on_tick();
+
+  [[nodiscard]] bool seq_in_window(SeqNum seq) const;
+  [[nodiscard]] Bytes open_or_drop(const net::Envelope& envelope);
+
+  NodeId id_;
+  std::vector<NodeId> committee_;
+  PbftConfig config_;
+  net::Network& network_;
+  const crypto::KeyRegistry& keys_;
+
+  ledger::Chain chain_;
+  ledger::State state_;
+  ledger::Mempool mempool_;
+
+  ViewId view_{0};
+  bool halted_{false};
+  bool started_{false};
+
+  std::map<SeqNum, Instance> log_;
+  SeqNum stable_seq_{0};
+
+  // Checkpoint votes: seq -> digest -> voters.
+  std::map<SeqNum, std::map<crypto::Hash256, std::set<NodeId>>> checkpoint_votes_;
+
+  // View change state.
+  bool in_view_change_{false};
+  ViewId pending_view_{0};
+  TimePoint view_change_started_{};
+  std::map<ViewId, std::map<NodeId, ViewChangeMsg>> view_changes_;
+
+  // Request timeout tracking: tx digest -> first seen.
+  std::unordered_map<crypto::Hash256, TimePoint> pending_since_;
+
+  // Out-of-order buffering: a new primary's PRE-PREPARE can overtake its
+  // NEW-VIEW on a jittery network; messages for a future view (or arriving
+  // mid-view-change) are stashed and replayed when the view settles.
+  static constexpr std::size_t kMaxStashed = 256;
+  std::vector<std::pair<NodeId, PrePrepare>> stashed_preprepares_;
+  std::vector<Prepare> stashed_prepares_;
+  std::vector<Commit> stashed_commits_;
+
+  TimePoint last_sync_request_{Duration::seconds(-3600).ns};
+
+  FaultMode fault_mode_{FaultMode::None};
+  ExecutedCallback executed_cb_;
+
+  std::uint64_t executed_blocks_{0};
+  std::uint64_t completed_view_changes_{0};
+};
+
+}  // namespace gpbft::pbft

@@ -1,0 +1,150 @@
+#include "pow/miner.hpp"
+
+#include "common/logging.hpp"
+#include "pbft/messages.hpp"
+
+namespace gpbft::pow {
+
+Miner::Miner(NodeId id, std::vector<NodeId> peers, PowBlock genesis, MinerConfig config,
+             net::Network& network)
+    : id_(id), peers_(std::move(peers)), config_(config), network_(network),
+      chain_(std::move(genesis), config.proof_difficulty, config.retarget) {}
+
+void Miner::start() {
+  network_.attach(this);
+  running_ = true;
+  mining_since_ = network_.simulator().now();
+  arm_mining();
+}
+
+void Miner::stop() {
+  account_mining_time();
+  running_ = false;
+}
+
+void Miner::account_mining_time() {
+  if (!running_) return;
+  const TimePoint now = network_.simulator().now();
+  hashes_computed_ += (now - mining_since_).to_seconds() * config_.hashrate;
+  mining_since_ = now;
+}
+
+void Miner::arm_mining() {
+  if (!running_) return;
+  const std::uint64_t attempt = ++attempt_counter_;
+  // Expected network-wide hashes per block = the tip's next difficulty
+  // (retargeting included); this miner's solo expectation is
+  // difficulty / hashrate seconds.
+  const double mean_seconds =
+      static_cast<double>(chain_.next_difficulty(chain_.tip_hash())) / config_.hashrate;
+  const Duration solve =
+      Duration::from_seconds(network_.simulator().rng().exponential(mean_seconds));
+  network_.simulator().schedule(solve, [this, attempt]() { on_block_found(attempt); });
+}
+
+void Miner::on_block_found(std::uint64_t attempt) {
+  if (!running_ || attempt != attempt_counter_) return;  // superseded by a new tip
+  if (network_.is_crashed(id_)) return;
+  account_mining_time();
+
+  PowBlock block;
+  block.header.height = chain_.tip_height() + 1;
+  block.header.prev_hash = chain_.tip_hash();
+  block.header.difficulty = chain_.next_difficulty(chain_.tip_hash());
+  block.header.timestamp = network_.simulator().now();
+  block.header.miner = id_;
+  // Skip anything already on the best chain (other miners' blocks carried
+  // it first); simple reorg-loss of transactions is accepted and noted in
+  // the module docs — clients resubmit, as on real PoW chains.
+  block.transactions = mempool_.pop_batch(
+      config_.max_batch_size, [this](const crypto::Hash256& digest) {
+        return chain_.confirmation_depth(digest).has_value();
+      });
+  // Grind the scaled-down proof target (the consensus-difficulty hashes
+  // were already paid for on the simulated clock; see mine_block docs).
+  block = mine_block(std::move(block), config_.proof_difficulty, attempt);
+
+  ++blocks_mined_;
+  if (auto added = chain_.add_block(block); !added) {
+    // Should not happen for a self-built block on the local tip.
+    log_warn(id_.str() + ": own block rejected: " + added.error());
+  }
+
+  const Bytes encoded = block.encode();
+  for (NodeId peer : peers_) {
+    if (peer == id_) continue;
+    net::Envelope envelope;
+    envelope.from = id_;
+    envelope.to = peer;
+    envelope.type = kPowBlock;
+    envelope.payload = encoded;
+    network_.send(std::move(envelope));
+  }
+
+  check_confirmations();
+  arm_mining();  // mine on the new tip
+}
+
+void Miner::handle(const net::Envelope& envelope) {
+  switch (envelope.type) {
+    case kPowBlock: {
+      if (auto block = PowBlock::decode(BytesView(envelope.payload.data(),
+                                                  envelope.payload.size()))) {
+        on_block_received(std::move(block.value()));
+      }
+      break;
+    }
+    case pbft::msg_type::kClientRequest: {
+      // Plain (unsealed) transaction submissions from harness clients.
+      if (auto tx = ledger::Transaction::decode(BytesView(envelope.payload.data(),
+                                                          envelope.payload.size()))) {
+        submit(std::move(tx.value()));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Miner::on_block_received(PowBlock block) {
+  account_mining_time();
+  // Drop the block's transactions from the local mempool so future blocks
+  // do not re-include them (which would keep resetting their confirmation
+  // depth and bloat every block).
+  for (const ledger::Transaction& tx : block.transactions) mempool_.remove(tx.digest());
+
+  auto added = chain_.add_block(std::move(block));
+  if (!added) {
+    log_debug(id_.str() + ": rejected gossip block: " + added.error());
+    return;
+  }
+  if (added.value()) {
+    // Tip changed: restart mining on the new best chain.
+    check_confirmations();
+    arm_mining();
+  }
+}
+
+void Miner::submit(ledger::Transaction tx) {
+  const crypto::Hash256 digest = tx.digest();
+  if (!watched_.contains(digest) && !chain_.confirmation_depth(digest).has_value()) {
+    watched_.emplace(digest, network_.simulator().now());
+  }
+  (void)mempool_.add(std::move(tx));
+}
+
+void Miner::check_confirmations() {
+  for (auto it = watched_.begin(); it != watched_.end();) {
+    const auto depth = chain_.confirmation_depth(it->first);
+    if (depth.has_value() && *depth >= config_.confirmation_depth) {
+      const Duration latency = network_.simulator().now() - it->second;
+      if (confirmed_cb_) confirmed_cb_(it->first, latency);
+      it = watched_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace gpbft::pow

@@ -1,0 +1,166 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+
+namespace gpbft::sim {
+
+namespace {
+
+bool all_clients_committed(const std::vector<std::unique_ptr<pbft::Client>>& clients,
+                           std::uint64_t per_client) {
+  return std::all_of(clients.begin(), clients.end(), [per_client](const auto& client) {
+    return client->committed_count() >= per_client;
+  });
+}
+
+template <typename ClusterT>
+bool run_until(ClusterT& cluster, net::Simulator& sim,
+               const std::vector<std::unique_ptr<pbft::Client>>& clients,
+               std::uint64_t per_client, TimePoint deadline) {
+  (void)cluster;
+  const Duration chunk = Duration::seconds(1);
+  while (sim.now() < deadline) {
+    if (all_clients_committed(clients, per_client)) return true;
+    sim.run_until(sim.now() + chunk);
+  }
+  return all_clients_committed(clients, per_client);
+}
+
+}  // namespace
+
+// --- PbftCluster -----------------------------------------------------------------
+
+PbftCluster::PbftCluster(PbftClusterConfig config)
+    : config_(config),
+      sim_(config.seed),
+      network_(sim_, config.net),
+      keys_(config.seed ^ 0x67e55044'10b1426full),
+      placement_(config.placement) {
+  // Genesis: the whole network is the committee (plain PBFT).
+  ledger::GenesisConfig genesis_config;
+  genesis_config.chain_seed = config.seed;
+  for (std::size_t i = 0; i < config.replicas; ++i) {
+    genesis_config.initial_endorsers.push_back(
+        ledger::EndorserInfo{NodeId{i + 1}, placement_.position(i)});
+  }
+  genesis_config.policy.min_endorsers = config.replicas;
+  genesis_config.policy.max_endorsers = config.replicas;
+  const ledger::Block genesis = ledger::make_genesis_block(genesis_config);
+
+  std::vector<NodeId> committee;
+  for (std::size_t i = 0; i < config.replicas; ++i) committee.push_back(NodeId{i + 1});
+
+  for (std::size_t i = 0; i < config.replicas; ++i) {
+    replicas_.push_back(std::make_unique<pbft::Replica>(NodeId{i + 1}, committee, genesis,
+                                                        config.pbft, network_, keys_));
+  }
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    clients_.push_back(std::make_unique<pbft::Client>(NodeId{kClientIdBase + i + 1}, committee,
+                                                      network_, keys_,
+                                                      config.pbft.compute_macs));
+  }
+}
+
+void PbftCluster::start() {
+  for (auto& replica : replicas_) replica->start();
+  for (auto& client : clients_) client->start();
+}
+
+std::vector<NodeId> PbftCluster::committee() const {
+  std::vector<NodeId> out;
+  out.reserve(replicas_.size());
+  for (const auto& replica : replicas_) out.push_back(replica->id());
+  return out;
+}
+
+void PbftCluster::run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+
+bool PbftCluster::run_until_committed(std::uint64_t per_client, TimePoint deadline) {
+  return run_until(*this, sim_, clients_, per_client, deadline);
+}
+
+void PbftCluster::stop() {
+  for (auto& replica : replicas_) replica->stop();
+  for (auto& client : clients_) client->stop();
+}
+
+// --- GpbftCluster ------------------------------------------------------------------
+
+GpbftCluster::GpbftCluster(GpbftClusterConfig config)
+    : config_(std::move(config)),
+      sim_(config_.seed),
+      network_(sim_, config_.net),
+      keys_(config_.seed ^ 0x67e55044'10b1426full),
+      placement_(config_.placement) {
+  const std::size_t committee_size = std::min(config_.initial_committee, config_.nodes);
+
+  ::gpbft::gpbft::GpbftConfig protocol = config_.protocol;
+  protocol.genesis.chain_seed = config_.seed;
+  protocol.genesis.area_prefix = placement_.area_prefix();
+  protocol.genesis.initial_endorsers.clear();
+  for (std::size_t i = 0; i < committee_size; ++i) {
+    protocol.genesis.initial_endorsers.push_back(
+        ledger::EndorserInfo{NodeId{i + 1}, placement_.position(i)});
+  }
+  const ledger::Block genesis = ledger::make_genesis_block(protocol.genesis);
+
+  roster_.clear();
+  for (std::size_t i = 0; i < committee_size; ++i) roster_.push_back(NodeId{i + 1});
+
+  for (std::size_t i = 0; i < config_.nodes; ++i) {
+    const NodeId id{i + 1};
+    const geo::GeoPoint position = placement_.position(i);
+    area_.place(id, position);
+    auto endorser = std::make_unique<::gpbft::gpbft::Endorser>(id, position, protocol, genesis,
+                                                               network_, keys_, &area_);
+    endorser->set_roster_callback(
+        [this](EraId era, const std::vector<NodeId>& roster) { on_roster(era, roster); });
+    endorsers_.push_back(std::move(endorser));
+  }
+
+  for (std::size_t i = 0; i < config_.clients; ++i) {
+    const NodeId id{kClientIdBase + i + 1};
+    // Clients sit next to "their" fixed device (one per node position).
+    area_.place(id, placement_.position(i % std::max<std::size_t>(config_.nodes, 1)));
+    clients_.push_back(std::make_unique<pbft::Client>(id, roster_, network_, keys_,
+                                                      config_.protocol.pbft.compute_macs));
+  }
+}
+
+void GpbftCluster::start() {
+  for (auto& endorser : endorsers_) endorser->start_protocol();
+  for (auto& client : clients_) client->start();
+}
+
+void GpbftCluster::on_roster(EraId era, const std::vector<NodeId>& roster) {
+  if (era <= era_) return;
+  era_ = era;
+  roster_ = roster;
+  for (auto& client : clients_) client->set_committee(roster);
+  for (auto& endorser : endorsers_) {
+    if (endorser->role() == ::gpbft::gpbft::Role::Candidate) {
+      endorser->set_known_committee(roster);
+    }
+  }
+}
+
+std::uint64_t GpbftCluster::total_era_switches() const {
+  std::uint64_t max_switches = 0;
+  for (const auto& endorser : endorsers_) {
+    max_switches = std::max(max_switches, endorser->era_switches());
+  }
+  return max_switches;
+}
+
+void GpbftCluster::run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+
+bool GpbftCluster::run_until_committed(std::uint64_t per_client, TimePoint deadline) {
+  return run_until(*this, sim_, clients_, per_client, deadline);
+}
+
+void GpbftCluster::stop() {
+  for (auto& endorser : endorsers_) endorser->stop_protocol();
+  for (auto& client : clients_) client->stop();
+}
+
+}  // namespace gpbft::sim

@@ -1,0 +1,131 @@
+// Cluster builders: assemble whole simulated deployments.
+//
+// PbftCluster — the baseline: every node is a PBFT replica, the committee is
+// the whole network (the configuration the paper measures in Fig. 3a/5a).
+//
+// GpbftCluster — the G-PBFT deployment: endorser-capable fixed devices (an
+// initial core committee plus candidates) and client devices submitting
+// transactions. The cluster maintains the control plane the harness owns:
+// placing devices in the AreaRegistry and fanning roster changes out to
+// clients and candidates after each era switch (zero simulated-wire cost;
+// see DESIGN.md).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gpbft/endorser.hpp"
+#include "pbft/client.hpp"
+#include "pbft/replica.hpp"
+#include "sim/placement.hpp"
+
+namespace gpbft::sim {
+
+/// Node-id layout shared by both clusters: replicas/endorsers are 1..N,
+/// clients 10001..; id 0 is the system/null node.
+inline constexpr std::uint64_t kClientIdBase = 10'000;
+
+// --- PBFT baseline ------------------------------------------------------------
+
+struct PbftClusterConfig {
+  std::size_t replicas{4};
+  std::size_t clients{0};
+  std::uint64_t seed{1};
+  net::NetConfig net;
+  pbft::PbftConfig pbft;
+  PlacementConfig placement;
+};
+
+class PbftCluster {
+ public:
+  explicit PbftCluster(PbftClusterConfig config);
+
+  void start();
+
+  [[nodiscard]] net::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] pbft::Replica& replica(std::size_t i) { return *replicas_.at(i); }
+  [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+  [[nodiscard]] pbft::Client& client(std::size_t i) { return *clients_.at(i); }
+  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+  [[nodiscard]] std::vector<NodeId> committee() const;
+  [[nodiscard]] const Placement& placement() const { return placement_; }
+  [[nodiscard]] const crypto::KeyRegistry& keys() const { return keys_; }
+
+  /// Advances simulated time by `d` (processing all events due in it).
+  void run_for(Duration d);
+
+  /// Runs until every client has committed `per_client` transactions or the
+  /// deadline passes; returns true when all committed.
+  bool run_until_committed(std::uint64_t per_client, TimePoint deadline);
+
+  /// Stops replica timers so the event queue can drain.
+  void stop();
+
+ private:
+  PbftClusterConfig config_;
+  net::Simulator sim_;
+  net::Network network_;
+  crypto::KeyRegistry keys_;
+  Placement placement_;
+  std::vector<std::unique_ptr<pbft::Replica>> replicas_;
+  std::vector<std::unique_ptr<pbft::Client>> clients_;
+};
+
+// --- G-PBFT deployment ----------------------------------------------------------
+
+struct GpbftClusterConfig {
+  /// Endorser-capable fixed devices (ids 1..nodes). The first
+  /// `initial_committee` form the genesis roster; the rest start as
+  /// candidates and may be promoted by era switches.
+  std::size_t nodes{4};
+  std::size_t initial_committee{4};
+  std::size_t clients{0};
+  std::uint64_t seed{1};
+  net::NetConfig net;
+  ::gpbft::gpbft::GpbftConfig protocol;  // genesis roster/area filled by the cluster
+  PlacementConfig placement;
+};
+
+class GpbftCluster {
+ public:
+  explicit GpbftCluster(GpbftClusterConfig config);
+
+  void start();
+
+  [[nodiscard]] net::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] ::gpbft::gpbft::Endorser& endorser(std::size_t i) { return *endorsers_.at(i); }
+  [[nodiscard]] std::size_t endorser_count() const { return endorsers_.size(); }
+  [[nodiscard]] pbft::Client& client(std::size_t i) { return *clients_.at(i); }
+  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+  [[nodiscard]] ::gpbft::gpbft::AreaRegistry& area() { return area_; }
+  [[nodiscard]] const Placement& placement() const { return placement_; }
+  [[nodiscard]] const std::vector<NodeId>& roster() const { return roster_; }
+  [[nodiscard]] EraId era() const { return era_; }
+  [[nodiscard]] const crypto::KeyRegistry& keys() const { return keys_; }
+
+  /// Number of committee members currently active.
+  [[nodiscard]] std::size_t committee_size() const { return roster_.size(); }
+  [[nodiscard]] std::uint64_t total_era_switches() const;
+
+  void run_for(Duration d);
+  bool run_until_committed(std::uint64_t per_client, TimePoint deadline);
+  void stop();
+
+ private:
+  void on_roster(EraId era, const std::vector<NodeId>& roster);
+
+  GpbftClusterConfig config_;
+  net::Simulator sim_;
+  net::Network network_;
+  crypto::KeyRegistry keys_;
+  Placement placement_;
+  ::gpbft::gpbft::AreaRegistry area_;
+  std::vector<std::unique_ptr<::gpbft::gpbft::Endorser>> endorsers_;
+  std::vector<std::unique_ptr<pbft::Client>> clients_;
+  std::vector<NodeId> roster_;
+  EraId era_{0};
+};
+
+}  // namespace gpbft::sim

@@ -1,0 +1,136 @@
+// Experiment runners for the paper's evaluation section.
+//
+// Each runner builds a fresh, seeded deployment, drives the paper's
+// workload and returns the measured quantities:
+//
+//   * latency experiments (Figs. 3a/3b/4, Table III): every node proposes
+//     transactions at a constant frequency; per-transaction consensus
+//     latency = submission to (f+1)-th matching reply;
+//   * communication-cost experiments (Figs. 5a/5b/6, Table III): a single
+//     transaction is proposed and the bytes on the wire are accounted,
+//     split into consensus traffic (REQUEST + three phases + REPLY) and
+//     total (including geo reports and era control).
+//
+// Calibration is centralised in default_options() — see DESIGN.md §4.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+#include "sim/cluster.hpp"
+#include "sim/metrics.hpp"
+#include "sim/workload.hpp"
+
+namespace gpbft::sim {
+
+struct ExperimentOptions {
+  std::uint64_t seed{1};
+
+  // Workload (§V-B: constant-frequency proposals per node).
+  std::uint64_t txs_per_client{12};
+  Duration proposal_period = Duration::seconds(5);
+
+  // Node model (the paper's s, §IV-B) and batching.
+  double processing_rate{160.0};
+  std::size_t batch_size{32};
+
+  // G-PBFT parameters (§V-A: min 4, max 40; era switches during the run).
+  std::size_t initial_committee{4};
+  std::size_t min_committee{4};
+  std::size_t max_committee{40};
+  Duration era_period = Duration::seconds(30);
+
+  // Simulation guard rail.
+  Duration hard_deadline = Duration::seconds(4000);
+
+  /// Large sweeps skip recomputing HMAC tags (bytes unchanged); see
+  /// pbft::PbftConfig::compute_macs.
+  bool compute_macs{false};
+
+  // --- baseline protocols (Table IV rows) -------------------------------------
+  /// dBFT block cadence (NEO: ~15 s, the §VI-A critique) and committee.
+  Duration dbft_block_interval = Duration::seconds(15);
+  std::size_t dbft_delegates{7};
+  /// PoW: expected network-wide block interval and confirmation depth.
+  Duration pow_block_interval = Duration::seconds(10);
+  Height pow_confirmations{3};
+  double pow_hashrate{1e6};  // hashes per second per IoT-class miner
+};
+
+/// Calibrated defaults shared by every bench (single source of truth).
+[[nodiscard]] ExperimentOptions default_options();
+
+struct ExperimentResult {
+  std::size_t nodes{0};
+  std::size_t committee{0};
+  BoxplotStats latency;              // seconds, over latency_samples
+  std::vector<double> latency_samples;  // per-transaction latencies (s)
+  std::uint64_t committed{0};
+  std::uint64_t expected{0};
+  double consensus_kb{0};            // REQUEST + 3 phases + REPLY bytes
+  double total_kb{0};                // everything on the wire
+  double sim_seconds{0};             // simulated time consumed
+  std::uint64_t era_switches{0};     // G-PBFT only
+  double hashes_computed{0};         // PoW only: total network hash work
+};
+
+/// Consensus-traffic bytes from network stats (KB).
+[[nodiscard]] double consensus_kilobytes(const net::NetStats& stats);
+
+// --- latency (Figs. 3a, 3b, 4; Table III) -----------------------------------------
+
+[[nodiscard]] ExperimentResult run_pbft_latency(std::size_t nodes,
+                                                const ExperimentOptions& options);
+[[nodiscard]] ExperimentResult run_gpbft_latency(std::size_t nodes,
+                                                 const ExperimentOptions& options);
+
+// --- baseline protocols (Table IV's dBFT and PoW rows, measured) --------------------
+
+/// dBFT: `nodes` dBFT nodes (min(nodes, dbft_delegates) genesis delegates),
+/// one proposing client per node, NEO-style 15 s block pacing.
+[[nodiscard]] ExperimentResult run_dbft_latency(std::size_t nodes,
+                                                const ExperimentOptions& options);
+
+/// PoW: `nodes` miners, one proposing client per node; a transaction counts
+/// once it reaches pow_confirmations depth on the observer miner's best
+/// chain. hashes_computed reports the network's total mining work.
+[[nodiscard]] ExperimentResult run_pow_latency(std::size_t nodes,
+                                               const ExperimentOptions& options);
+
+// --- communication cost (Figs. 5a, 5b, 6; Table III) -------------------------------
+
+[[nodiscard]] ExperimentResult run_pbft_single_tx(std::size_t nodes,
+                                                  const ExperimentOptions& options);
+[[nodiscard]] ExperimentResult run_gpbft_single_tx(std::size_t nodes,
+                                                   const ExperimentOptions& options);
+
+/// Repeats a runner over `runs` seeds and merges all per-transaction
+/// latency samples into one distribution (Fig. 3 draws boxplots over ten
+/// runs per node count). Byte costs are averaged across runs.
+template <typename Runner>
+[[nodiscard]] ExperimentResult repeat_runs(Runner&& runner, std::size_t nodes,
+                                           const ExperimentOptions& base_options,
+                                           std::size_t runs) {
+  ExperimentResult merged{};
+  for (std::size_t r = 0; r < runs; ++r) {
+    ExperimentOptions options = base_options;
+    options.seed = base_options.seed * 7919 + r + 1;
+    ExperimentResult result = runner(nodes, options);
+    merged.nodes = result.nodes;
+    merged.committee = result.committee;
+    merged.latency_samples.insert(merged.latency_samples.end(), result.latency_samples.begin(),
+                                  result.latency_samples.end());
+    merged.committed += result.committed;
+    merged.expected += result.expected;
+    merged.era_switches += result.era_switches;
+    merged.consensus_kb += result.consensus_kb;
+    merged.total_kb += result.total_kb;
+    merged.sim_seconds += result.sim_seconds;
+  }
+  merged.consensus_kb /= static_cast<double>(runs);
+  merged.total_kb /= static_cast<double>(runs);
+  merged.latency = BoxplotStats::from_samples(merged.latency_samples);
+  return merged;
+}
+
+}  // namespace gpbft::sim

@@ -1,0 +1,56 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace gpbft::sim {
+
+namespace {
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+BoxplotStats BoxplotStats::from_samples(std::vector<double> samples) {
+  BoxplotStats stats;
+  stats.count = samples.size();
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  stats.min = samples.front();
+  stats.max = samples.back();
+  stats.q1 = percentile_sorted(samples, 25.0);
+  stats.median = percentile_sorted(samples, 50.0);
+  stats.q3 = percentile_sorted(samples, 75.0);
+  stats.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+               static_cast<double>(samples.size());
+  return stats;
+}
+
+std::string BoxplotStats::str() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f mean=%.3f (n=%zu)", min, q1, median,
+                q3, max, mean, count);
+  return buf;
+}
+
+double LatencyRecorder::mean() const {
+  if (seconds_.empty()) return 0.0;
+  return std::accumulate(seconds_.begin(), seconds_.end(), 0.0) /
+         static_cast<double>(seconds_.size());
+}
+
+double LatencyRecorder::percentile(double p) const {
+  std::vector<double> sorted = seconds_;
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
+}  // namespace gpbft::sim

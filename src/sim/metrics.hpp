@@ -1,0 +1,43 @@
+// Experiment metrics: latency recording and boxplot statistics.
+//
+// Fig. 3 of the paper draws boxplots (min / Q1 / median / Q3 / max) of
+// per-transaction consensus latency; Fig. 4 and Table III use means. The
+// quartile convention is linear interpolation between closest ranks
+// (type-7, the numpy/R default).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace gpbft::sim {
+
+struct BoxplotStats {
+  double min{0}, q1{0}, median{0}, q3{0}, max{0};
+  double mean{0};
+  std::size_t count{0};
+
+  [[nodiscard]] static BoxplotStats from_samples(std::vector<double> samples);
+  [[nodiscard]] std::string str() const;
+};
+
+class LatencyRecorder {
+ public:
+  void record(Duration latency) { seconds_.push_back(latency.to_seconds()); }
+
+  [[nodiscard]] std::size_t count() const { return seconds_.size(); }
+  [[nodiscard]] bool empty() const { return seconds_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double percentile(double p) const;  // p in [0, 100]
+  [[nodiscard]] BoxplotStats boxplot() const { return BoxplotStats::from_samples(seconds_); }
+  [[nodiscard]] const std::vector<double>& samples() const { return seconds_; }
+
+  void clear() { seconds_.clear(); }
+
+ private:
+  std::vector<double> seconds_;
+};
+
+}  // namespace gpbft::sim

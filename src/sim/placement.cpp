@@ -1,0 +1,37 @@
+#include "sim/placement.hpp"
+
+#include <cmath>
+
+namespace gpbft::sim {
+
+Placement::Placement(PlacementConfig config) : config_(config) {
+  area_prefix_ = geo::geohash_encode(config_.base, config_.area_precision);
+  center_ = geo::geohash_decode_center(area_prefix_).value_or(config_.base);
+  // Degrees per meter: latitude is uniform; longitude shrinks with cos(lat).
+  lat_step_ = config_.spacing_meters / 111'320.0;
+  lng_step_ = config_.spacing_meters /
+              (111'320.0 * std::cos(center_.latitude * 3.14159265358979323846 / 180.0));
+}
+
+geo::GeoPoint Placement::position(std::size_t index) const {
+  // Square spiral-free grid: row-major square centred on the cell center,
+  // so growing fleets stay near the middle of the area cell.
+  const auto side = static_cast<std::size_t>(std::ceil(std::sqrt(1024.0)));
+  const std::size_t row = index / side;
+  const std::size_t col = index % side;
+  const double row_offset = (static_cast<double>(row) - static_cast<double>(side) / 2.0);
+  const double col_offset = (static_cast<double>(col) - static_cast<double>(side) / 2.0);
+  return geo::GeoPoint{center_.latitude + row_offset * lat_step_,
+                       center_.longitude + col_offset * lng_step_};
+}
+
+geo::GeoPoint Placement::outside_position(std::size_t index) const {
+  // Two full area-cells away: guaranteed a different geohash prefix.
+  const auto box = geo::geohash_decode(area_prefix_);
+  const double cell_height = box ? (box->lat_max - box->lat_min) : 0.05;
+  return geo::GeoPoint{center_.latitude + 2.0 * cell_height +
+                           static_cast<double>(index) * lat_step_,
+                       center_.longitude};
+}
+
+}  // namespace gpbft::sim

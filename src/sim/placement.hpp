@@ -1,0 +1,46 @@
+// Device placement: synthetic stand-in for real GPS positions (DESIGN.md §1).
+//
+// Fixed IoT devices are placed on a grid inside one deployment area (a
+// geohash cell), spaced several meters apart so each occupies a distinct
+// sub-meter CSC cell — two honest devices never collide in the Sybil
+// filter. The default area is centred in Hong Kong (the authors' locale).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/geohash.hpp"
+#include "geo/geopoint.hpp"
+
+namespace gpbft::sim {
+
+struct PlacementConfig {
+  geo::GeoPoint base{22.3964, 114.1095};  // Hong Kong
+  /// Geohash precision of the deployment-area prefix (5 ~ 4.9 km cell).
+  int area_precision{5};
+  /// Grid spacing between neighbouring devices, meters.
+  double spacing_meters{10.0};
+};
+
+class Placement {
+ public:
+  explicit Placement(PlacementConfig config = {});
+
+  /// Deployment-area geohash prefix (for the genesis area policy).
+  [[nodiscard]] const std::string& area_prefix() const { return area_prefix_; }
+
+  /// Deterministic position of device `index` on the grid, inside the area.
+  [[nodiscard]] geo::GeoPoint position(std::size_t index) const;
+
+  /// A position guaranteed *outside* the deployment area (for attackers).
+  [[nodiscard]] geo::GeoPoint outside_position(std::size_t index) const;
+
+ private:
+  PlacementConfig config_;
+  geo::GeoPoint center_;  // center of the deployment-area cell
+  std::string area_prefix_;
+  double lat_step_{0};
+  double lng_step_{0};
+};
+
+}  // namespace gpbft::sim

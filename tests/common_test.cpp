@@ -1,0 +1,205 @@
+// Unit tests for src/common: bytes/hex, rng, result, sim_time, types.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+
+namespace gpbft {
+namespace {
+
+// --- bytes / hex -------------------------------------------------------------
+
+TEST(Bytes, HexRoundtrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  const std::string hex = to_hex(data);
+  EXPECT_EQ(hex, "0001abff7f");
+  const auto back = from_hex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back.value(), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  const auto back = from_hex("");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(Bytes, HexUppercaseAccepted) {
+  const auto parsed = from_hex("DEADBEEF");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(to_hex(parsed.value()), "deadbeef");
+}
+
+TEST(Bytes, HexRejectsOddLength) { EXPECT_FALSE(from_hex("abc").has_value()); }
+
+TEST(Bytes, HexRejectsNonHexCharacters) {
+  EXPECT_FALSE(from_hex("zz").has_value());
+  EXPECT_FALSE(from_hex("0g").has_value());
+  EXPECT_FALSE(from_hex("  ").has_value());
+}
+
+TEST(Bytes, StringConversionRoundtrip) {
+  const std::string text = "sensor-reading:23.5C";
+  EXPECT_EQ(to_string(to_bytes(text)), text);
+}
+
+// --- rng ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(rate, 0.25, 0.02);
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(13);
+  double sum = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kTrials, 2.0, 0.1);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(5);
+  Rng child_a = parent.fork(1);
+  Rng child_b = parent.fork(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (child_a.next() != child_b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng parent_a(5), parent_b(5);
+  Rng child_a = parent_a.fork(9);
+  Rng child_b = parent_b.fork(9);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(child_a.next(), child_b.next());
+}
+
+// --- result ---------------------------------------------------------------------
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = make_error("boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), "boom");
+}
+
+TEST(Result, VoidSpecialisation) {
+  Result<void> ok;
+  EXPECT_TRUE(ok.ok());
+  Result<void> bad = make_error("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "nope");
+}
+
+// --- sim_time ----------------------------------------------------------------------
+
+TEST(SimTime, DurationConstructors) {
+  EXPECT_EQ(Duration::seconds(2).ns, 2'000'000'000);
+  EXPECT_EQ(Duration::millis(3).ns, 3'000'000);
+  EXPECT_EQ(Duration::micros(4).ns, 4'000);
+  EXPECT_EQ(Duration::hours(1).ns, 3'600'000'000'000);
+  EXPECT_EQ(Duration::minutes(2).ns, 120'000'000'000);
+}
+
+TEST(SimTime, Arithmetic) {
+  const TimePoint t{Duration::seconds(10).ns};
+  const TimePoint later = t + Duration::seconds(5);
+  EXPECT_EQ((later - t).ns, Duration::seconds(5).ns);
+  EXPECT_EQ((Duration::seconds(6) / 2).ns, Duration::seconds(3).ns);
+  EXPECT_EQ((Duration::seconds(6) * 2).ns, Duration::seconds(12).ns);
+}
+
+TEST(SimTime, Conversions) {
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::from_seconds(0.25).to_seconds(), 0.25);
+}
+
+TEST(SimTime, FormatHms) {
+  EXPECT_EQ(format_hms(Duration::hours(6) + Duration::minutes(56) + Duration::seconds(4)),
+            "06:56:04");
+  EXPECT_EQ(format_hms(Duration::hours(12) + Duration::minutes(56) + Duration::seconds(4)),
+            "12:56:04");
+  EXPECT_EQ(format_hms(Duration{0}), "00:00:00");
+}
+
+// --- types ----------------------------------------------------------------------------
+
+TEST(Types, NodeIdOrderingAndHash) {
+  const NodeId a{1}, b{2}, c{1};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, c);
+  std::unordered_set<NodeId> set{a, b, c};
+  EXPECT_EQ(set.size(), 2u);
+  std::set<NodeId> ordered{b, a};
+  EXPECT_EQ(ordered.begin()->value, 1u);
+}
+
+TEST(Types, NodeIdString) { EXPECT_EQ(NodeId{7}.str(), "node-7"); }
+
+}  // namespace
+}  // namespace gpbft

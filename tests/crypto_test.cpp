@@ -1,0 +1,258 @@
+// Crypto known-answer and property tests: SHA-256 (NIST FIPS 180-4 vectors),
+// HMAC-SHA256 (RFC 4231 vectors), Merkle trees, authenticators, addresses.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/address.hpp"
+#include "crypto/authenticator.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+
+namespace gpbft::crypto {
+namespace {
+
+// --- SHA-256 known answers -----------------------------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(sha256("").hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(sha256("abc").hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(ctx.finalize().hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string message = "the quick brown fox jumps over the lazy dog";
+  Sha256 ctx;
+  for (char c : message) ctx.update(std::string_view(&c, 1));
+  EXPECT_EQ(ctx.finalize(), sha256(message));
+}
+
+TEST(Sha256, BoundarySizesConsistent) {
+  // Exercise the padding logic at block boundaries (55/56/63/64/65 bytes).
+  for (const std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 127u, 128u}) {
+    const std::string message(len, 'x');
+    Sha256 a;
+    a.update(message);
+    Sha256 b;
+    b.update(message.substr(0, len / 2));
+    b.update(message.substr(len / 2));
+    EXPECT_EQ(a.finalize(), b.finalize()) << "length " << len;
+  }
+}
+
+TEST(Sha256, Sha256dDiffersFromSingle) {
+  const Bytes data = {1, 2, 3};
+  EXPECT_NE(sha256d(data), sha256(BytesView(data.data(), data.size())));
+}
+
+TEST(Hash256, HexAndShortHex) {
+  Hash256 h;
+  h.bytes[0] = 0xab;
+  h.bytes[1] = 0xcd;
+  EXPECT_EQ(h.hex().substr(0, 4), "abcd");
+  EXPECT_EQ(h.short_hex(), "abcd0000");
+  EXPECT_FALSE(h.is_zero());
+  EXPECT_TRUE(Hash256{}.is_zero());
+}
+
+// --- HMAC-SHA256 (RFC 4231) -------------------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const std::string data = "Hi There";
+  const Hash256 mac = hmac_sha256(BytesView(key.data(), key.size()),
+                                  BytesView(reinterpret_cast<const std::uint8_t*>(data.data()),
+                                            data.size()));
+  EXPECT_EQ(mac.hex(), "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string data = "what do ya want for nothing?";
+  const Hash256 mac =
+      hmac_sha256(BytesView(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+                  BytesView(reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+  EXPECT_EQ(mac.hex(), "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  const Hash256 mac =
+      hmac_sha256(BytesView(key.data(), key.size()), BytesView(data.data(), data.size()));
+  EXPECT_EQ(mac.hex(), "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const std::string data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const Hash256 mac =
+      hmac_sha256(BytesView(key.data(), key.size()),
+                  BytesView(reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+  EXPECT_EQ(mac.hex(), "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, ConstantTimeEqual) {
+  const Bytes a{1, 2, 3}, b{1, 2, 3}, c{1, 2, 4}, d{1, 2};
+  EXPECT_TRUE(constant_time_equal(BytesView(a.data(), a.size()), BytesView(b.data(), b.size())));
+  EXPECT_FALSE(constant_time_equal(BytesView(a.data(), a.size()), BytesView(c.data(), c.size())));
+  EXPECT_FALSE(constant_time_equal(BytesView(a.data(), a.size()), BytesView(d.data(), d.size())));
+}
+
+// --- Merkle tree ---------------------------------------------------------------------
+
+std::vector<Hash256> make_leaves(std::size_t n, std::uint64_t seed = 0) {
+  std::vector<Hash256> leaves;
+  leaves.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(sha256("leaf-" + std::to_string(seed) + "-" + std::to_string(i)));
+  }
+  return leaves;
+}
+
+TEST(Merkle, EmptyTreeHasStableRoot) {
+  MerkleTree a({}), b({});
+  EXPECT_EQ(a.root(), b.root());
+}
+
+TEST(Merkle, SingleLeafProofVerifies) {
+  const auto leaves = make_leaves(1);
+  MerkleTree tree(leaves);
+  EXPECT_TRUE(MerkleTree::verify(leaves[0], tree.prove(0), tree.root()));
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  auto leaves = make_leaves(8);
+  const Hash256 original = MerkleTree::compute_root(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i].bytes[0] ^= 0x01;
+    EXPECT_NE(MerkleTree::compute_root(mutated), original) << "leaf " << i;
+  }
+}
+
+TEST(Merkle, RootDependsOnOrder) {
+  auto leaves = make_leaves(4);
+  auto swapped = leaves;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_NE(MerkleTree::compute_root(leaves), MerkleTree::compute_root(swapped));
+}
+
+TEST(Merkle, ProofFailsForWrongLeaf) {
+  const auto leaves = make_leaves(6);
+  MerkleTree tree(leaves);
+  const MerkleProof proof = tree.prove(2);
+  EXPECT_TRUE(MerkleTree::verify(leaves[2], proof, tree.root()));
+  EXPECT_FALSE(MerkleTree::verify(leaves[3], proof, tree.root()));
+}
+
+TEST(Merkle, ProofFailsForTamperedStep) {
+  const auto leaves = make_leaves(6);
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.prove(4);
+  proof[0].sibling.bytes[5] ^= 0xff;
+  EXPECT_FALSE(MerkleTree::verify(leaves[4], proof, tree.root()));
+}
+
+class MerkleSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleSizes, AllProofsVerify) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n, n);
+  MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(MerkleTree::verify(leaves[i], tree.prove(i), tree.root())) << "leaf " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100));
+
+// --- addresses --------------------------------------------------------------------------
+
+TEST(Address, DeterministicPerNode) {
+  EXPECT_EQ(address_for_node(NodeId{1}), address_for_node(NodeId{1}));
+  EXPECT_NE(address_for_node(NodeId{1}), address_for_node(NodeId{2}));
+}
+
+TEST(Address, HexIs40Chars) { EXPECT_EQ(address_for_node(NodeId{9}).hex().size(), 40u); }
+
+// --- authenticators ----------------------------------------------------------------------
+
+TEST(Authenticator, VerifyAcceptsGenuineTag) {
+  KeyRegistry keys(77);
+  const Bytes payload = {9, 8, 7};
+  const Authenticator auth =
+      keys.authenticate(NodeId{1}, {NodeId{2}, NodeId{3}}, BytesView(payload.data(), payload.size()));
+  EXPECT_TRUE(keys.verify(auth, NodeId{2}, BytesView(payload.data(), payload.size())));
+  EXPECT_TRUE(keys.verify(auth, NodeId{3}, BytesView(payload.data(), payload.size())));
+}
+
+TEST(Authenticator, VerifyRejectsTamperedPayload) {
+  KeyRegistry keys(77);
+  const Bytes payload = {9, 8, 7};
+  Bytes tampered = payload;
+  tampered[0] ^= 1;
+  const Authenticator auth =
+      keys.authenticate(NodeId{1}, {NodeId{2}}, BytesView(payload.data(), payload.size()));
+  EXPECT_FALSE(keys.verify(auth, NodeId{2}, BytesView(tampered.data(), tampered.size())));
+}
+
+TEST(Authenticator, VerifyRejectsWrongReceiver) {
+  KeyRegistry keys(77);
+  const Bytes payload = {1};
+  const Authenticator auth =
+      keys.authenticate(NodeId{1}, {NodeId{2}}, BytesView(payload.data(), payload.size()));
+  EXPECT_FALSE(keys.verify(auth, NodeId{4}, BytesView(payload.data(), payload.size())));
+}
+
+TEST(Authenticator, DirectionalityMatters) {
+  // A->B tag must not verify as a B->A tag even though the session key is
+  // symmetric.
+  KeyRegistry keys(77);
+  const Bytes payload = {5, 5};
+  Authenticator forward =
+      keys.authenticate(NodeId{1}, {NodeId{2}}, BytesView(payload.data(), payload.size()));
+  Authenticator reversed = forward;
+  reversed.sender = NodeId{2};
+  reversed.tags[0].receiver = NodeId{1};
+  EXPECT_FALSE(keys.verify(reversed, NodeId{1}, BytesView(payload.data(), payload.size())));
+}
+
+TEST(Authenticator, SessionKeySymmetric) {
+  KeyRegistry keys(123);
+  EXPECT_EQ(keys.session_key(NodeId{3}, NodeId{9}), keys.session_key(NodeId{9}, NodeId{3}));
+}
+
+TEST(Authenticator, DifferentRegistrySeedsProduceDifferentKeys) {
+  KeyRegistry a(1), b(2);
+  EXPECT_NE(a.identity_key(NodeId{1}), b.identity_key(NodeId{1}));
+}
+
+TEST(Authenticator, WireSizeAccountsEntries) {
+  KeyRegistry keys(1);
+  const Bytes payload = {1};
+  const Authenticator auth = keys.authenticate(
+      NodeId{1}, {NodeId{2}, NodeId{3}, NodeId{4}}, BytesView(payload.data(), payload.size()));
+  EXPECT_EQ(auth.wire_size(), 8 + 3 * 16u);
+}
+
+}  // namespace
+}  // namespace gpbft::crypto

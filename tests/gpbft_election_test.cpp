@@ -1,0 +1,397 @@
+// Unit tests for the G-PBFT election machinery: the AreaRegistry/SybilFilter
+// (§IV-A1) and Algorithm 1 + roster assembly (§III-D, §III-C).
+#include <gtest/gtest.h>
+
+#include "crypto/address.hpp"
+#include "geo/geohash.hpp"
+#include "gpbft/election.hpp"
+#include "sim/placement.hpp"
+
+namespace gpbft::gpbft {
+namespace {
+
+using geo::GeoPoint;
+
+sim::Placement placement() { return sim::Placement{}; }
+
+// --- AreaRegistry ------------------------------------------------------------
+
+TEST(AreaRegistry, TruthfulClaimWithinTolerance) {
+  AreaRegistry registry;
+  const GeoPoint spot{22.3964, 114.1095};
+  registry.place(NodeId{1}, spot);
+  EXPECT_TRUE(registry.claim_is_truthful(NodeId{1}, spot));
+  // ~3 m off: still truthful at the 5 m tolerance.
+  EXPECT_TRUE(registry.claim_is_truthful(NodeId{1}, GeoPoint{22.39642, 114.1095}));
+  // ~50 m off: a lie.
+  EXPECT_FALSE(registry.claim_is_truthful(NodeId{1}, GeoPoint{22.3969, 114.1095}));
+}
+
+TEST(AreaRegistry, UnknownDeviceIsNeverTruthful) {
+  AreaRegistry registry;
+  EXPECT_FALSE(registry.claim_is_truthful(NodeId{9}, GeoPoint{1, 1}));
+}
+
+TEST(AreaRegistry, RemoveForgetsDevice) {
+  AreaRegistry registry;
+  registry.place(NodeId{1}, GeoPoint{1, 1});
+  registry.remove(NodeId{1});
+  EXPECT_FALSE(registry.position_of(NodeId{1}).has_value());
+}
+
+// --- SybilFilter ----------------------------------------------------------------
+
+TEST(SybilFilter, AcceptsHonestReport) {
+  const sim::Placement p = placement();
+  AreaRegistry registry;
+  const GeoPoint spot = p.position(0);
+  registry.place(NodeId{1}, spot);
+  SybilFilter filter(p.area_prefix(), &registry);
+  EXPECT_EQ(filter.check(NodeId{1}, spot, TimePoint{0}), ReportVerdict::Accepted);
+  EXPECT_FALSE(filter.is_flagged(NodeId{1}));
+}
+
+TEST(SybilFilter, RejectsClaimOutsideArea) {
+  const sim::Placement p = placement();
+  AreaRegistry registry;
+  registry.place(NodeId{1}, p.outside_position(0));
+  SybilFilter filter(p.area_prefix(), &registry);
+  EXPECT_EQ(filter.check(NodeId{1}, p.outside_position(0), TimePoint{0}),
+            ReportVerdict::OutsideArea);
+  EXPECT_TRUE(filter.is_flagged(NodeId{1}));
+}
+
+TEST(SybilFilter, RejectsUntruthfulClaim) {
+  // The device is physically at position 5 but claims position 0.
+  const sim::Placement p = placement();
+  AreaRegistry registry;
+  registry.place(NodeId{1}, p.position(5));
+  SybilFilter filter(p.area_prefix(), &registry);
+  EXPECT_EQ(filter.check(NodeId{1}, p.position(0), TimePoint{0}),
+            ReportVerdict::UntruthfulClaim);
+  EXPECT_TRUE(filter.is_flagged(NodeId{1}));
+}
+
+TEST(SybilFilter, RejectsFabricatedIdentity) {
+  // A Sybil identity not present in the physical area at all.
+  const sim::Placement p = placement();
+  AreaRegistry registry;
+  SybilFilter filter(p.area_prefix(), &registry);
+  EXPECT_EQ(filter.check(NodeId{666}, p.position(0), TimePoint{0}),
+            ReportVerdict::UntruthfulClaim);
+}
+
+TEST(SybilFilter, DuplicateCellSameInstantFlagsBoth) {
+  // "Different nodes cannot report the same geographic information at the
+  // same time" (§IV-A1). Without the oracle, the collision rule alone must
+  // catch it, so run with a null registry.
+  const sim::Placement p = placement();
+  SybilFilter filter(p.area_prefix(), nullptr);
+  const GeoPoint spot = p.position(0);
+  const TimePoint t{Duration::seconds(10).ns};
+  EXPECT_EQ(filter.check(NodeId{1}, spot, t), ReportVerdict::Accepted);
+  EXPECT_EQ(filter.check(NodeId{2}, spot, t), ReportVerdict::DuplicateLocation);
+  EXPECT_TRUE(filter.is_flagged(NodeId{1}));
+  EXPECT_TRUE(filter.is_flagged(NodeId{2}));
+}
+
+TEST(SybilFilter, SameDeviceMayRepeatItsCell) {
+  const sim::Placement p = placement();
+  SybilFilter filter(p.area_prefix(), nullptr);
+  const GeoPoint spot = p.position(0);
+  EXPECT_EQ(filter.check(NodeId{1}, spot, TimePoint{0}), ReportVerdict::Accepted);
+  EXPECT_EQ(filter.check(NodeId{1}, spot, TimePoint{Duration::seconds(10).ns}),
+            ReportVerdict::Accepted);
+  EXPECT_FALSE(filter.is_flagged(NodeId{1}));
+}
+
+TEST(SybilFilter, DifferentInstantsDifferentDevicesAllowed) {
+  // Cell hand-over at different timestamps is legitimate (device replaced).
+  const sim::Placement p = placement();
+  SybilFilter filter(p.area_prefix(), nullptr);
+  const GeoPoint spot = p.position(0);
+  EXPECT_EQ(filter.check(NodeId{1}, spot, TimePoint{0}), ReportVerdict::Accepted);
+  EXPECT_EQ(filter.check(NodeId{2}, spot, TimePoint{Duration::seconds(10).ns}),
+            ReportVerdict::Accepted);
+}
+
+TEST(SybilFilter, UnflagRestoresDevice) {
+  const sim::Placement p = placement();
+  AreaRegistry registry;
+  SybilFilter filter(p.area_prefix(), &registry);
+  (void)filter.check(NodeId{1}, p.position(0), TimePoint{0});  // untruthful -> flagged
+  EXPECT_TRUE(filter.is_flagged(NodeId{1}));
+  filter.unflag(NodeId{1});
+  EXPECT_FALSE(filter.is_flagged(NodeId{1}));
+}
+
+TEST(SybilFilter, VerdictNames) {
+  EXPECT_STREQ(verdict_name(ReportVerdict::Accepted), "accepted");
+  EXPECT_STREQ(verdict_name(ReportVerdict::DuplicateLocation), "duplicate-location");
+}
+
+// --- Algorithm 1 -------------------------------------------------------------------
+
+geo::Csc csc_at(const GeoPoint& point, NodeId id) {
+  return geo::Csc(point, crypto::address_for_node(id));
+}
+
+struct ElectionFixture {
+  geo::ElectionTable table;
+  ElectionParams params;
+
+  ElectionFixture() {
+    params.window = Duration::seconds(60);
+    params.min_reports = 3;
+    params.promotion_threshold = Duration::seconds(100);
+  }
+
+  /// Records `count` reports for `id`, every 10 s ending at `end`.
+  void stationary_reports(NodeId id, const GeoPoint& spot, TimePoint end, int count) {
+    for (int i = count - 1; i >= 0; --i) {
+      table.record(id, csc_at(spot, id),
+                   TimePoint{end.ns - Duration::seconds(10 * i).ns});
+    }
+  }
+};
+
+TEST(Algorithm1, StationaryEndorserStaysValid) {
+  ElectionFixture fx;
+  const TimePoint now{Duration::seconds(200).ns};
+  fx.stationary_reports(NodeId{1}, GeoPoint{22.3964, 114.1095}, now, 5);
+  const auto outcome =
+      run_geographic_authentication(fx.table, {NodeId{1}}, {}, now, fx.params);
+  EXPECT_TRUE(outcome.demoted.empty());
+}
+
+TEST(Algorithm1, EndorserWithTooFewReportsDemoted) {
+  // Lines 4-6: Len(G) < n -> invalid.
+  ElectionFixture fx;
+  const TimePoint now{Duration::seconds(200).ns};
+  fx.stationary_reports(NodeId{1}, GeoPoint{22.3964, 114.1095}, now, 2);  // n = 3
+  const auto outcome =
+      run_geographic_authentication(fx.table, {NodeId{1}}, {}, now, fx.params);
+  ASSERT_EQ(outcome.demoted.size(), 1u);
+  EXPECT_EQ(outcome.demoted[0], NodeId{1});
+}
+
+TEST(Algorithm1, MovedEndorserDemoted) {
+  // Lines 8-13: differing locations -> invalid.
+  ElectionFixture fx;
+  const TimePoint now{Duration::seconds(200).ns};
+  fx.stationary_reports(NodeId{1}, GeoPoint{22.3964, 114.1095}, now, 3);
+  fx.table.record(NodeId{1}, csc_at(GeoPoint{22.40, 114.11}, NodeId{1}), now);
+  const auto outcome =
+      run_geographic_authentication(fx.table, {NodeId{1}}, {}, now, fx.params);
+  ASSERT_EQ(outcome.demoted.size(), 1u);
+}
+
+TEST(Algorithm1, SilentEndorserDemoted) {
+  // No reports at all within the window.
+  ElectionFixture fx;
+  const TimePoint now{Duration::seconds(500).ns};
+  fx.stationary_reports(NodeId{1}, GeoPoint{22.3964, 114.1095},
+                        TimePoint{Duration::seconds(100).ns}, 5);  // all too old
+  const auto outcome =
+      run_geographic_authentication(fx.table, {NodeId{1}}, {}, now, fx.params);
+  ASSERT_EQ(outcome.demoted.size(), 1u);
+}
+
+TEST(Algorithm1, StationaryCandidatePromoted) {
+  ElectionFixture fx;
+  const TimePoint now{Duration::seconds(200).ns};
+  // 150 s of stationarity (> 100 s threshold), 5 reports in window.
+  fx.table.record(NodeId{2}, csc_at(GeoPoint{22.3964, 114.1095}, NodeId{2}),
+                  TimePoint{Duration::seconds(50).ns});
+  fx.stationary_reports(NodeId{2}, GeoPoint{22.3964, 114.1095}, now, 5);
+  const auto outcome =
+      run_geographic_authentication(fx.table, {}, {NodeId{2}}, now, fx.params);
+  ASSERT_EQ(outcome.promoted.size(), 1u);
+  EXPECT_EQ(outcome.promoted[0], NodeId{2});
+}
+
+TEST(Algorithm1, CandidateBelowStationarityThresholdNotPromoted) {
+  // Enough same-place reports, but the geographic timer has not reached the
+  // 72-hour-equivalent threshold yet.
+  ElectionFixture fx;
+  const TimePoint now{Duration::seconds(60).ns};
+  fx.stationary_reports(NodeId{2}, GeoPoint{22.3964, 114.1095}, now, 5);  // timer = 40 s
+  const auto outcome =
+      run_geographic_authentication(fx.table, {}, {NodeId{2}}, now, fx.params);
+  EXPECT_TRUE(outcome.promoted.empty());
+}
+
+TEST(Algorithm1, MobileCandidateNotPromoted) {
+  ElectionFixture fx;
+  const TimePoint now{Duration::seconds(500).ns};
+  // Moves between two spots: reports disagree.
+  for (int i = 0; i < 6; ++i) {
+    const GeoPoint spot =
+        (i % 2 == 0) ? GeoPoint{22.3964, 114.1095} : GeoPoint{22.3970, 114.1095};
+    fx.table.record(NodeId{2}, csc_at(spot, NodeId{2}),
+                    TimePoint{now.ns - Duration::seconds(10 * (5 - i)).ns});
+  }
+  const auto outcome =
+      run_geographic_authentication(fx.table, {}, {NodeId{2}}, now, fx.params);
+  EXPECT_TRUE(outcome.promoted.empty());
+}
+
+TEST(Algorithm1, QuietCandidateIgnored) {
+  // Lines 17-19: too few reports -> skip (not an error, just not promoted).
+  ElectionFixture fx;
+  const TimePoint now{Duration::seconds(500).ns};
+  fx.stationary_reports(NodeId{2}, GeoPoint{22.3964, 114.1095}, now, 2);
+  const auto outcome =
+      run_geographic_authentication(fx.table, {}, {NodeId{2}}, now, fx.params);
+  EXPECT_TRUE(outcome.promoted.empty());
+}
+
+TEST(Algorithm1, MixedPopulation) {
+  ElectionFixture fx;
+  const TimePoint now{Duration::seconds(400).ns};
+  const GeoPoint a{22.3964, 114.1095}, b{22.3970, 114.1100}, c{22.3975, 114.1105};
+  // Endorser 1: stationary (stays). Endorser 2: moved (demoted).
+  fx.table.record(NodeId{1}, csc_at(a, NodeId{1}), TimePoint{0});
+  fx.stationary_reports(NodeId{1}, a, now, 4);
+  fx.stationary_reports(NodeId{2}, b, now, 3);
+  fx.table.record(NodeId{2}, csc_at(c, NodeId{2}), now);
+  // Candidate 3: qualified. Candidate 4: too few reports.
+  fx.table.record(NodeId{3}, csc_at(c, NodeId{3}), TimePoint{0});
+  fx.stationary_reports(NodeId{3}, c, now, 4);
+  fx.stationary_reports(NodeId{4}, b, now, 1);
+
+  const auto outcome = run_geographic_authentication(fx.table, {NodeId{1}, NodeId{2}},
+                                                     {NodeId{3}, NodeId{4}}, now, fx.params);
+  EXPECT_EQ(outcome.demoted, std::vector<NodeId>{NodeId{2}});
+  EXPECT_EQ(outcome.promoted, std::vector<NodeId>{NodeId{3}});
+}
+
+TEST(Algorithm1, EnrolledCellCatchesOldMove) {
+  // Regression: a device that moved *before* the lookback window looks
+  // stationary within it; only the enrolled-location check demotes it.
+  ElectionFixture fx;
+  const GeoPoint home{22.3964, 114.1095}, elsewhere{22.3975, 114.1105};
+  const TimePoint now{Duration::seconds(500).ns};
+  // Old reports from home (outside the 60 s window), recent ones elsewhere.
+  fx.stationary_reports(NodeId{1}, home, TimePoint{Duration::seconds(100).ns}, 3);
+  fx.stationary_reports(NodeId{1}, elsewhere, now, 5);
+
+  // Without enrolled info: the window reports agree -> stays (the paper's
+  // literal Algorithm 1).
+  const auto naive = run_geographic_authentication(fx.table, {NodeId{1}}, {}, now, fx.params);
+  EXPECT_TRUE(naive.demoted.empty());
+
+  // With the chain-recorded enrolled cell: demoted.
+  EnrolledCells enrolled{{NodeId{1}, geohash_encode(home)}};
+  const auto checked =
+      run_geographic_authentication(fx.table, {NodeId{1}}, {}, now, fx.params, &enrolled);
+  ASSERT_EQ(checked.demoted.size(), 1u);
+  EXPECT_EQ(checked.demoted[0], NodeId{1});
+}
+
+TEST(Algorithm1, EnrolledCellMatchingEndorserStays) {
+  ElectionFixture fx;
+  const GeoPoint home{22.3964, 114.1095};
+  const TimePoint now{Duration::seconds(500).ns};
+  fx.stationary_reports(NodeId{1}, home, now, 5);
+  EnrolledCells enrolled{{NodeId{1}, geohash_encode(home)}};
+  const auto outcome =
+      run_geographic_authentication(fx.table, {NodeId{1}}, {}, now, fx.params, &enrolled);
+  EXPECT_TRUE(outcome.demoted.empty());
+}
+
+// --- roster assembly ------------------------------------------------------------------
+
+TEST(Roster, OrderedByGeographicTimer) {
+  geo::ElectionTable table;
+  const TimePoint now{Duration::seconds(300).ns};
+  const GeoPoint a{22.3964, 114.1095}, b{22.3970, 114.1100}, c{22.3975, 114.1105};
+  table.record(NodeId{1}, csc_at(a, NodeId{1}), TimePoint{Duration::seconds(200).ns});
+  table.record(NodeId{2}, csc_at(b, NodeId{2}), TimePoint{0});           // longest timer
+  table.record(NodeId{3}, csc_at(c, NodeId{3}), TimePoint{Duration::seconds(100).ns});
+
+  RosterInputs inputs;
+  inputs.current = {NodeId{1}, NodeId{2}, NodeId{3}};
+  ledger::AdmittancePolicy policy;
+  const auto roster = build_roster(inputs, policy, table, now);
+  EXPECT_EQ(roster, (std::vector<NodeId>{NodeId{2}, NodeId{3}, NodeId{1}}));
+}
+
+TEST(Roster, BlacklistExcludes) {
+  geo::ElectionTable table;
+  RosterInputs inputs;
+  inputs.current = {NodeId{1}, NodeId{2}};
+  inputs.outcome.promoted = {NodeId{3}};
+  ledger::AdmittancePolicy policy;
+  policy.blacklist = {NodeId{2}, NodeId{3}};
+  const auto roster = build_roster(inputs, policy, table, TimePoint{0});
+  EXPECT_EQ(roster, std::vector<NodeId>{NodeId{1}});
+}
+
+TEST(Roster, PenalizedAndFlaggedExcluded) {
+  geo::ElectionTable table;
+  RosterInputs inputs;
+  inputs.current = {NodeId{1}, NodeId{2}, NodeId{3}};
+  inputs.penalized = {NodeId{2}};       // missed block / fork
+  inputs.sybil_flagged = {NodeId{3}};   // fake location
+  ledger::AdmittancePolicy policy;
+  const auto roster = build_roster(inputs, policy, table, TimePoint{0});
+  EXPECT_EQ(roster, std::vector<NodeId>{NodeId{1}});
+}
+
+TEST(Roster, DemotedMembersDropped) {
+  geo::ElectionTable table;
+  RosterInputs inputs;
+  inputs.current = {NodeId{1}, NodeId{2}};
+  inputs.outcome.demoted = {NodeId{1}};
+  ledger::AdmittancePolicy policy;
+  const auto roster = build_roster(inputs, policy, table, TimePoint{0});
+  EXPECT_EQ(roster, std::vector<NodeId>{NodeId{2}});
+}
+
+TEST(Roster, MaxEndorsersCapsAdmissions) {
+  // "If the number of endorsers exceeds the maximum value, the endorser
+  // election will be terminated until old endorsers leave" (§III-C).
+  geo::ElectionTable table;
+  RosterInputs inputs;
+  inputs.current = {NodeId{1}, NodeId{2}, NodeId{3}};
+  inputs.outcome.promoted = {NodeId{4}, NodeId{5}, NodeId{6}};
+  ledger::AdmittancePolicy policy;
+  policy.max_endorsers = 4;
+  const auto roster = build_roster(inputs, policy, table, TimePoint{0});
+  EXPECT_EQ(roster.size(), 4u);
+  // Current members survive; exactly one promotion fits.
+  EXPECT_TRUE(std::find(roster.begin(), roster.end(), NodeId{4}) != roster.end());
+  EXPECT_TRUE(std::find(roster.begin(), roster.end(), NodeId{6}) == roster.end());
+}
+
+TEST(Roster, WhitelistedJoinFirstWithoutQualification) {
+  geo::ElectionTable table;
+  RosterInputs inputs;
+  inputs.current = {NodeId{1}};
+  inputs.outcome.promoted = {NodeId{4}, NodeId{5}};
+  inputs.whitelisted_candidates = {NodeId{9}};
+  ledger::AdmittancePolicy policy;
+  policy.whitelist = {NodeId{9}};
+  policy.max_endorsers = 3;
+  const auto roster = build_roster(inputs, policy, table, TimePoint{0});
+  EXPECT_EQ(roster.size(), 3u);
+  EXPECT_TRUE(std::find(roster.begin(), roster.end(), NodeId{9}) != roster.end());
+  // Only one of the two qualified candidates fits after the whitelist entry.
+  const bool has4 = std::find(roster.begin(), roster.end(), NodeId{4}) != roster.end();
+  const bool has5 = std::find(roster.begin(), roster.end(), NodeId{5}) != roster.end();
+  EXPECT_TRUE(has4 != has5);
+}
+
+TEST(Roster, NoDuplicateEntries) {
+  geo::ElectionTable table;
+  RosterInputs inputs;
+  inputs.current = {NodeId{1}, NodeId{2}};
+  inputs.outcome.promoted = {NodeId{2}, NodeId{3}};  // 2 already a member
+  ledger::AdmittancePolicy policy;
+  const auto roster = build_roster(inputs, policy, table, TimePoint{0});
+  EXPECT_EQ(roster.size(), 3u);
+}
+
+}  // namespace
+}  // namespace gpbft::gpbft

@@ -1,0 +1,361 @@
+// Discrete-event simulator and network model tests: event ordering, timing
+// math, queueing (the paper's s), accounting, and fault injection.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "net/simulator.hpp"
+
+namespace gpbft::net {
+namespace {
+
+// --- simulator -------------------------------------------------------------------
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule(Duration::seconds(3), [&order]() { order.push_back(3); });
+  sim.schedule(Duration::seconds(1), [&order]() { order.push_back(1); });
+  sim.schedule(Duration::seconds(2), [&order]() { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().to_seconds(), 3.0);
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(Duration::seconds(1), [&order, i]() { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim(1);
+  bool fired = false;
+  sim.schedule(Duration::seconds(-5), [&fired]() { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now().ns, 0);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim(1);
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(Duration::seconds(i), [&fired]() { ++fired; });
+  }
+  sim.run_until(TimePoint{Duration::seconds(5).ns});
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now().to_seconds(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim(1);
+  sim.run_until(TimePoint{Duration::seconds(42).ns});
+  EXPECT_EQ(sim.now().to_seconds(), 42.0);
+}
+
+TEST(Simulator, NestedSchedulingWorks) {
+  Simulator sim(1);
+  std::vector<double> times;
+  sim.schedule(Duration::seconds(1), [&]() {
+    times.push_back(sim.now().to_seconds());
+    sim.schedule(Duration::seconds(2), [&]() { times.push_back(sim.now().to_seconds()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(Simulator, MaxEventsBoundsRun) {
+  Simulator sim(1);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule(Duration::seconds(1), [&fired]() { ++fired; });
+  sim.run(4);
+  EXPECT_EQ(fired, 4);
+}
+
+// --- network ------------------------------------------------------------------------
+
+class RecordingNode : public INetNode {
+ public:
+  explicit RecordingNode(NodeId id) : id_(id) {}
+  [[nodiscard]] NodeId id() const override { return id_; }
+  void handle(const Envelope& envelope) override { received.push_back(envelope); }
+  std::vector<Envelope> received;
+
+ private:
+  NodeId id_;
+};
+
+NetConfig quiet_config() {
+  NetConfig config;
+  config.base_latency = Duration::millis(2);
+  config.jitter = Duration{0};
+  config.bandwidth_bytes_per_sec = 1e12;  // negligible transmission delay
+  config.processing_rate_msgs_per_sec = 1000.0;
+  return config;
+}
+
+TEST(Network, DeliversWithLatencyAndProcessing) {
+  Simulator sim(1);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+
+  network.send(Envelope{NodeId{1}, NodeId{2}, 7, Bytes{1, 2, 3}});
+  sim.run();
+
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].type, 7);
+  EXPECT_EQ(b.received[0].payload, (Bytes{1, 2, 3}));
+  // latency 2 ms + processing 1 ms.
+  EXPECT_NEAR(sim.now().to_seconds(), 0.003, 1e-9);
+}
+
+TEST(Network, ReceiverQueueSerializesProcessing) {
+  // Two messages arriving together finish 1/s apart: the paper's s model.
+  Simulator sim(1);
+  NetConfig config = quiet_config();
+  config.processing_rate_msgs_per_sec = 10.0;  // 100 ms per message
+  Network network(sim, config);
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+
+  std::vector<double> handled_at;
+  struct TimedNode : INetNode {
+    Simulator* sim;
+    NodeId node_id;
+    std::vector<double>* times;
+    [[nodiscard]] NodeId id() const override { return node_id; }
+    void handle(const Envelope&) override { times->push_back(sim->now().to_seconds()); }
+  } timed;
+  timed.sim = &sim;
+  timed.node_id = NodeId{3};
+  timed.times = &handled_at;
+  network.attach(&timed);
+
+  network.send(Envelope{NodeId{1}, NodeId{3}, 1, Bytes{1}});
+  network.send(Envelope{NodeId{2}, NodeId{3}, 1, Bytes{2}});
+  sim.run();
+
+  ASSERT_EQ(handled_at.size(), 2u);
+  EXPECT_NEAR(handled_at[1] - handled_at[0], 0.1, 1e-9);
+}
+
+TEST(Network, PerNodeProcessingRateOverride) {
+  Simulator sim(1);
+  NetConfig config = quiet_config();
+  config.base_latency = Duration{0};
+  config.processing_rate_msgs_per_sec = 10.0;  // default: 100 ms per message
+  Network network(sim, config);
+  RecordingNode sender(NodeId{1}), fast(NodeId{2}), slow(NodeId{3});
+  network.attach(&sender);
+  network.attach(&fast);
+  network.attach(&slow);
+  network.set_processing_rate(NodeId{2}, 1000.0);  // 1 ms per message
+
+  EXPECT_DOUBLE_EQ(network.processing_rate_of(NodeId{2}), 1000.0);
+  EXPECT_DOUBLE_EQ(network.processing_rate_of(NodeId{3}), 10.0);
+
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1}});
+  sim.run();
+  const double fast_done = sim.now().to_seconds();
+  network.send(Envelope{NodeId{1}, NodeId{3}, 1, Bytes{1}});
+  sim.run();
+  const double slow_done = sim.now().to_seconds() - fast_done;
+  EXPECT_NEAR(fast_done, 0.001, 1e-9);
+  EXPECT_NEAR(slow_done, 0.1, 1e-9);
+
+  // Clearing the override restores the default.
+  network.set_processing_rate(NodeId{2}, 0);
+  EXPECT_DOUBLE_EQ(network.processing_rate_of(NodeId{2}), 10.0);
+}
+
+TEST(Network, TransmissionDelayScalesWithSize) {
+  Simulator sim(1);
+  NetConfig config = quiet_config();
+  config.bandwidth_bytes_per_sec = 1000.0;  // 1 KB/s
+  config.base_latency = Duration{0};
+  config.processing_rate_msgs_per_sec = 1e9;
+  Network network(sim, config);
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes(968, 0)});  // 968 + 32 header = 1000 B
+  sim.run();
+  EXPECT_NEAR(sim.now().to_seconds(), 1.0, 1e-6);
+}
+
+TEST(Network, AccountsBytesPerNodeAndType) {
+  Simulator sim(1);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+
+  network.send(Envelope{NodeId{1}, NodeId{2}, 5, Bytes(10, 0)});
+  network.send(Envelope{NodeId{1}, NodeId{2}, 6, Bytes(20, 0)});
+  sim.run();
+
+  const NetStats& stats = network.stats();
+  EXPECT_EQ(stats.total_messages, 2u);
+  EXPECT_EQ(stats.total_bytes, 10u + 20u + 2 * Envelope::kHeaderBytes);
+  EXPECT_EQ(stats.bytes_by_type.at(5), 10u + Envelope::kHeaderBytes);
+  EXPECT_EQ(stats.bytes_by_type.at(6), 20u + Envelope::kHeaderBytes);
+  EXPECT_EQ(stats.per_node.at(NodeId{1}).messages_sent, 2u);
+  EXPECT_EQ(stats.per_node.at(NodeId{2}).messages_received, 2u);
+  EXPECT_EQ(stats.per_node.at(NodeId{2}).bytes_received, stats.total_bytes);
+}
+
+TEST(Network, BroadcastSkipsSelf) {
+  Simulator sim(1);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1}), b(NodeId{2}), c(NodeId{3});
+  network.attach(&a);
+  network.attach(&b);
+  network.attach(&c);
+
+  network.broadcast(NodeId{1}, {NodeId{1}, NodeId{2}, NodeId{3}}, 1, Bytes{9});
+  sim.run();
+  EXPECT_TRUE(a.received.empty());
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+TEST(Network, DropRateDropsEverythingAtOne) {
+  Simulator sim(1);
+  NetConfig config = quiet_config();
+  config.drop_rate = 1.0;
+  Network network(sim, config);
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+  for (int i = 0; i < 10; ++i) network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1}});
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(network.stats().dropped_messages, 10u);
+  // Sender-side bytes still accounted (they went on the wire).
+  EXPECT_EQ(network.stats().total_messages, 10u);
+}
+
+TEST(Network, CrashedReceiverGetsNothing) {
+  Simulator sim(1);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+  network.crash(NodeId{2});
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1}});
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+
+  network.recover(NodeId{2});
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1}});
+  sim.run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(Network, CrashedSenderSendsNothing) {
+  Simulator sim(1);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+  network.crash(NodeId{1});
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1}});
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(network.stats().total_messages, 0u);
+}
+
+TEST(Network, PartitionSeparatesGroups) {
+  Simulator sim(1);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1}), b(NodeId{2}), c(NodeId{3});
+  network.attach(&a);
+  network.attach(&b);
+  network.attach(&c);
+
+  network.partition({{NodeId{1}, NodeId{2}}, {NodeId{3}}});
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1}});  // same side
+  network.send(Envelope{NodeId{1}, NodeId{3}, 1, Bytes{1}});  // across
+  sim.run();
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_TRUE(c.received.empty());
+
+  network.heal_partition();
+  network.send(Envelope{NodeId{1}, NodeId{3}, 1, Bytes{1}});
+  sim.run();
+  EXPECT_EQ(c.received.size(), 1u);
+}
+
+TEST(Network, BlockedLinkIsOneWay) {
+  Simulator sim(1);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+
+  network.block_link(NodeId{1}, NodeId{2});
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1}});
+  network.send(Envelope{NodeId{2}, NodeId{1}, 1, Bytes{1}});
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(a.received.size(), 1u);
+
+  network.unblock_link(NodeId{1}, NodeId{2});
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1}});
+  sim.run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(Network, DetachedNodeCountsAsDrop) {
+  Simulator sim(1);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1});
+  network.attach(&a);
+  network.send(Envelope{NodeId{1}, NodeId{99}, 1, Bytes{1}});
+  sim.run();
+  EXPECT_EQ(network.stats().dropped_messages, 1u);
+}
+
+TEST(Network, ResetStatsClears) {
+  Simulator sim(1);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1}});
+  sim.run();
+  EXPECT_GT(network.stats().total_bytes, 0u);
+  network.reset_stats();
+  EXPECT_EQ(network.stats().total_bytes, 0u);
+  EXPECT_TRUE(network.stats().per_node.empty());
+}
+
+TEST(Network, DeterministicAcrossIdenticalRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    NetConfig config = quiet_config();
+    config.jitter = Duration::millis(5);
+    Network network(sim, config);
+    RecordingNode a(NodeId{1}), b(NodeId{2});
+    network.attach(&a);
+    network.attach(&b);
+    for (int i = 0; i < 20; ++i) network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1}});
+    sim.run();
+    return sim.now().ns;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+}  // namespace
+}  // namespace gpbft::net

@@ -1,0 +1,231 @@
+// Randomized torture tests: seeded fault schedules (crashes, recoveries,
+// Byzantine modes, message loss) hammer both protocols while the invariants
+// that must never break are checked continuously:
+//   SAFETY    no two non-crashed replicas ever commit different blocks at
+//             the same height (checked across the whole run, not just at
+//             the end);
+//   VALIDITY  every committed transaction was actually submitted;
+//   LIVENESS  with at most f concurrent faults, submitted transactions
+//             eventually commit.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "sim/cluster.hpp"
+#include "sim/workload.hpp"
+
+namespace gpbft::sim {
+namespace {
+
+void expect_prefix_consistency(PbftCluster& cluster) {
+  // Compare every pair of live replicas block-by-block over the shared
+  // prefix: commits may lag, but must never diverge.
+  for (std::size_t a = 0; a < cluster.replica_count(); ++a) {
+    for (std::size_t b = a + 1; b < cluster.replica_count(); ++b) {
+      const auto& chain_a = cluster.replica(a).chain();
+      const auto& chain_b = cluster.replica(b).chain();
+      const Height shared = std::min(chain_a.height(), chain_b.height());
+      for (Height h = 0; h <= shared; ++h) {
+        ASSERT_EQ(chain_a.at(h).hash(), chain_b.at(h).hash())
+            << "divergence at height " << h << " between replicas " << a << " and " << b;
+      }
+    }
+  }
+}
+
+class PbftTorture : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PbftTorture, RandomCrashRecoverScheduleNeverDiverges) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  PbftClusterConfig config;
+  config.replicas = 7;  // f = 2
+  config.clients = 3;
+  config.seed = seed;
+  config.pbft.request_timeout = Duration::seconds(6);
+  config.pbft.view_change_timeout = Duration::seconds(5);
+  config.net.drop_rate = 0.02;  // constant background loss
+  PbftCluster cluster(config);
+  cluster.start();
+
+  LatencyRecorder recorder;
+  WorkloadConfig workload;
+  workload.period = Duration::seconds(2);
+  workload.count = 15;
+  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
+    schedule_workload(cluster.simulator(), cluster.client(i), cluster.placement().position(i),
+                      workload, i, &recorder);
+  }
+
+  // Fault schedule: every 5 simulated seconds, flip one replica's state —
+  // crash it if up, recover it if down — keeping at most f = 2 down.
+  std::set<std::size_t> down;
+  for (int round = 0; round < 24; ++round) {
+    const std::size_t victim = rng.uniform(0, config.replicas - 1);
+    if (down.contains(victim)) {
+      cluster.network().recover(cluster.replica(victim).id());
+      down.erase(victim);
+    } else if (down.size() < 2) {
+      cluster.network().crash(cluster.replica(victim).id());
+      down.insert(victim);
+    }
+    cluster.run_for(Duration::seconds(5));
+    expect_prefix_consistency(cluster);
+  }
+
+  // Recover everyone and drain: liveness must return.
+  for (const std::size_t victim : down) {
+    cluster.network().recover(cluster.replica(victim).id());
+  }
+  cluster.run_until_committed(workload.count, TimePoint{Duration::seconds(600).ns});
+  expect_prefix_consistency(cluster);
+
+  std::uint64_t committed = 0;
+  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
+    committed += cluster.client(i).committed_count();
+  }
+  EXPECT_EQ(committed, workload.count * cluster.client_count());
+
+  // VALIDITY: every committed transaction was a workload submission (all
+  // workload txs come from known client ids with our payload size).
+  const auto& chain = cluster.replica(0).chain();
+  for (Height h = 1; h <= chain.height(); ++h) {
+    for (const auto& tx : chain.at(h).transactions) {
+      EXPECT_GT(tx.sender.value, kClientIdBase);
+      EXPECT_EQ(tx.payload.size(), 32u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PbftTorture, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+class ByzantineTorture : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ByzantineTorture, FByzantineReplicasCannotBreakSafety) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xbeef);
+
+  PbftClusterConfig config;
+  config.replicas = 7;  // f = 2
+  config.clients = 2;
+  config.seed = seed;
+  config.pbft.request_timeout = Duration::seconds(6);
+  config.pbft.view_change_timeout = Duration::seconds(5);
+  PbftCluster cluster(config);
+  cluster.start();
+
+  // Two Byzantine replicas with random attack modes (possibly the primary).
+  const pbft::FaultMode modes[] = {pbft::FaultMode::Silent, pbft::FaultMode::EquivocateDigest,
+                                   pbft::FaultMode::CorruptProposals};
+  const std::size_t bad_a = rng.uniform(0, 6);
+  std::size_t bad_b = rng.uniform(0, 6);
+  while (bad_b == bad_a) bad_b = rng.uniform(0, 6);
+  cluster.replica(bad_a).set_fault_mode(modes[rng.uniform(0, 2)]);
+  cluster.replica(bad_b).set_fault_mode(modes[rng.uniform(0, 2)]);
+
+  LatencyRecorder recorder;
+  WorkloadConfig workload;
+  workload.period = Duration::seconds(3);
+  workload.count = 8;
+  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
+    schedule_workload(cluster.simulator(), cluster.client(i), cluster.placement().position(i),
+                      workload, i, &recorder);
+  }
+
+  cluster.run_until_committed(workload.count, TimePoint{Duration::seconds(600).ns});
+
+  // SAFETY among honest replicas, regardless of what the Byzantine pair did.
+  Height max_height = 0;
+  std::map<Height, crypto::Hash256> canonical;
+  for (std::size_t i = 0; i < cluster.replica_count(); ++i) {
+    if (i == bad_a || i == bad_b) continue;
+    const auto& chain = cluster.replica(i).chain();
+    max_height = std::max(max_height, chain.height());
+    for (Height h = 0; h <= chain.height(); ++h) {
+      const auto [it, inserted] = canonical.emplace(h, chain.at(h).hash());
+      ASSERT_EQ(it->second, chain.at(h).hash()) << "honest divergence at height " << h;
+    }
+  }
+
+  // LIVENESS with exactly f faulty.
+  std::uint64_t committed = 0;
+  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
+    committed += cluster.client(i).committed_count();
+  }
+  EXPECT_EQ(committed, workload.count * cluster.client_count());
+  EXPECT_GT(max_height, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ByzantineTorture, ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+class GpbftTorture : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GpbftTorture, ChurnPlusFaultsKeepCommitteeChainsConsistent) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xfeed);
+
+  GpbftClusterConfig config;
+  config.nodes = 10;
+  config.initial_committee = 6;
+  config.clients = 3;
+  config.seed = seed;
+  config.protocol.genesis.era_period = Duration::seconds(8);
+  config.protocol.genesis.geo_report_period = Duration::seconds(2);
+  config.protocol.genesis.geo_window = Duration::seconds(8);
+  config.protocol.genesis.min_geo_reports = 2;
+  config.protocol.genesis.promotion_threshold = Duration::seconds(12);
+  config.protocol.genesis.policy.min_endorsers = 4;
+  config.protocol.genesis.policy.max_endorsers = 8;
+  config.protocol.pbft.request_timeout = Duration::seconds(6);
+  config.protocol.pbft.view_change_timeout = Duration::seconds(5);
+  GpbftCluster cluster(config);
+  cluster.start();
+
+  LatencyRecorder recorder;
+  WorkloadConfig workload;
+  workload.period = Duration::seconds(3);
+  workload.count = 10;
+  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
+    schedule_workload(cluster.simulator(), cluster.client(i), cluster.placement().position(i),
+                      workload, i, &recorder);
+  }
+
+  // Churn: one random crash + one random relocation during the run.
+  const std::size_t crashed = rng.uniform(0, 5);
+  cluster.run_for(Duration::seconds(12));
+  cluster.network().crash(cluster.endorser(crashed).id());
+  cluster.run_for(Duration::seconds(12));
+  const std::size_t moved = 6 + rng.uniform(0, 3);
+  const geo::GeoPoint new_home = cluster.placement().position(60 + moved);
+  cluster.endorser(moved).set_location(new_home);
+  cluster.area().place(cluster.endorser(moved).id(), new_home);
+
+  cluster.run_until_committed(workload.count, TimePoint{Duration::seconds(600).ns});
+
+  // Committee members' chains agree over the shared prefix.
+  std::map<Height, crypto::Hash256> canonical;
+  for (const NodeId member : cluster.roster()) {
+    for (std::size_t i = 0; i < cluster.endorser_count(); ++i) {
+      if (cluster.endorser(i).id() != member) continue;
+      const auto& chain = cluster.endorser(i).chain();
+      for (Height h = 0; h <= chain.height(); ++h) {
+        const auto [it, inserted] = canonical.emplace(h, chain.at(h).hash());
+        ASSERT_EQ(it->second, chain.at(h).hash())
+            << "committee divergence at height " << h << " (member " << member.str() << ")";
+      }
+    }
+  }
+
+  std::uint64_t committed = 0;
+  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
+    committed += cluster.client(i).committed_count();
+  }
+  EXPECT_EQ(committed, workload.count * cluster.client_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GpbftTorture, ::testing::Values(7, 17, 27, 37, 47, 57));
+
+}  // namespace
+}  // namespace gpbft::sim

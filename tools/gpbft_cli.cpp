@@ -1,0 +1,197 @@
+// gpbft_cli — command-line front end for the simulation harness.
+//
+// Runs any of the four implemented consensus protocols against the paper's
+// workloads without writing C++:
+//
+//   gpbft_cli latency --protocol gpbft --nodes 202
+//   gpbft_cli cost    --protocol pbft  --nodes 130
+//   gpbft_cli sweep   --protocol gpbft --nodes 4,40,130,202 --runs 3 --csv
+//
+// Commands:
+//   latency  constant-frequency workload; per-transaction commit latency
+//   cost     single transaction; bytes on the wire
+//   sweep    latency over a comma-separated node grid
+//
+// Common options (defaults = the calibrated values of DESIGN.md §4):
+//   --protocol pbft|gpbft|dbft|pow   --nodes N[,N...]   --seed S
+//   --txs K          transactions per client        (12)
+//   --period SEC     proposal period per client     (5)
+//   --rate S         node processing rate, msgs/s   (160)
+//   --batch B        block batch size               (32)
+//   --max-committee C   G-PBFT committee cap        (40)
+//   --era-period SEC    G-PBFT era switch period    (30)
+//   --runs R         seeded repetitions (sweep)     (1)
+//   --csv            machine-readable output
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace gpbft;
+
+struct CliOptions {
+  std::string command;
+  std::string protocol = "gpbft";
+  std::vector<std::size_t> nodes = {40};
+  std::size_t runs = 1;
+  bool csv = false;
+  sim::ExperimentOptions experiment = sim::default_options();
+};
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: gpbft_cli <latency|cost|sweep> [options]\n"
+               "  --protocol pbft|gpbft|dbft|pow   consensus to run (default gpbft)\n"
+               "  --nodes N[,N...]                 network sizes (default 40)\n"
+               "  --seed S --txs K --period SEC --rate S --batch B\n"
+               "  --max-committee C --era-period SEC --runs R --csv\n");
+}
+
+std::vector<std::size_t> parse_node_list(const std::string& arg) {
+  std::vector<std::size_t> nodes;
+  std::size_t start = 0;
+  while (start < arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    const std::string token =
+        arg.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    const long value = std::strtol(token.c_str(), nullptr, 10);
+    if (value > 0) nodes.push_back(static_cast<std::size_t>(value));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return nodes;
+}
+
+bool parse_args(int argc, char** argv, CliOptions& options) {
+  if (argc < 2) return false;
+  options.command = argv[1];
+  if (options.command != "latency" && options.command != "cost" &&
+      options.command != "sweep") {
+    return false;
+  }
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--csv") {
+      options.csv = true;
+      continue;
+    }
+    if (i + 1 >= argc) return false;
+    const std::string value = argv[++i];
+    if (flag == "--protocol") {
+      options.protocol = value;
+    } else if (flag == "--nodes") {
+      options.nodes = parse_node_list(value);
+      if (options.nodes.empty()) return false;
+    } else if (flag == "--seed") {
+      options.experiment.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--txs") {
+      options.experiment.txs_per_client = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--period") {
+      options.experiment.proposal_period = Duration::from_seconds(std::atof(value.c_str()));
+    } else if (flag == "--rate") {
+      options.experiment.processing_rate = std::atof(value.c_str());
+    } else if (flag == "--batch") {
+      options.experiment.batch_size = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--max-committee") {
+      options.experiment.max_committee = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--era-period") {
+      options.experiment.era_period = Duration::from_seconds(std::atof(value.c_str()));
+    } else if (flag == "--runs") {
+      options.runs = std::strtoull(value.c_str(), nullptr, 10);
+      if (options.runs == 0) options.runs = 1;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (options.protocol != "pbft" && options.protocol != "gpbft" &&
+      options.protocol != "dbft" && options.protocol != "pow") {
+    return false;
+  }
+  return true;
+}
+
+sim::ExperimentResult run_latency(const CliOptions& options, std::size_t nodes) {
+  if (options.protocol == "pbft") return sim::run_pbft_latency(nodes, options.experiment);
+  if (options.protocol == "dbft") return sim::run_dbft_latency(nodes, options.experiment);
+  if (options.protocol == "pow") return sim::run_pow_latency(nodes, options.experiment);
+  return sim::run_gpbft_latency(nodes, options.experiment);
+}
+
+sim::ExperimentResult run_cost(const CliOptions& options, std::size_t nodes) {
+  if (options.protocol == "pbft") return sim::run_pbft_single_tx(nodes, options.experiment);
+  if (options.protocol == "gpbft") return sim::run_gpbft_single_tx(nodes, options.experiment);
+  std::fprintf(stderr, "cost: only pbft/gpbft supported\n");
+  std::exit(2);
+}
+
+void print_result(const CliOptions& options, const sim::ExperimentResult& r) {
+  if (options.csv) {
+    std::printf("%s,%zu,%zu,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.3f,%.3f,%llu,%llu,%llu\n",
+                options.protocol.c_str(), r.nodes, r.committee, r.latency.min, r.latency.q1,
+                r.latency.median, r.latency.q3, r.latency.max, r.latency.mean, r.consensus_kb,
+                r.total_kb, static_cast<unsigned long long>(r.committed),
+                static_cast<unsigned long long>(r.expected),
+                static_cast<unsigned long long>(r.era_switches));
+    return;
+  }
+  std::printf("%-6s n=%-4zu committee=%-4zu | latency %s | consensus %.2f KB, total %.2f KB | "
+              "%llu/%llu committed",
+              options.protocol.c_str(), r.nodes, r.committee, r.latency.str().c_str(),
+              r.consensus_kb, r.total_kb, static_cast<unsigned long long>(r.committed),
+              static_cast<unsigned long long>(r.expected));
+  if (r.era_switches > 0) {
+    std::printf(" | %llu era switches", static_cast<unsigned long long>(r.era_switches));
+  }
+  if (r.hashes_computed > 0) std::printf(" | %.2e hashes", r.hashes_computed);
+  std::printf("\n");
+}
+
+void print_csv_header() {
+  std::printf(
+      "protocol,nodes,committee,lat_min,lat_q1,lat_med,lat_q3,lat_max,lat_mean,"
+      "consensus_kb,total_kb,committed,expected,era_switches\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!parse_args(argc, argv, options)) {
+    print_usage();
+    return 2;
+  }
+
+  if (options.csv) print_csv_header();
+
+  if (options.command == "latency") {
+    for (const std::size_t nodes : options.nodes) {
+      print_result(options, run_latency(options, nodes));
+    }
+    return 0;
+  }
+  if (options.command == "cost") {
+    for (const std::size_t nodes : options.nodes) {
+      print_result(options, run_cost(options, nodes));
+    }
+    return 0;
+  }
+  // sweep: repeated seeded runs per node count, merged distributions.
+  for (const std::size_t nodes : options.nodes) {
+    const sim::ExperimentResult merged = sim::repeat_runs(
+        [&options](std::size_t n, const sim::ExperimentOptions& experiment) {
+          CliOptions point = options;
+          point.experiment = experiment;
+          return run_latency(point, n);
+        },
+        nodes, options.experiment, options.runs);
+    print_result(options, merged);
+  }
+  return 0;
+}
