@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer
+# (-DGPBFT_SANITIZE=ON) in a separate build directory and runs the full test
+# suite under them. Any leak, out-of-bounds access, or UB aborts the run
+# (-fno-sanitize-recover=all), so a green exit means the suite is clean.
+#
+# Knobs:
+#   GPBFT_SANITIZE_BUILD_DIR=build-asan   build directory (default build-asan)
+#   GPBFT_SANITIZE_JOBS=N                 parallel ctest jobs (default nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${GPBFT_SANITIZE_BUILD_DIR:-build-asan}"
+JOBS="${GPBFT_SANITIZE_JOBS:-$(nproc)}"
+
+cmake -B "${BUILD_DIR}" -G Ninja -DGPBFT_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}"
+
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"

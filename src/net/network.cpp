@@ -6,7 +6,8 @@
 
 namespace gpbft::net {
 
-Network::Network(Simulator& sim, NetConfig config) : sim_(sim), config_(config) {}
+Network::Network(Simulator& sim, NetConfig config)
+    : sim_(sim), config_(config), fault_rng_(sim.rng().fork(0x6661756c74ull /* "fault" */)) {}
 
 void Network::attach(INetNode* node) {
   nodes_[node->id()] = node;
@@ -40,9 +41,24 @@ void Network::send(Envelope envelope) {
   stats_.per_node[envelope.from].messages_sent += 1;
   stats_.per_node[envelope.from].bytes_sent += size;
 
+  // Fault decisions are drawn before (and regardless of) the blocked and
+  // partition checks, all from the dedicated fault stream: toggling any
+  // fault knob never changes which draws the main stream sees, so faulty
+  // and clean runs remain comparable seed-for-seed.
+  const LinkFault* fault = link_fault(envelope.from, envelope.to);
+  const bool dropped = fault_rng_.chance(config_.drop_rate) ||
+                       (fault != nullptr && fault_rng_.chance(fault->loss));
+  const bool duplicated = fault != nullptr && fault_rng_.chance(fault->duplicate);
+  const auto reorder_delay = [this, fault]() {
+    return fault != nullptr && fault->reorder_window.ns > 0
+               ? Duration{static_cast<std::int64_t>(fault_rng_.uniform(
+                     0, static_cast<std::uint64_t>(fault->reorder_window.ns)))}
+               : Duration{0};
+  };
+  const Duration first_reorder = reorder_delay();
+
   const bool blocked = blocked_links_.contains({envelope.from.value, envelope.to.value});
-  if (blocked || partitioned_apart(envelope.from, envelope.to) ||
-      sim_.rng().chance(config_.drop_rate)) {
+  if (blocked || partitioned_apart(envelope.from, envelope.to) || dropped) {
     stats_.dropped_messages += 1;
     return;
   }
@@ -54,9 +70,26 @@ void Network::send(Envelope envelope) {
           : Duration{0};
   const Duration transmission =
       Duration::from_seconds(static_cast<double>(size) / config_.bandwidth_bytes_per_sec);
-  const TimePoint arrival = sim_.now() + config_.base_latency + jitter + transmission;
+  const Duration extra = fault != nullptr ? fault->extra_latency : Duration{0};
+  const TimePoint departure = sim_.now() + config_.base_latency + extra + transmission;
 
-  sim_.schedule_at(arrival, [this, envelope = std::move(envelope), size]() mutable {
+  if (duplicated) {
+    stats_.duplicated_messages += 1;
+    // The ghost copy takes its own path through the reorder window; its
+    // jitter comes from the fault stream (it only exists because of the
+    // fault rule).
+    const Duration ghost_jitter =
+        config_.jitter.ns > 0
+            ? Duration{static_cast<std::int64_t>(
+                  fault_rng_.uniform(0, static_cast<std::uint64_t>(config_.jitter.ns)))}
+            : Duration{0};
+    schedule_delivery(departure + ghost_jitter + reorder_delay(), envelope, size);
+  }
+  schedule_delivery(departure + jitter + first_reorder, std::move(envelope), size);
+}
+
+void Network::schedule_delivery(TimePoint arrival, const Envelope& envelope, std::size_t size) {
+  sim_.schedule_at(arrival, [this, envelope, size]() mutable {
     const auto it = nodes_.find(envelope.to);
     if (it == nodes_.end() || crashed_.contains(envelope.to)) {
       stats_.dropped_messages += 1;
@@ -65,7 +98,7 @@ void Network::send(Envelope envelope) {
 
     // Receiver-side queueing: the node is a serial processor handling
     // messages at its rate (the paper's `s`, §IV-B; per-node overrides for
-    // heterogeneous fleets).
+    // heterogeneous fleets, brownouts for time-varying degradation).
     const Duration processing = Duration::from_seconds(
         1.0 / processing_rate_of(envelope.to) +
         static_cast<double>(size) * config_.processing_secs_per_byte);
@@ -87,6 +120,14 @@ void Network::send(Envelope envelope) {
   });
 }
 
+void Network::recover(NodeId id) {
+  crashed_.erase(id);
+  // Reboot semantics: whatever was queued on the node when it died is gone;
+  // it must not resume with a pre-crash processing backlog.
+  const auto it = busy_until_.find(id);
+  if (it != busy_until_.end()) it->second = sim_.now();
+}
+
 void Network::broadcast(NodeId from, const std::vector<NodeId>& destinations, MessageType type,
                         const Bytes& payload) {
   for (NodeId to : destinations) {
@@ -105,7 +146,22 @@ void Network::set_processing_rate(NodeId id, double msgs_per_sec) {
 
 double Network::processing_rate_of(NodeId id) const {
   const auto it = rate_overrides_.find(id);
-  return it == rate_overrides_.end() ? config_.processing_rate_msgs_per_sec : it->second;
+  const double rate =
+      it == rate_overrides_.end() ? config_.processing_rate_msgs_per_sec : it->second;
+  return rate / brownout_of(id);
+}
+
+void Network::set_brownout(NodeId id, double factor) {
+  if (factor <= 1.0) {
+    brownouts_.erase(id);
+  } else {
+    brownouts_[id] = factor;
+  }
+}
+
+double Network::brownout_of(NodeId id) const {
+  const auto it = brownouts_.find(id);
+  return it == brownouts_.end() ? 1.0 : it->second;
 }
 
 void Network::partition(const std::vector<std::vector<NodeId>>& groups) {
@@ -129,6 +185,21 @@ void Network::block_link(NodeId from, NodeId to) {
 
 void Network::unblock_link(NodeId from, NodeId to) {
   blocked_links_.erase({from.value, to.value});
+}
+
+void Network::set_link_fault(NodeId from, NodeId to, const LinkFault& fault) {
+  link_faults_[{from.value, to.value}] = fault;
+}
+
+void Network::clear_link_fault(NodeId from, NodeId to) {
+  link_faults_.erase({from.value, to.value});
+}
+
+void Network::clear_link_faults() { link_faults_.clear(); }
+
+const LinkFault* Network::link_fault(NodeId from, NodeId to) const {
+  const auto it = link_faults_.find({from.value, to.value});
+  return it == link_faults_.end() ? nullptr : &it->second;
 }
 
 }  // namespace gpbft::net

@@ -14,9 +14,16 @@
 // communication-cost experiments (Figs. 5-6, Table III).
 //
 // Fault injection covers the behaviours the protocols must tolerate: drops,
-// crashes, and partitions. Byzantine *content* faults live in the protocol
-// layers (a faulty replica sends bad payloads); the network only models
+// crashes, partitions, and per-link degradation (loss, added latency,
+// duplication, reordering) plus per-node "brownouts" that slow a node's
+// processing rate. Byzantine *content* faults live in the protocol layers
+// (a faulty replica sends bad payloads); the network only models
 // lossy/partitioned transport.
+//
+// All fault decisions draw from a dedicated RNG stream (forked off the
+// simulator seed), never from the simulator's main stream: toggling a
+// partition or a link rule must not perturb jitter, workload or protocol
+// randomness, so faulty and clean runs stay comparable seed-for-seed.
 #pragma once
 
 #include <functional>
@@ -60,6 +67,20 @@ struct NetConfig {
   double drop_rate = 0.0;
 };
 
+/// Per-link fault rule (the chaos engine's richer link faults). Applied to
+/// traffic from one node to another on top of the global drop rate.
+struct LinkFault {
+  /// Extra per-link drop probability (on top of NetConfig::drop_rate).
+  double loss{0.0};
+  /// Added one-way propagation delay (degraded route).
+  Duration extra_latency{};
+  /// Probability the message is delivered twice (retransmit ghosts).
+  double duplicate{0.0};
+  /// Uniform extra delay U[0, window] per message; a nonzero window lets
+  /// later messages overtake earlier ones (reordering).
+  Duration reorder_window{};
+};
+
 struct NodeTraffic {
   std::uint64_t messages_sent{0};
   std::uint64_t messages_received{0};
@@ -71,6 +92,7 @@ struct NetStats {
   std::uint64_t total_messages{0};
   std::uint64_t total_bytes{0};
   std::uint64_t dropped_messages{0};
+  std::uint64_t duplicated_messages{0};
   std::unordered_map<NodeId, NodeTraffic> per_node;
   std::map<MessageType, std::uint64_t> bytes_by_type;
 
@@ -104,7 +126,9 @@ class Network {
   // --- fault injection -----------------------------------------------------
   void set_drop_rate(double p) { config_.drop_rate = p; }
   void crash(NodeId id) { crashed_.insert(id); }
-  void recover(NodeId id) { crashed_.erase(id); }
+  /// Models a reboot: the node comes back empty-handed, so any processing
+  /// backlog accumulated before the crash is discarded (busy-until reset).
+  void recover(NodeId id);
   [[nodiscard]] bool is_crashed(NodeId id) const { return crashed_.contains(id); }
 
   /// Splits the network: messages between nodes in different groups drop.
@@ -116,6 +140,19 @@ class Network {
   void block_link(NodeId from, NodeId to);
   void unblock_link(NodeId from, NodeId to);
 
+  /// Installs (replaces) a one-way per-link fault rule.
+  void set_link_fault(NodeId from, NodeId to, const LinkFault& fault);
+  void clear_link_fault(NodeId from, NodeId to);
+  void clear_link_faults();
+  /// Rule on a link, or nullptr when the link is clean.
+  [[nodiscard]] const LinkFault* link_fault(NodeId from, NodeId to) const;
+
+  /// Brownout: divides the node's processing rate by `factor` (>= 1) until
+  /// cleared — a time-varying degradation (thermal throttling, contention).
+  void set_brownout(NodeId id, double factor);
+  void clear_brownout(NodeId id) { brownouts_.erase(id); }
+  [[nodiscard]] double brownout_of(NodeId id) const;
+
   // --- accounting ----------------------------------------------------------
   [[nodiscard]] const NetStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
@@ -126,16 +163,20 @@ class Network {
 
  private:
   [[nodiscard]] bool partitioned_apart(NodeId a, NodeId b) const;
+  void schedule_delivery(TimePoint arrival, const Envelope& envelope, std::size_t size);
 
   Simulator& sim_;
   NetConfig config_;
+  Rng fault_rng_;  // dedicated stream for every fault decision
   std::unordered_map<NodeId, INetNode*> nodes_;
   std::unordered_map<NodeId, TimePoint> busy_until_;
   std::unordered_map<NodeId, double> rate_overrides_;
+  std::unordered_map<NodeId, double> brownouts_;
   std::unordered_set<NodeId> crashed_;
   std::unordered_map<NodeId, int> partition_group_;
   bool partitioned_{false};
   std::set<std::pair<std::uint64_t, std::uint64_t>> blocked_links_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, LinkFault> link_faults_;
   NetStats stats_;
 };
 

@@ -1,0 +1,522 @@
+#include "sim/chaos.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+#include "sim/cluster.hpp"
+#include "sim/workload.hpp"
+
+namespace gpbft::sim {
+
+namespace {
+
+std::string time_str(TimePoint at) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "t=%.3fs", at.to_seconds());
+  return buf;
+}
+
+std::string nodes_str(const std::vector<NodeId>& nodes) {
+  std::string out;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(nodes[i].value);
+  }
+  return out;
+}
+
+const char* fault_mode_name(pbft::FaultMode mode) {
+  switch (mode) {
+    case pbft::FaultMode::None: return "none";
+    case pbft::FaultMode::Silent: return "silent";
+    case pbft::FaultMode::EquivocateDigest: return "equivocate";
+    case pbft::FaultMode::CorruptProposals: return "corrupt-proposals";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+// --- ChaosEvent -------------------------------------------------------------------
+
+std::string ChaosEvent::describe() const {
+  std::string out = time_str(at) + " ";
+  char buf[128];
+  switch (kind) {
+    case Kind::Crash:
+      out += "crash node " + nodes_str(nodes);
+      break;
+    case Kind::Recover:
+      out += "recover node " + nodes_str(nodes);
+      break;
+    case Kind::Partition:
+      out += "partition {" + nodes_str(nodes) + "} from the rest";
+      break;
+    case Kind::Heal:
+      out += "heal partition";
+      break;
+    case Kind::LinkFault:
+      std::snprintf(buf, sizeof(buf), "link %llu->%llu loss=%.2f lat+=%.0fms dup=%.2f reorder=%.0fms",
+                    static_cast<unsigned long long>(nodes.at(0).value),
+                    static_cast<unsigned long long>(nodes.at(1).value), fault.loss,
+                    fault.extra_latency.to_millis(), fault.duplicate,
+                    fault.reorder_window.to_millis());
+      out += buf;
+      break;
+    case Kind::LinkClear:
+      out += "clear link " + std::to_string(nodes.at(0).value) + "->" +
+             std::to_string(nodes.at(1).value);
+      break;
+    case Kind::Brownout:
+      std::snprintf(buf, sizeof(buf), "brownout node %llu x%.1f",
+                    static_cast<unsigned long long>(nodes.at(0).value), factor);
+      out += buf;
+      break;
+    case Kind::BrownoutClear:
+      out += "brownout clear node " + nodes_str(nodes);
+      break;
+    case Kind::Byzantine:
+      out += "byzantine node " + nodes_str(nodes) + " mode=" + fault_mode_name(mode);
+      break;
+    case Kind::ByzantineHeal:
+      out += "byzantine heal node " + nodes_str(nodes);
+      break;
+  }
+  return out;
+}
+
+ChaosEvent ChaosEvent::crash(TimePoint at, NodeId victim) {
+  return ChaosEvent{at, Kind::Crash, {victim}};
+}
+ChaosEvent ChaosEvent::recover(TimePoint at, NodeId victim) {
+  return ChaosEvent{at, Kind::Recover, {victim}};
+}
+ChaosEvent ChaosEvent::partition(TimePoint at, std::vector<NodeId> minority) {
+  return ChaosEvent{at, Kind::Partition, std::move(minority)};
+}
+ChaosEvent ChaosEvent::heal(TimePoint at) { return ChaosEvent{at, Kind::Heal, {}}; }
+ChaosEvent ChaosEvent::link_fault(TimePoint at, NodeId from, NodeId to, net::LinkFault fault) {
+  ChaosEvent event{at, Kind::LinkFault, {from, to}};
+  event.fault = fault;
+  return event;
+}
+ChaosEvent ChaosEvent::link_clear(TimePoint at, NodeId from, NodeId to) {
+  return ChaosEvent{at, Kind::LinkClear, {from, to}};
+}
+ChaosEvent ChaosEvent::brownout(TimePoint at, NodeId victim, double factor) {
+  ChaosEvent event{at, Kind::Brownout, {victim}};
+  event.factor = factor;
+  return event;
+}
+ChaosEvent ChaosEvent::brownout_clear(TimePoint at, NodeId victim) {
+  return ChaosEvent{at, Kind::BrownoutClear, {victim}};
+}
+ChaosEvent ChaosEvent::byzantine(TimePoint at, NodeId victim, pbft::FaultMode mode) {
+  ChaosEvent event{at, Kind::Byzantine, {victim}};
+  event.mode = mode;
+  return event;
+}
+ChaosEvent ChaosEvent::byzantine_heal(TimePoint at, NodeId victim) {
+  ChaosEvent event{at, Kind::ByzantineHeal, {victim}};
+  event.mode = pbft::FaultMode::None;
+  return event;
+}
+
+// --- ChaosProfile ------------------------------------------------------------------
+
+ChaosProfile ChaosProfile::light() {
+  ChaosProfile profile;
+  profile.crash_chance = 0.15;
+  profile.link_fault_chance = 0.15;
+  profile.brownout_chance = 0.1;
+  profile.partition_chance = 0.0;
+  profile.byzantine_chance = 0.0;
+  profile.max_loss = 0.1;
+  profile.max_duplicate = 0.15;
+  profile.max_brownout = 4.0;
+  return profile;
+}
+
+ChaosProfile ChaosProfile::medium() {
+  ChaosProfile profile;
+  profile.crash_chance = 0.25;
+  profile.link_fault_chance = 0.25;
+  profile.brownout_chance = 0.2;
+  profile.partition_chance = 0.1;
+  profile.byzantine_chance = 0.0;
+  profile.max_loss = 0.2;
+  profile.max_duplicate = 0.25;
+  profile.max_brownout = 6.0;
+  return profile;
+}
+
+ChaosProfile ChaosProfile::heavy() {
+  ChaosProfile profile;
+  profile.crash_chance = 0.35;
+  profile.link_fault_chance = 0.35;
+  profile.brownout_chance = 0.3;
+  profile.partition_chance = 0.15;
+  profile.byzantine_chance = 0.15;
+  profile.max_loss = 0.3;
+  profile.max_extra_latency = Duration::millis(80);
+  profile.max_duplicate = 0.4;
+  profile.max_reorder = Duration::millis(40);
+  profile.max_brownout = 10.0;
+  return profile;
+}
+
+// --- FaultPlan ---------------------------------------------------------------------
+
+FaultPlan& FaultPlan::add(ChaosEvent event) {
+  events_.push_back(std::move(event));
+  return *this;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const ChaosProfile& profile,
+                            const std::vector<NodeId>& nodes, Duration horizon) {
+  FaultPlan plan;
+  if (nodes.empty() || profile.step.ns <= 0) return plan;
+  Rng rng(seed);
+
+  std::map<std::uint64_t, std::int64_t> down_until;  // node -> instant it is healthy again
+  std::int64_t partition_until = 0;                  // one partition at a time
+
+  const auto faulty_at = [&down_until](std::int64_t t) {
+    std::size_t n = 0;
+    for (const auto& [node, until] : down_until) {
+      (void)node;
+      if (until > t) ++n;
+    }
+    return n;
+  };
+  const auto pick_healthy = [&](std::int64_t t) -> std::optional<NodeId> {
+    std::vector<NodeId> healthy;
+    for (NodeId node : nodes) {
+      const auto it = down_until.find(node.value);
+      if (it == down_until.end() || it->second <= t) healthy.push_back(node);
+    }
+    if (healthy.empty()) return std::nullopt;
+    return healthy[rng.uniform(0, healthy.size() - 1)];
+  };
+  const auto random_node = [&rng, &nodes]() { return nodes[rng.uniform(0, nodes.size() - 1)]; };
+
+  // Every fault starts no later than horizon - fault_duration, so the whole
+  // plan (heals included) fits inside the horizon.
+  for (std::int64_t t = profile.step.ns; t + profile.fault_duration.ns <= horizon.ns;
+       t += profile.step.ns) {
+    const std::int64_t heal_at = t + profile.fault_duration.ns;
+
+    if (rng.chance(profile.crash_chance) && faulty_at(t) < profile.max_faulty) {
+      if (const auto victim = pick_healthy(t)) {
+        plan.add(ChaosEvent::crash(TimePoint{t}, *victim));
+        plan.add(ChaosEvent::recover(TimePoint{heal_at}, *victim));
+        down_until[victim->value] = heal_at;
+      }
+    }
+    if (rng.chance(profile.byzantine_chance) && faulty_at(t) < profile.max_faulty) {
+      if (const auto victim = pick_healthy(t)) {
+        static constexpr pbft::FaultMode kModes[] = {pbft::FaultMode::Silent,
+                                                     pbft::FaultMode::EquivocateDigest,
+                                                     pbft::FaultMode::CorruptProposals};
+        plan.add(ChaosEvent::byzantine(TimePoint{t}, *victim, kModes[rng.uniform(0, 2)]));
+        plan.add(ChaosEvent::byzantine_heal(TimePoint{heal_at}, *victim));
+        down_until[victim->value] = heal_at;
+      }
+    }
+    if (rng.chance(profile.partition_chance) && partition_until <= t &&
+        faulty_at(t) < profile.max_faulty) {
+      const std::size_t budget = profile.max_faulty - faulty_at(t);
+      std::vector<NodeId> minority;
+      const std::size_t want = rng.uniform(1, budget);
+      for (std::size_t i = 0; i < want; ++i) {
+        if (const auto victim = pick_healthy(t)) {
+          minority.push_back(*victim);
+          down_until[victim->value] = heal_at;
+        }
+      }
+      if (!minority.empty()) {
+        plan.add(ChaosEvent::partition(TimePoint{t}, minority));
+        plan.add(ChaosEvent::heal(TimePoint{heal_at}));
+        partition_until = heal_at;
+      }
+    }
+    if (rng.chance(profile.link_fault_chance) && nodes.size() >= 2) {
+      const NodeId from = random_node();
+      NodeId to = random_node();
+      while (to == from) to = random_node();
+      net::LinkFault fault;
+      fault.loss = rng.uniform_real(0.0, profile.max_loss);
+      fault.extra_latency = Duration{static_cast<std::int64_t>(
+          rng.uniform(0, static_cast<std::uint64_t>(profile.max_extra_latency.ns)))};
+      fault.duplicate = rng.uniform_real(0.0, profile.max_duplicate);
+      fault.reorder_window = Duration{static_cast<std::int64_t>(
+          rng.uniform(0, static_cast<std::uint64_t>(profile.max_reorder.ns)))};
+      plan.add(ChaosEvent::link_fault(TimePoint{t}, from, to, fault));
+      plan.add(ChaosEvent::link_clear(TimePoint{heal_at}, from, to));
+    }
+    if (rng.chance(profile.brownout_chance)) {
+      plan.add(ChaosEvent::brownout(TimePoint{t}, random_node(),
+                                    rng.uniform_real(2.0, profile.max_brownout)));
+      plan.add(ChaosEvent::brownout_clear(TimePoint{heal_at}, plan.events_.back().nodes[0]));
+    }
+  }
+  return plan;
+}
+
+TimePoint FaultPlan::all_healed_at() const {
+  TimePoint healed{};
+  for (const ChaosEvent& event : events_) healed = std::max(healed, event.at);
+  return healed;
+}
+
+std::string FaultPlan::describe() const {
+  std::vector<const ChaosEvent*> ordered;
+  ordered.reserve(events_.size());
+  for (const ChaosEvent& event : events_) ordered.push_back(&event);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const ChaosEvent* a, const ChaosEvent* b) { return a->at < b->at; });
+  std::string out;
+  for (const ChaosEvent* event : ordered) out += event->describe() + "\n";
+  return out;
+}
+
+void FaultPlan::schedule(net::Simulator& sim, net::Network& network,
+                         ByzantineSetter set_byzantine, EventHook hook) const {
+  for (const ChaosEvent& event : events_) {
+    sim.schedule_at(event.at, [&network, set_byzantine, hook, event]() {
+      switch (event.kind) {
+        case ChaosEvent::Kind::Crash:
+          for (NodeId node : event.nodes) network.crash(node);
+          break;
+        case ChaosEvent::Kind::Recover:
+          for (NodeId node : event.nodes) network.recover(node);
+          break;
+        case ChaosEvent::Kind::Partition:
+          // Group 0 (implicit for unmentioned nodes, clients included) is
+          // the majority; the event's nodes form the isolated minority.
+          network.partition({{}, event.nodes});
+          break;
+        case ChaosEvent::Kind::Heal:
+          network.heal_partition();
+          break;
+        case ChaosEvent::Kind::LinkFault:
+          network.set_link_fault(event.nodes.at(0), event.nodes.at(1), event.fault);
+          break;
+        case ChaosEvent::Kind::LinkClear:
+          network.clear_link_fault(event.nodes.at(0), event.nodes.at(1));
+          break;
+        case ChaosEvent::Kind::Brownout:
+          network.set_brownout(event.nodes.at(0), event.factor);
+          break;
+        case ChaosEvent::Kind::BrownoutClear:
+          network.clear_brownout(event.nodes.at(0));
+          break;
+        case ChaosEvent::Kind::Byzantine:
+        case ChaosEvent::Kind::ByzantineHeal:
+          if (set_byzantine) set_byzantine(event.nodes.at(0), event.mode);
+          break;
+      }
+      if (hook) hook(event);
+    });
+  }
+}
+
+// --- campaigns ---------------------------------------------------------------------
+
+ChaosProfile profile_for(const std::string& intensity) {
+  if (intensity == "light") return ChaosProfile::light();
+  if (intensity == "medium") return ChaosProfile::medium();
+  if (intensity == "heavy") return ChaosProfile::heavy();
+  std::fprintf(stderr, "unknown chaos intensity: %s\n", intensity.c_str());
+  std::abort();
+}
+
+namespace {
+
+/// Decorrelates (base seed, run index, intensity) into a plan seed.
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t run, const std::string& intensity) {
+  std::uint64_t h = base * 0x9e3779b97f4a7c15ull + run * 0x2545f4914f6cdd1dull;
+  for (const char c : intensity) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+  return splitmix64(h);
+}
+
+template <typename Cluster>
+std::uint64_t total_committed(Cluster& cluster) {
+  std::uint64_t committed = 0;
+  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
+    committed += cluster.client(i).committed_count();
+  }
+  return committed;
+}
+
+template <typename Cluster>
+void schedule_campaign_workload(Cluster& cluster, const ChaosCampaignOptions& options,
+                                InvariantMonitor& monitor) {
+  WorkloadConfig workload;
+  workload.period = options.tx_period;
+  workload.count = options.txs_per_client;
+  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
+    schedule_workload(cluster.simulator(), cluster.client(i), cluster.placement().position(i),
+                      workload, i, nullptr,
+                      [&monitor](const ledger::Transaction& tx) { monitor.expect_submission(tx); });
+  }
+}
+
+template <typename Cluster>
+void finish_run(Cluster& cluster, const ChaosCampaignOptions& options, const FaultPlan& plan,
+                InvariantMonitor& monitor, ChaosRunResult& result) {
+  cluster.run_for(options.horizon);
+  const TimePoint healed = plan.all_healed_at();
+  const TimePoint deadline{std::max(options.horizon.ns, healed.ns) + options.liveness_grace.ns};
+  cluster.run_until_committed(options.txs_per_client, deadline);
+
+  result.expected = options.txs_per_client * options.clients;
+  result.committed = total_committed(cluster);
+  monitor.check_bounded_liveness(result.committed, result.expected, healed,
+                                 options.liveness_grace);
+  result.violations = monitor.violations();
+  result.blocks_checked = monitor.blocks_checked();
+  result.fault_events = plan.events().size();
+}
+
+ChaosRunResult run_pbft_chaos(const ChaosCampaignOptions& options, const std::string& intensity,
+                              std::uint64_t run_index) {
+  const std::uint64_t seed = options.base_seed + run_index;
+  ChaosRunResult result{"pbft", intensity, seed};
+
+  PbftClusterConfig config;
+  config.replicas = options.committee;
+  config.clients = options.clients;
+  config.seed = seed;
+  config.pbft.request_timeout = Duration::seconds(6);
+  config.pbft.view_change_timeout = Duration::seconds(5);
+  PbftCluster cluster(config);
+
+  InvariantMonitor monitor(cluster.simulator());
+  monitor.watch(cluster);
+  cluster.start();
+  schedule_campaign_workload(cluster, options, monitor);
+
+  ChaosProfile profile = profile_for(intensity);
+  profile.max_faulty = (options.committee - 1) / 3;
+  const FaultPlan plan =
+      FaultPlan::random(mix_seed(options.base_seed, run_index, "pbft-" + intensity), profile,
+                        cluster.committee(), options.horizon);
+  plan.schedule(
+      cluster.simulator(), cluster.network(),
+      [&cluster, &monitor](NodeId id, pbft::FaultMode mode) {
+        for (std::size_t i = 0; i < cluster.replica_count(); ++i) {
+          if (cluster.replica(i).id() == id) cluster.replica(i).set_fault_mode(mode);
+        }
+        monitor.set_faulty(id, mode != pbft::FaultMode::None);
+      },
+      [&monitor](const ChaosEvent& event) { monitor.note_fault(event.describe()); });
+
+  finish_run(cluster, options, plan, monitor, result);
+  return result;
+}
+
+ChaosRunResult run_gpbft_chaos(const ChaosCampaignOptions& options, const std::string& intensity,
+                               std::uint64_t run_index) {
+  const std::uint64_t seed = options.base_seed + run_index;
+  ChaosRunResult result{"gpbft", intensity, seed};
+
+  GpbftClusterConfig config;
+  config.nodes = options.committee + options.candidates;
+  config.initial_committee = options.committee;
+  config.clients = options.clients;
+  config.seed = seed;
+  config.protocol.genesis.era_period = Duration::seconds(15);
+  config.protocol.genesis.geo_report_period = Duration::seconds(3);
+  config.protocol.genesis.geo_window = Duration::seconds(12);
+  config.protocol.genesis.min_geo_reports = 2;
+  config.protocol.genesis.promotion_threshold = Duration::seconds(20);
+  config.protocol.genesis.policy.min_endorsers = std::min<std::size_t>(options.committee, 4);
+  config.protocol.genesis.policy.max_endorsers = config.nodes;
+  config.protocol.pbft.request_timeout = Duration::seconds(6);
+  config.protocol.pbft.view_change_timeout = Duration::seconds(5);
+  GpbftCluster cluster(config);
+
+  InvariantMonitor monitor(cluster.simulator());
+  monitor.watch(cluster);
+  cluster.start();
+  schedule_campaign_workload(cluster, options, monitor);
+
+  // Fault victims are the genesis committee; the budget is its f. Promoted
+  // committees are only ever larger, so the bound stays conservative.
+  std::vector<NodeId> victims;
+  for (std::size_t i = 0; i < options.committee; ++i) victims.push_back(NodeId{i + 1});
+  ChaosProfile profile = profile_for(intensity);
+  profile.max_faulty = (options.committee - 1) / 3;
+  const FaultPlan plan =
+      FaultPlan::random(mix_seed(options.base_seed, run_index, "gpbft-" + intensity), profile,
+                        victims, options.horizon);
+  plan.schedule(
+      cluster.simulator(), cluster.network(),
+      [&cluster, &monitor](NodeId id, pbft::FaultMode mode) {
+        for (std::size_t i = 0; i < cluster.endorser_count(); ++i) {
+          if (cluster.endorser(i).id() == id) cluster.endorser(i).set_fault_mode(mode);
+        }
+        monitor.set_faulty(id, mode != pbft::FaultMode::None);
+      },
+      [&monitor](const ChaosEvent& event) { monitor.note_fault(event.describe()); });
+
+  finish_run(cluster, options, plan, monitor, result);
+  return result;
+}
+
+}  // namespace
+
+std::size_t ChaosCampaignResult::failed_runs() const {
+  std::size_t failed = 0;
+  for (const ChaosRunResult& run : runs) {
+    if (!run.passed()) ++failed;
+  }
+  return failed;
+}
+
+std::string ChaosCampaignResult::summary() const {
+  std::string out = "proto  intensity  seed        committed  faults  blocks  result\n";
+  char buf[160];
+  for (const ChaosRunResult& run : runs) {
+    std::snprintf(buf, sizeof(buf), "%-6s %-10s %-11llu %4llu/%-4llu %7zu %7llu  %s\n",
+                  run.protocol.c_str(), run.intensity.c_str(),
+                  static_cast<unsigned long long>(run.seed),
+                  static_cast<unsigned long long>(run.committed),
+                  static_cast<unsigned long long>(run.expected), run.fault_events,
+                  static_cast<unsigned long long>(run.blocks_checked),
+                  run.passed() ? "PASS" : "FAIL");
+    out += buf;
+    for (const Violation& violation : run.violations) {
+      std::snprintf(buf, sizeof(buf), "    [t=%.3fs] %s node=%llu height=%llu: ",
+                    violation.at.to_seconds(), violation_kind_name(violation.kind),
+                    static_cast<unsigned long long>(violation.node.value),
+                    static_cast<unsigned long long>(violation.height));
+      out += buf;
+      out += violation.detail + "\n";
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "campaign: %zu run(s), %zu failed\n", runs.size(),
+                failed_runs());
+  out += buf;
+  return out;
+}
+
+ChaosCampaignResult run_chaos_campaign(const ChaosCampaignOptions& options) {
+  ChaosCampaignResult result;
+  for (const bool gpbft : {false, true}) {
+    if (gpbft ? !options.run_gpbft : !options.run_pbft) continue;
+    for (const std::string& intensity : options.intensities) {
+      for (std::uint64_t run = 0; run < options.seeds; ++run) {
+        result.runs.push_back(gpbft ? run_gpbft_chaos(options, intensity, run)
+                                    : run_pbft_chaos(options, intensity, run));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gpbft::sim

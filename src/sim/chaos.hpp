@@ -1,0 +1,180 @@
+// Chaos engine: declarative, seeded fault schedules.
+//
+// A FaultPlan is a timeline of ChaosEvents — crash/recover, partition/heal,
+// per-link fault rules, brownouts, Byzantine fault-mode toggles — that can
+// be authored literally (tests pin exact scenarios) or generated randomly
+// from a seed and an intensity profile (campaigns sweep seeds). Scheduling
+// a plan onto the simulator replays it deterministically: the same plan on
+// the same seeded deployment produces a bit-identical run.
+//
+// Random generation respects a concurrent-fault budget (ChaosProfile::
+// max_faulty, normally the committee's f): at no instant are more than that
+// many nodes crashed, Byzantine, or partitioned away, and every generated
+// fault is paired with a heal — so a correct protocol must come back to
+// full liveness after FaultPlan::all_healed_at(). That is exactly the claim
+// the paper's evaluation rests on (§IV: tolerance under node churn and
+// failures), turned into a repeatable harness.
+//
+// run_chaos_campaign drives N seeds x intensity levels x {PBFT, G-PBFT}
+// with an InvariantMonitor attached and renders a deterministic pass/fail
+// report (the CLI `chaos` subcommand is a thin wrapper over it).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "pbft/config.hpp"
+#include "sim/invariants.hpp"
+
+namespace gpbft::sim {
+
+/// One scheduled fault action.
+struct ChaosEvent {
+  enum class Kind {
+    Crash,          // nodes: victims
+    Recover,        // nodes: victims
+    Partition,      // nodes: the isolated minority (everyone else majority)
+    Heal,           // heals the partition
+    LinkFault,      // nodes: {from, to}; fault: the rule
+    LinkClear,      // nodes: {from, to}
+    Brownout,       // nodes: {victim}; factor: rate divisor
+    BrownoutClear,  // nodes: {victim}
+    Byzantine,      // nodes: {victim}; mode: the behaviour
+    ByzantineHeal,  // nodes: {victim}
+  };
+
+  TimePoint at;
+  Kind kind{Kind::Crash};
+  std::vector<NodeId> nodes;
+  net::LinkFault fault{};
+  double factor{1.0};
+  pbft::FaultMode mode{pbft::FaultMode::None};
+
+  /// Deterministic one-line rendering ("t=12.000s crash node 3").
+  [[nodiscard]] std::string describe() const;
+
+  // Literal-authoring helpers.
+  static ChaosEvent crash(TimePoint at, NodeId victim);
+  static ChaosEvent recover(TimePoint at, NodeId victim);
+  static ChaosEvent partition(TimePoint at, std::vector<NodeId> minority);
+  static ChaosEvent heal(TimePoint at);
+  static ChaosEvent link_fault(TimePoint at, NodeId from, NodeId to, net::LinkFault fault);
+  static ChaosEvent link_clear(TimePoint at, NodeId from, NodeId to);
+  static ChaosEvent brownout(TimePoint at, NodeId victim, double factor);
+  static ChaosEvent brownout_clear(TimePoint at, NodeId victim);
+  static ChaosEvent byzantine(TimePoint at, NodeId victim, pbft::FaultMode mode);
+  static ChaosEvent byzantine_heal(TimePoint at, NodeId victim);
+};
+
+/// Intensity profile for random plan generation. Every `step`, each fault
+/// family fires with its chance; a fired fault lasts `fault_duration` and
+/// then heals. Parameter maxima bound the drawn severities.
+struct ChaosProfile {
+  Duration step = Duration::seconds(5);
+  Duration fault_duration = Duration::seconds(10);
+
+  double crash_chance{0.2};
+  double partition_chance{0.0};
+  double byzantine_chance{0.0};
+  double link_fault_chance{0.2};
+  double brownout_chance{0.15};
+
+  double max_loss{0.15};
+  Duration max_extra_latency = Duration::millis(40);
+  double max_duplicate{0.25};
+  Duration max_reorder = Duration::millis(20);
+  double max_brownout{6.0};
+
+  /// Concurrent crashed + Byzantine + partitioned-away budget (set to the
+  /// committee's f by campaigns).
+  std::size_t max_faulty{1};
+
+  static ChaosProfile light();
+  static ChaosProfile medium();
+  static ChaosProfile heavy();
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& add(ChaosEvent event);
+
+  /// Generates a plan over [0, horizon): one decision round per
+  /// profile.step, faults drawn only among `nodes`, every fault healed by
+  /// horizon. Same (seed, profile, nodes, horizon) => identical plan.
+  static FaultPlan random(std::uint64_t seed, const ChaosProfile& profile,
+                          const std::vector<NodeId>& nodes, Duration horizon);
+
+  [[nodiscard]] const std::vector<ChaosEvent>& events() const { return events_; }
+  /// Instant of the last scheduled event — after it, every generated fault
+  /// has healed (random plans always pair faults with heals).
+  [[nodiscard]] TimePoint all_healed_at() const;
+  /// Deterministic multi-line rendering of the whole timeline.
+  [[nodiscard]] std::string describe() const;
+
+  using ByzantineSetter = std::function<void(NodeId, pbft::FaultMode)>;
+  using EventHook = std::function<void(const ChaosEvent&)>;
+
+  /// Schedules every event onto the simulator. `set_byzantine` applies
+  /// fault-mode toggles to the right replica (omit for deployments without
+  /// Byzantine events); `hook` fires after each event is applied (wire it
+  /// to InvariantMonitor::note_fault for violation context).
+  void schedule(net::Simulator& sim, net::Network& network, ByzantineSetter set_byzantine = {},
+                EventHook hook = {}) const;
+
+ private:
+  std::vector<ChaosEvent> events_;
+};
+
+// --- seeded campaigns ---------------------------------------------------------------
+
+/// Profile by name; aborts on an unknown intensity.
+[[nodiscard]] ChaosProfile profile_for(const std::string& intensity);
+
+struct ChaosCampaignOptions {
+  std::size_t seeds{10};
+  std::uint64_t base_seed{1};
+  std::vector<std::string> intensities{"light", "medium", "heavy"};
+  bool run_pbft{true};
+  bool run_gpbft{true};
+
+  /// Committee size (PBFT replicas / G-PBFT initial committee).
+  std::size_t committee{7};
+  /// Extra G-PBFT candidate endorsers (era switches promote them mid-run).
+  std::size_t candidates{2};
+  std::size_t clients{2};
+  std::uint64_t txs_per_client{6};
+  Duration tx_period = Duration::seconds(4);
+
+  /// Fault-injection window; the liveness deadline is horizon + grace.
+  Duration horizon = Duration::seconds(40);
+  Duration liveness_grace = Duration::seconds(300);
+};
+
+struct ChaosRunResult {
+  std::string protocol;
+  std::string intensity;
+  std::uint64_t seed{0};
+  std::uint64_t committed{0};
+  std::uint64_t expected{0};
+  std::size_t fault_events{0};
+  std::uint64_t blocks_checked{0};
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool passed() const { return violations.empty(); }
+};
+
+struct ChaosCampaignResult {
+  std::vector<ChaosRunResult> runs;
+
+  [[nodiscard]] std::size_t failed_runs() const;
+  /// Deterministic report: same options => byte-identical text.
+  [[nodiscard]] std::string summary() const;
+};
+
+[[nodiscard]] ChaosCampaignResult run_chaos_campaign(const ChaosCampaignOptions& options);
+
+}  // namespace gpbft::sim

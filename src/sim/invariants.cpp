@@ -1,0 +1,143 @@
+#include "sim/invariants.hpp"
+
+#include <cstdio>
+
+#include "sim/cluster.hpp"
+
+namespace gpbft::sim {
+
+namespace {
+
+std::string format_time(TimePoint at) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", at.to_seconds());
+  return buf;
+}
+
+std::string roster_str(const std::vector<NodeId>& roster) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(roster[i].value);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+const char* violation_kind_name(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::Agreement: return "AGREEMENT";
+    case Violation::Kind::Validity: return "VALIDITY";
+    case Violation::Kind::DuplicateExecution: return "DUPLICATE-EXECUTION";
+    case Violation::Kind::RosterMismatch: return "ROSTER-MISMATCH";
+    case Violation::Kind::Liveness: return "LIVENESS";
+  }
+  return "UNKNOWN";
+}
+
+void InvariantMonitor::watch(pbft::Replica& replica) {
+  const NodeId id = replica.id();
+  replica.set_executed_callback(
+      [this, id](const ledger::Block& block) { on_executed(id, block); });
+}
+
+void InvariantMonitor::watch(PbftCluster& cluster) {
+  for (std::size_t i = 0; i < cluster.replica_count(); ++i) watch(cluster.replica(i));
+}
+
+void InvariantMonitor::watch(GpbftCluster& cluster) {
+  for (std::size_t i = 0; i < cluster.endorser_count(); ++i) watch(cluster.endorser(i));
+}
+
+void InvariantMonitor::expect_submission(const ledger::Transaction& tx) {
+  submitted_.insert(tx.digest());
+}
+
+void InvariantMonitor::set_faulty(NodeId id, bool faulty) {
+  if (faulty) {
+    faulty_.insert(id.value);
+  } else {
+    faulty_.erase(id.value);
+  }
+}
+
+void InvariantMonitor::note_fault(const std::string& description) {
+  fault_context_ = description;
+}
+
+void InvariantMonitor::on_executed(NodeId node, const ledger::Block& block) {
+  // A Byzantine node may execute anything; only honest replicas are held to
+  // the invariants.
+  if (faulty_.contains(node.value)) return;
+
+  blocks_checked_ += 1;
+  const Height height = block.header.height;
+  const crypto::Hash256 hash = block.hash();
+
+  // AGREEMENT: first honest executor of a height fixes the canonical block.
+  const auto [it, inserted] = canonical_.emplace(height, hash);
+  if (!inserted && it->second != hash) {
+    record(Violation::Kind::Agreement, node, height,
+           "executed " + hash.short_hex() + " but canonical is " + it->second.short_hex());
+  }
+
+  auto& seen = executed_txs_[node.value];
+  for (const ledger::Transaction& tx : block.transactions) {
+    txs_checked_ += 1;
+    const crypto::Hash256 digest = tx.digest();
+
+    // VALIDITY: client-submitted transactions must come from the registered
+    // workload (protocol-generated geo/config transactions are endorser-sent
+    // and exempt).
+    if (tx.sender.value > kClientIdBase && !submitted_.contains(digest)) {
+      record(Violation::Kind::Validity, node, height,
+             "committed unsubmitted tx " + digest.short_hex() + " from " + tx.sender.str());
+    }
+    if (!seen.insert(digest).second) {
+      record(Violation::Kind::DuplicateExecution, node, height,
+             "tx " + digest.short_hex() + " executed twice");
+    }
+
+    // ROSTER: every endorser must commit the same configuration for an era.
+    if (tx.kind == ledger::TxKind::Config) {
+      const auto [config_it, first] = canonical_config_.emplace(tx.era_config.era, tx.era_config);
+      if (!first && !(config_it->second == tx.era_config)) {
+        record(Violation::Kind::RosterMismatch, node, height,
+               "era " + std::to_string(tx.era_config.era) + " roster " +
+                   roster_str(tx.era_config.endorsers) + " but canonical is " +
+                   roster_str(config_it->second.endorsers));
+      }
+    }
+  }
+}
+
+void InvariantMonitor::check_bounded_liveness(std::uint64_t committed, std::uint64_t expected,
+                                              TimePoint healed_at, Duration grace) {
+  if (committed >= expected) return;
+  record(Violation::Kind::Liveness, NodeId{0}, 0,
+         std::to_string(committed) + "/" + std::to_string(expected) +
+             " committed; no full recovery within " + format_time(TimePoint{grace.ns}) +
+             " after faults healed at " + format_time(healed_at));
+}
+
+void InvariantMonitor::record(Violation::Kind kind, NodeId node, Height height,
+                              std::string detail) {
+  detail += " (last fault: " + fault_context_ + ")";
+  violations_.push_back(Violation{kind, sim_.now(), node, height, std::move(detail)});
+}
+
+std::string InvariantMonitor::report() const {
+  std::string out = "checked " + std::to_string(blocks_checked_) + " block executions, " +
+                    std::to_string(txs_checked_) + " transactions; " +
+                    std::to_string(violations_.size()) + " violation(s)\n";
+  for (const Violation& violation : violations_) {
+    out += "  [t=" + format_time(violation.at) + "] " +
+           violation_kind_name(violation.kind) + " node=" +
+           std::to_string(violation.node.value) + " height=" +
+           std::to_string(violation.height) + ": " + violation.detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace gpbft::sim

@@ -1,0 +1,110 @@
+// Online invariant monitor for chaos runs.
+//
+// Hooks every watched replica's executed-block callback and checks, at the
+// moment each block executes (not just at the end of a run):
+//
+//   AGREEMENT   no two honest replicas execute different blocks at the same
+//               height (continuous prefix consistency);
+//   VALIDITY    every committed client transaction was actually submitted,
+//               and no replica executes the same transaction twice;
+//   ROSTER      every configuration block committed for an era carries the
+//               same roster (and enrolled cells) on every endorser;
+//   LIVENESS    progress resumes within a bounded grace period after all
+//               injected faults heal (checked by the harness at run end).
+//
+// Violations are recorded with the simulated time and the most recent fault
+// context (fed by FaultPlan's event hook), so a report reads as "what broke,
+// when, and under which fault". Nodes currently under a Byzantine fault mode
+// are excluded from the honest-agreement check while faulty.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ledger/block.hpp"
+#include "net/simulator.hpp"
+
+namespace gpbft::pbft {
+class Replica;
+}
+
+namespace gpbft::sim {
+
+class PbftCluster;
+class GpbftCluster;
+
+struct Violation {
+  enum class Kind { Agreement, Validity, DuplicateExecution, RosterMismatch, Liveness };
+
+  Kind kind{Kind::Agreement};
+  TimePoint at;
+  NodeId node;
+  Height height{0};
+  std::string detail;  // human-readable, includes the active fault context
+};
+
+[[nodiscard]] const char* violation_kind_name(Violation::Kind kind);
+
+class InvariantMonitor {
+ public:
+  explicit InvariantMonitor(net::Simulator& sim) : sim_(sim) {}
+
+  InvariantMonitor(const InvariantMonitor&) = delete;
+  InvariantMonitor& operator=(const InvariantMonitor&) = delete;
+
+  /// Hooks one replica's executed-block callback. The monitor must outlive
+  /// the replica (or the replica must stop executing first).
+  void watch(pbft::Replica& replica);
+  /// Hooks every replica / endorser of a cluster.
+  void watch(PbftCluster& cluster);
+  void watch(GpbftCluster& cluster);
+
+  /// Registers a client submission; committed client transactions outside
+  /// this set are VALIDITY violations.
+  void expect_submission(const ledger::Transaction& tx);
+
+  /// Marks a node Byzantine (excluded from agreement while faulty).
+  void set_faulty(NodeId id, bool faulty);
+  /// Updates the fault context attached to subsequent violations.
+  void note_fault(const std::string& description);
+
+  /// The executed-block check; public so tests (and custom harnesses) can
+  /// drive it directly.
+  void on_executed(NodeId node, const ledger::Block& block);
+
+  /// LIVENESS: call once every injected fault has healed and the workload
+  /// has had `grace` time to finish. Records a violation when commits are
+  /// still missing.
+  void check_bounded_liveness(std::uint64_t committed, std::uint64_t expected,
+                              TimePoint healed_at, Duration grace);
+
+  [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
+  [[nodiscard]] bool clean() const { return violations_.empty(); }
+  [[nodiscard]] std::uint64_t blocks_checked() const { return blocks_checked_; }
+  [[nodiscard]] std::uint64_t transactions_checked() const { return txs_checked_; }
+
+  /// Deterministic text report (identical runs produce identical bytes).
+  [[nodiscard]] std::string report() const;
+
+ private:
+  void record(Violation::Kind kind, NodeId node, Height height, std::string detail);
+
+  net::Simulator& sim_;
+
+  std::map<Height, crypto::Hash256> canonical_;                // height -> agreed hash
+  std::map<EraId, ledger::EraConfig> canonical_config_;        // era -> agreed roster
+  std::set<crypto::Hash256> submitted_;                        // client submissions
+  std::unordered_map<std::uint64_t, std::unordered_set<crypto::Hash256>> executed_txs_;
+  std::unordered_set<std::uint64_t> faulty_;
+
+  std::string fault_context_ = "no faults injected yet";
+  std::uint64_t blocks_checked_{0};
+  std::uint64_t txs_checked_{0};
+  std::vector<Violation> violations_;
+};
+
+}  // namespace gpbft::sim

@@ -30,6 +30,7 @@ struct WorkloadDriver {
   std::uint64_t client_index{0};
   RequestId next_request{1};
   std::uint64_t submitted{0};
+  std::function<void(const ledger::Transaction&)> on_submit;
 };
 
 // Self-rescheduling step; the shared_ptr keeps the driver alive across the
@@ -39,6 +40,7 @@ void step(const std::shared_ptr<WorkloadDriver>& driver, net::Simulator& sim) {
   const ledger::Transaction tx =
       make_workload_tx(driver->client->id(), driver->next_request++, driver->location, sim.now(),
                        driver->config.payload_bytes, driver->config.fee, driver->client_index);
+  if (driver->on_submit) driver->on_submit(tx);
   driver->client->submit(tx);
   ++driver->submitted;
   if (driver->submitted < driver->config.count) {
@@ -50,7 +52,8 @@ void step(const std::shared_ptr<WorkloadDriver>& driver, net::Simulator& sim) {
 
 void schedule_workload(net::Simulator& sim, pbft::Client& client, const geo::GeoPoint& location,
                        const WorkloadConfig& config, std::uint64_t client_index,
-                       LatencyRecorder* recorder) {
+                       LatencyRecorder* recorder,
+                       std::function<void(const ledger::Transaction&)> on_submit) {
   if (recorder != nullptr) {
     client.set_commit_callback(
         [recorder](const crypto::Hash256&, Height, Duration latency) {
@@ -63,6 +66,7 @@ void schedule_workload(net::Simulator& sim, pbft::Client& client, const geo::Geo
   driver->location = location;
   driver->config = config;
   driver->client_index = client_index;
+  driver->on_submit = std::move(on_submit);
 
   const TimePoint first =
       TimePoint{config.start.ns + config.stagger.ns * static_cast<std::int64_t>(client_index)};

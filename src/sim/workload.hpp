@@ -8,6 +8,8 @@
 // trailer. Latencies are recorded by the client's commit callback.
 #pragma once
 
+#include <functional>
+
 #include "pbft/client.hpp"
 #include "sim/metrics.hpp"
 
@@ -24,10 +26,13 @@ struct WorkloadConfig {
 
 /// Schedules a constant-frequency submission stream for `client` located at
 /// `location`. `client_index` derives the stagger offset and seeds payload
-/// contents. The recorder (optional) collects commit latencies.
+/// contents. The recorder (optional) collects commit latencies. `on_submit`
+/// (optional) fires for every transaction as it is submitted — chaos runs
+/// wire it to InvariantMonitor::expect_submission for the validity check.
 void schedule_workload(net::Simulator& sim, pbft::Client& client, const geo::GeoPoint& location,
                        const WorkloadConfig& config, std::uint64_t client_index,
-                       LatencyRecorder* recorder);
+                       LatencyRecorder* recorder,
+                       std::function<void(const ledger::Transaction&)> on_submit = {});
 
 /// Builds the normal transaction a workload would submit (exposed for tests
 /// and single-transaction experiments).

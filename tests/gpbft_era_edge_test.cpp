@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "sim/cluster.hpp"
+#include "sim/invariants.hpp"
 #include "sim/workload.hpp"
 
 namespace gpbft::sim {
@@ -85,6 +86,50 @@ TEST(EraEdge, LeadCrashMidSwitchResumesViaFailsafe) {
 
   // The system recovered: the transaction committed under a new primary.
   EXPECT_EQ(cluster.client(0).committed_count(), 1u);
+}
+
+TEST(EraEdge, LeadCrashMidSwitchUnderLossKeepsRosterConsistent) {
+  // The lead dies right as the era-switch halt goes out, while the network
+  // drops 5% of all traffic. The view change must still complete (the
+  // transaction commits under a new primary) and every surviving active
+  // endorser must agree on the era and the production order — checked both
+  // explicitly and by the online invariant monitor (agreement + roster).
+  GpbftClusterConfig config = edge_config(6, 4);
+  config.net.drop_rate = 0.05;
+  GpbftCluster cluster(config);
+
+  InvariantMonitor monitor(cluster.simulator());
+  monitor.watch(cluster);
+  cluster.start();
+
+  const NodeId lead = cluster.endorser(0).primary_of(0);
+  cluster.run_for(Duration::millis(10'020));  // halt broadcast at t=10
+  cluster.network().crash(lead);
+  monitor.note_fault("lead " + lead.str() + " crashed mid-switch, drop_rate=0.05");
+
+  const ledger::Transaction tx = tx_from(cluster, 1);
+  monitor.expect_submission(tx);
+  cluster.client(0).submit(tx);
+  cluster.run_for(Duration::seconds(60));
+
+  // Liveness: the view change completed and the transaction committed.
+  EXPECT_EQ(cluster.client(0).committed_count(), 1u);
+
+  // Roster consistency on the survivors: same era, same producer order.
+  const gpbft::Endorser* reference = nullptr;
+  for (std::size_t i = 0; i < cluster.endorser_count(); ++i) {
+    const auto& endorser = cluster.endorser(i);
+    if (endorser.id() == lead || endorser.role() != Role::Active) continue;
+    if (reference == nullptr) {
+      reference = &endorser;
+      continue;
+    }
+    EXPECT_EQ(endorser.era(), reference->era()) << "endorser " << i;
+    EXPECT_EQ(endorser.producer_order(), reference->producer_order()) << "endorser " << i;
+  }
+  ASSERT_NE(reference, nullptr);
+  EXPECT_TRUE(monitor.clean()) << monitor.report();
+  EXPECT_GT(monitor.blocks_checked(), 0u);
 }
 
 TEST(EraEdge, UnchangedMembershipCancelsSwitch) {

@@ -2,6 +2,9 @@
 // math, queueing (the paper's s), accounting, and fault injection.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "net/network.hpp"
 #include "net/simulator.hpp"
 
@@ -338,6 +341,226 @@ TEST(Network, ResetStatsClears) {
   network.reset_stats();
   EXPECT_EQ(network.stats().total_bytes, 0u);
   EXPECT_TRUE(network.stats().per_node.empty());
+}
+
+// --- per-link fault rules ------------------------------------------------------------
+
+// Records the simulated time each payload byte was handled.
+struct TimedRecorder : INetNode {
+  Simulator* sim{nullptr};
+  NodeId node_id;
+  std::vector<std::pair<std::uint8_t, double>> handled;
+  [[nodiscard]] NodeId id() const override { return node_id; }
+  void handle(const Envelope& envelope) override {
+    handled.emplace_back(envelope.payload.empty() ? 0 : envelope.payload[0],
+                         sim->now().to_seconds());
+  }
+};
+
+TEST(Network, LinkFaultLossDropsOnlyThatLink) {
+  Simulator sim(1);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1}), b(NodeId{2}), c(NodeId{3});
+  network.attach(&a);
+  network.attach(&b);
+  network.attach(&c);
+
+  network.set_link_fault(NodeId{1}, NodeId{2}, LinkFault{.loss = 1.0});
+  for (int i = 0; i < 5; ++i) {
+    network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1}});
+    network.send(Envelope{NodeId{1}, NodeId{3}, 1, Bytes{1}});
+  }
+  sim.run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(c.received.size(), 5u);
+  EXPECT_EQ(network.stats().dropped_messages, 5u);
+
+  network.clear_link_fault(NodeId{1}, NodeId{2});
+  EXPECT_EQ(network.link_fault(NodeId{1}, NodeId{2}), nullptr);
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1}});
+  sim.run();
+  EXPECT_EQ(b.received.size(), 1u);
+}
+
+TEST(Network, LinkFaultExtraLatencyDelaysDelivery) {
+  Simulator sim(1);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+
+  network.set_link_fault(NodeId{1}, NodeId{2},
+                         LinkFault{.extra_latency = Duration::millis(50)});
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1}});
+  sim.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  // base 2 ms + extra 50 ms + processing 1 ms (vs 3 ms on a clean link).
+  EXPECT_NEAR(sim.now().to_seconds(), 0.053, 1e-9);
+}
+
+TEST(Network, LinkFaultDuplicateDeliversTwice) {
+  Simulator sim(1);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+
+  network.set_link_fault(NodeId{1}, NodeId{2}, LinkFault{.duplicate = 1.0});
+  network.send(Envelope{NodeId{1}, NodeId{2}, 7, Bytes{9}});
+  sim.run();
+  EXPECT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(network.stats().duplicated_messages, 1u);
+  // The ghost is a fault artefact, not sender traffic.
+  EXPECT_EQ(network.stats().total_messages, 1u);
+}
+
+TEST(Network, LinkFaultReorderWindowReordersMessages) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    Network network(sim, quiet_config());
+    RecordingNode a(NodeId{1});
+    TimedRecorder b;
+    b.sim = &sim;
+    b.node_id = NodeId{2};
+    network.attach(&a);
+    network.attach(&b);
+    network.set_link_fault(NodeId{1}, NodeId{2},
+                           LinkFault{.reorder_window = Duration::millis(50)});
+    for (std::uint8_t i = 0; i < 10; ++i) {
+      network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{i}});
+    }
+    sim.run();
+    std::vector<std::uint8_t> order;
+    for (const auto& [payload, when] : b.handled) order.push_back(payload);
+    return order;
+  };
+
+  const std::vector<std::uint8_t> order = run_once(42);
+  ASSERT_EQ(order.size(), 10u);
+  // The window shuffles arrivals: later sends overtake earlier ones.
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+  // ... deterministically under a fixed seed.
+  EXPECT_EQ(order, run_once(42));
+  EXPECT_NE(order, run_once(43));
+}
+
+TEST(Network, BrownoutSlowsProcessingUntilCleared) {
+  Simulator sim(1);
+  Network network(sim, quiet_config());  // 1000 msgs/s: 1 ms per message
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+
+  network.set_brownout(NodeId{2}, 10.0);  // 100 msgs/s: 10 ms per message
+  EXPECT_DOUBLE_EQ(network.processing_rate_of(NodeId{2}), 100.0);
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1}});
+  sim.run();
+  EXPECT_NEAR(sim.now().to_seconds(), 0.012, 1e-9);  // 2 ms latency + 10 ms
+
+  network.clear_brownout(NodeId{2});
+  EXPECT_DOUBLE_EQ(network.processing_rate_of(NodeId{2}), 1000.0);
+  const double before = sim.now().to_seconds();
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1}});
+  sim.run();
+  EXPECT_NEAR(sim.now().to_seconds() - before, 0.003, 1e-9);
+
+  // A factor <= 1 is a clear, not a speed-up.
+  network.set_brownout(NodeId{2}, 0.5);
+  EXPECT_DOUBLE_EQ(network.processing_rate_of(NodeId{2}), 1000.0);
+}
+
+TEST(Network, RecoverResetsProcessingBacklog) {
+  Simulator sim(1);
+  NetConfig config = quiet_config();
+  config.processing_rate_msgs_per_sec = 10.0;  // 100 ms per message
+  Network network(sim, config);
+  RecordingNode a(NodeId{1});
+  TimedRecorder b;
+  b.sim = &sim;
+  b.node_id = NodeId{2};
+  network.attach(&a);
+  network.attach(&b);
+
+  // Three messages queue node 2 solid until t = 302 ms.
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{i}});
+  }
+  sim.run_until(TimePoint{Duration::millis(50).ns});
+
+  // Reboot at t = 50 ms: the accumulated backlog is discarded, so a fresh
+  // message is processed on arrival instead of behind the dead queue.
+  network.crash(NodeId{2});
+  network.recover(NodeId{2});
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{99}});
+  sim.run();
+
+  double fresh_handled = 0;
+  for (const auto& [payload, when] : b.handled) {
+    if (payload == 99) fresh_handled = when;
+  }
+  // arrival 52 ms + 100 ms processing — not 302 ms + 100 ms.
+  EXPECT_NEAR(fresh_handled, 0.152, 1e-9);
+}
+
+TEST(Network, BlockedLinkDoesNotPerturbDropDecisionsElsewhere) {
+  // Fault decisions live on a dedicated RNG stream and are drawn before the
+  // blocked/partition checks, so toggling a block on one link must not
+  // change which messages the global drop rate kills on another.
+  auto delivered_to_b = [](bool block_third_link) {
+    Simulator sim(7);
+    NetConfig config = quiet_config();
+    config.jitter = Duration{0};
+    config.drop_rate = 0.3;
+    Network network(sim, config);
+    RecordingNode a(NodeId{1}), b(NodeId{2}), c(NodeId{3});
+    network.attach(&a);
+    network.attach(&b);
+    network.attach(&c);
+    if (block_third_link) network.block_link(NodeId{1}, NodeId{3});
+    std::vector<std::uint8_t> order;
+    struct Sink : INetNode {
+      NodeId node_id;
+      std::vector<std::uint8_t>* out;
+      [[nodiscard]] NodeId id() const override { return node_id; }
+      void handle(const Envelope& envelope) override { out->push_back(envelope.payload[0]); }
+    } sink;
+    sink.node_id = NodeId{4};
+    sink.out = &order;
+    network.attach(&sink);
+    for (std::uint8_t i = 0; i < 20; ++i) {
+      network.send(Envelope{NodeId{1}, NodeId{4}, 1, Bytes{i}});
+      network.send(Envelope{NodeId{1}, NodeId{3}, 1, Bytes{i}});
+    }
+    sim.run();
+    return order;
+  };
+
+  const std::vector<std::uint8_t> clean = delivered_to_b(false);
+  EXPECT_EQ(clean, delivered_to_b(true));
+  EXPECT_LT(clean.size(), 20u);  // the drop rate actually bit
+  EXPECT_GT(clean.size(), 0u);
+}
+
+TEST(Network, LinkFaultsDeterministicAcrossIdenticalRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    NetConfig config = quiet_config();
+    config.jitter = Duration::millis(5);
+    Network network(sim, config);
+    RecordingNode a(NodeId{1}), b(NodeId{2});
+    network.attach(&a);
+    network.attach(&b);
+    network.set_link_fault(NodeId{1}, NodeId{2},
+                           LinkFault{.loss = 0.3,
+                                     .extra_latency = Duration::millis(10),
+                                     .duplicate = 0.3,
+                                     .reorder_window = Duration::millis(15)});
+    for (int i = 0; i < 30; ++i) network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1}});
+    sim.run();
+    return std::make_pair(sim.now().ns, b.received.size());
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
 }
 
 TEST(Network, DeterministicAcrossIdenticalRuns) {

@@ -1,26 +1,29 @@
-// Randomized torture tests: seeded fault schedules (crashes, recoveries,
-// Byzantine modes, message loss) hammer both protocols while the invariants
-// that must never break are checked continuously:
-//   SAFETY    no two non-crashed replicas ever commit different blocks at
-//             the same height (checked across the whole run, not just at
-//             the end);
-//   VALIDITY  every committed transaction was actually submitted;
+// Randomized torture tests: seeded FaultPlan schedules (crashes, recoveries,
+// Byzantine modes, message loss) hammer both protocols while the online
+// InvariantMonitor checks, at every executed block, the invariants that must
+// never break:
+//   SAFETY    no two honest replicas ever execute different blocks at the
+//             same height (continuous, not just at the end);
+//   VALIDITY  every committed client transaction was actually submitted and
+//             executes at most once per replica;
 //   LIVENESS  with at most f concurrent faults, submitted transactions
-//             eventually commit.
+//             eventually commit once every injected fault has healed.
 #include <gtest/gtest.h>
 
 #include <map>
 
 #include "common/rng.hpp"
+#include "sim/chaos.hpp"
 #include "sim/cluster.hpp"
+#include "sim/invariants.hpp"
 #include "sim/workload.hpp"
 
 namespace gpbft::sim {
 namespace {
 
 void expect_prefix_consistency(PbftCluster& cluster) {
-  // Compare every pair of live replicas block-by-block over the shared
-  // prefix: commits may lag, but must never diverge.
+  // End-of-run backstop on top of the monitor's continuous check: compare
+  // every pair of replicas block-by-block over the shared prefix.
   for (std::size_t a = 0; a < cluster.replica_count(); ++a) {
     for (std::size_t b = a + 1; b < cluster.replica_count(); ++b) {
       const auto& chain_a = cluster.replica(a).chain();
@@ -34,11 +37,19 @@ void expect_prefix_consistency(PbftCluster& cluster) {
   }
 }
 
+void schedule_monitored_workload(PbftCluster& cluster, const WorkloadConfig& workload,
+                                 InvariantMonitor& monitor) {
+  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
+    schedule_workload(cluster.simulator(), cluster.client(i), cluster.placement().position(i),
+                      workload, i, nullptr,
+                      [&monitor](const ledger::Transaction& tx) { monitor.expect_submission(tx); });
+  }
+}
+
 class PbftTorture : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(PbftTorture, RandomCrashRecoverScheduleNeverDiverges) {
   const std::uint64_t seed = GetParam();
-  Rng rng(seed);
 
   PbftClusterConfig config;
   config.replicas = 7;  // f = 2
@@ -48,48 +59,50 @@ TEST_P(PbftTorture, RandomCrashRecoverScheduleNeverDiverges) {
   config.pbft.view_change_timeout = Duration::seconds(5);
   config.net.drop_rate = 0.02;  // constant background loss
   PbftCluster cluster(config);
+
+  InvariantMonitor monitor(cluster.simulator());
+  monitor.watch(cluster);
   cluster.start();
 
-  LatencyRecorder recorder;
   WorkloadConfig workload;
   workload.period = Duration::seconds(2);
   workload.count = 15;
-  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
-    schedule_workload(cluster.simulator(), cluster.client(i), cluster.placement().position(i),
-                      workload, i, &recorder);
-  }
+  schedule_monitored_workload(cluster, workload, monitor);
 
-  // Fault schedule: every 5 simulated seconds, flip one replica's state —
-  // crash it if up, recover it if down — keeping at most f = 2 down.
-  std::set<std::size_t> down;
-  for (int round = 0; round < 24; ++round) {
-    const std::size_t victim = rng.uniform(0, config.replicas - 1);
-    if (down.contains(victim)) {
-      cluster.network().recover(cluster.replica(victim).id());
-      down.erase(victim);
-    } else if (down.size() < 2) {
-      cluster.network().crash(cluster.replica(victim).id());
-      down.insert(victim);
-    }
-    cluster.run_for(Duration::seconds(5));
-    expect_prefix_consistency(cluster);
-  }
+  // Crash-only intensity profile: one decision round every 5 simulated
+  // seconds over a 120 s horizon, never more than f = 2 replicas down at
+  // once, every crash paired with a recovery.
+  ChaosProfile profile;
+  profile.crash_chance = 0.35;
+  profile.link_fault_chance = 0.0;
+  profile.brownout_chance = 0.0;
+  profile.max_faulty = 2;
+  const Duration horizon = Duration::seconds(120);
+  const FaultPlan plan = FaultPlan::random(seed, profile, cluster.committee(), horizon);
+  plan.schedule(cluster.simulator(), cluster.network(), {},
+                [&monitor](const ChaosEvent& event) { monitor.note_fault(event.describe()); });
 
-  // Recover everyone and drain: liveness must return.
-  for (const std::size_t victim : down) {
-    cluster.network().recover(cluster.replica(victim).id());
-  }
-  cluster.run_until_committed(workload.count, TimePoint{Duration::seconds(600).ns});
-  expect_prefix_consistency(cluster);
+  cluster.run_for(horizon);
+
+  // Everyone has recovered by all_healed_at(): liveness must return.
+  const TimePoint deadline{std::max(horizon.ns, plan.all_healed_at().ns) +
+                           Duration::seconds(600).ns};
+  cluster.run_until_committed(workload.count, deadline);
 
   std::uint64_t committed = 0;
   for (std::size_t i = 0; i < cluster.client_count(); ++i) {
     committed += cluster.client(i).committed_count();
   }
-  EXPECT_EQ(committed, workload.count * cluster.client_count());
+  monitor.check_bounded_liveness(committed, workload.count * cluster.client_count(),
+                                 plan.all_healed_at(), Duration::seconds(600));
 
-  // VALIDITY: every committed transaction was a workload submission (all
-  // workload txs come from known client ids with our payload size).
+  EXPECT_TRUE(monitor.clean()) << monitor.report();
+  EXPECT_GT(monitor.blocks_checked(), 0u);
+  EXPECT_EQ(committed, workload.count * cluster.client_count());
+  expect_prefix_consistency(cluster);
+
+  // VALIDITY backstop: every committed transaction was a workload submission
+  // (all workload txs come from known client ids with our payload size).
   const auto& chain = cluster.replica(0).chain();
   for (Height h = 1; h <= chain.height(); ++h) {
     for (const auto& tx : chain.at(h).transactions) {
@@ -114,29 +127,47 @@ TEST_P(ByzantineTorture, FByzantineReplicasCannotBreakSafety) {
   config.pbft.request_timeout = Duration::seconds(6);
   config.pbft.view_change_timeout = Duration::seconds(5);
   PbftCluster cluster(config);
+
+  InvariantMonitor monitor(cluster.simulator());
+  monitor.watch(cluster);
   cluster.start();
 
-  // Two Byzantine replicas with random attack modes (possibly the primary).
+  // Two Byzantine replicas with random attack modes (possibly the primary),
+  // faulty for the whole run — a literal FaultPlan pins the exact scenario.
   const pbft::FaultMode modes[] = {pbft::FaultMode::Silent, pbft::FaultMode::EquivocateDigest,
                                    pbft::FaultMode::CorruptProposals};
   const std::size_t bad_a = rng.uniform(0, 6);
   std::size_t bad_b = rng.uniform(0, 6);
   while (bad_b == bad_a) bad_b = rng.uniform(0, 6);
-  cluster.replica(bad_a).set_fault_mode(modes[rng.uniform(0, 2)]);
-  cluster.replica(bad_b).set_fault_mode(modes[rng.uniform(0, 2)]);
 
-  LatencyRecorder recorder;
+  FaultPlan plan;
+  plan.add(ChaosEvent::byzantine(TimePoint{Duration::millis(500).ns}, cluster.replica(bad_a).id(),
+                                 modes[rng.uniform(0, 2)]));
+  plan.add(ChaosEvent::byzantine(TimePoint{Duration::millis(500).ns}, cluster.replica(bad_b).id(),
+                                 modes[rng.uniform(0, 2)]));
+  plan.schedule(
+      cluster.simulator(), cluster.network(),
+      [&cluster, &monitor](NodeId id, pbft::FaultMode mode) {
+        for (std::size_t i = 0; i < cluster.replica_count(); ++i) {
+          if (cluster.replica(i).id() == id) cluster.replica(i).set_fault_mode(mode);
+        }
+        monitor.set_faulty(id, mode != pbft::FaultMode::None);
+      },
+      [&monitor](const ChaosEvent& event) { monitor.note_fault(event.describe()); });
+
   WorkloadConfig workload;
   workload.period = Duration::seconds(3);
   workload.count = 8;
-  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
-    schedule_workload(cluster.simulator(), cluster.client(i), cluster.placement().position(i),
-                      workload, i, &recorder);
-  }
+  schedule_monitored_workload(cluster, workload, monitor);
 
   cluster.run_until_committed(workload.count, TimePoint{Duration::seconds(600).ns});
 
-  // SAFETY among honest replicas, regardless of what the Byzantine pair did.
+  // SAFETY among honest replicas, regardless of what the Byzantine pair did:
+  // the monitor checked agreement + validity at every honest execution.
+  EXPECT_TRUE(monitor.clean()) << monitor.report();
+  EXPECT_GT(monitor.blocks_checked(), 0u);
+
+  // End-of-run backstop over the honest replicas' full chains.
   Height max_height = 0;
   std::map<Height, crypto::Hash256> canonical;
   for (std::size_t i = 0; i < cluster.replica_count(); ++i) {
@@ -181,22 +212,29 @@ TEST_P(GpbftTorture, ChurnPlusFaultsKeepCommitteeChainsConsistent) {
   config.protocol.pbft.request_timeout = Duration::seconds(6);
   config.protocol.pbft.view_change_timeout = Duration::seconds(5);
   GpbftCluster cluster(config);
+
+  InvariantMonitor monitor(cluster.simulator());
+  monitor.watch(cluster);
   cluster.start();
 
-  LatencyRecorder recorder;
   WorkloadConfig workload;
   workload.period = Duration::seconds(3);
   workload.count = 10;
   for (std::size_t i = 0; i < cluster.client_count(); ++i) {
     schedule_workload(cluster.simulator(), cluster.client(i), cluster.placement().position(i),
-                      workload, i, &recorder);
+                      workload, i, nullptr,
+                      [&monitor](const ledger::Transaction& tx) { monitor.expect_submission(tx); });
   }
 
-  // Churn: one random crash + one random relocation during the run.
+  // Churn: one random crash (a literal FaultPlan event at t = 12 s) plus one
+  // random relocation mid-run.
   const std::size_t crashed = rng.uniform(0, 5);
-  cluster.run_for(Duration::seconds(12));
-  cluster.network().crash(cluster.endorser(crashed).id());
-  cluster.run_for(Duration::seconds(12));
+  FaultPlan plan;
+  plan.add(ChaosEvent::crash(TimePoint{Duration::seconds(12).ns}, cluster.endorser(crashed).id()));
+  plan.schedule(cluster.simulator(), cluster.network(), {},
+                [&monitor](const ChaosEvent& event) { monitor.note_fault(event.describe()); });
+
+  cluster.run_for(Duration::seconds(24));
   const std::size_t moved = 6 + rng.uniform(0, 3);
   const geo::GeoPoint new_home = cluster.placement().position(60 + moved);
   cluster.endorser(moved).set_location(new_home);
@@ -204,7 +242,12 @@ TEST_P(GpbftTorture, ChurnPlusFaultsKeepCommitteeChainsConsistent) {
 
   cluster.run_until_committed(workload.count, TimePoint{Duration::seconds(600).ns});
 
-  // Committee members' chains agree over the shared prefix.
+  // The monitor checked committee agreement, era-roster consistency, and
+  // validity at every executed block.
+  EXPECT_TRUE(monitor.clean()) << monitor.report();
+  EXPECT_GT(monitor.blocks_checked(), 0u);
+
+  // End-of-run backstop: committee members' chains agree over the prefix.
   std::map<Height, crypto::Hash256> canonical;
   for (const NodeId member : cluster.roster()) {
     for (std::size_t i = 0; i < cluster.endorser_count(); ++i) {

@@ -6,11 +6,16 @@
 //   gpbft_cli latency --protocol gpbft --nodes 202
 //   gpbft_cli cost    --protocol pbft  --nodes 130
 //   gpbft_cli sweep   --protocol gpbft --nodes 4,40,130,202 --runs 3 --csv
+//   gpbft_cli chaos   --seeds 20 --intensity all
 //
 // Commands:
 //   latency  constant-frequency workload; per-transaction commit latency
 //   cost     single transaction; bytes on the wire
 //   sweep    latency over a comma-separated node grid
+//   chaos    seeded fault-injection campaign (seeds x intensities x
+//            protocols) with the online invariant monitor attached; prints
+//            a deterministic pass/fail report and exits non-zero on any
+//            violation
 //
 // Common options (defaults = the calibrated values of DESIGN.md §4):
 //   --protocol pbft|gpbft|dbft|pow   --nodes N[,N...]   --seed S
@@ -28,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/chaos.hpp"
 #include "sim/experiment.hpp"
 
 namespace {
@@ -41,15 +47,25 @@ struct CliOptions {
   std::size_t runs = 1;
   bool csv = false;
   sim::ExperimentOptions experiment = sim::default_options();
+  std::string intensity = "all";  // chaos: light|medium|heavy|all
+  std::size_t seeds = 10;         // chaos: seeds per (protocol, intensity)
+  bool protocol_set = false;      // chaos defaults to both when unset
+  bool txs_set = false;           // chaos keeps its own default when unset
 };
 
 void print_usage() {
   std::fprintf(stderr,
-               "usage: gpbft_cli <latency|cost|sweep> [options]\n"
+               "usage: gpbft_cli <latency|cost|sweep|chaos> [options]\n"
                "  --protocol pbft|gpbft|dbft|pow   consensus to run (default gpbft)\n"
                "  --nodes N[,N...]                 network sizes (default 40)\n"
                "  --seed S --txs K --period SEC --rate S --batch B\n"
-               "  --max-committee C --era-period SEC --runs R --csv\n");
+               "  --max-committee C --era-period SEC --runs R --csv\n"
+               "chaos options:\n"
+               "  --protocol pbft|gpbft|both       protocols to torture (default both)\n"
+               "  --seeds N                        seeds per protocol x intensity (default 10)\n"
+               "  --intensity light|medium|heavy|all  fault intensity (default all)\n"
+               "  --nodes N                        committee size (default 7)\n"
+               "  --seed S --txs K\n");
 }
 
 std::vector<std::size_t> parse_node_list(const std::string& arg) {
@@ -70,8 +86,8 @@ std::vector<std::size_t> parse_node_list(const std::string& arg) {
 bool parse_args(int argc, char** argv, CliOptions& options) {
   if (argc < 2) return false;
   options.command = argv[1];
-  if (options.command != "latency" && options.command != "cost" &&
-      options.command != "sweep") {
+  if (options.command != "latency" && options.command != "cost" && options.command != "sweep" &&
+      options.command != "chaos") {
     return false;
   }
 
@@ -85,6 +101,7 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
     const std::string value = argv[++i];
     if (flag == "--protocol") {
       options.protocol = value;
+      options.protocol_set = true;
     } else if (flag == "--nodes") {
       options.nodes = parse_node_list(value);
       if (options.nodes.empty()) return false;
@@ -92,6 +109,7 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.experiment.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (flag == "--txs") {
       options.experiment.txs_per_client = std::strtoull(value.c_str(), nullptr, 10);
+      options.txs_set = true;
     } else if (flag == "--period") {
       options.experiment.proposal_period = Duration::from_seconds(std::atof(value.c_str()));
     } else if (flag == "--rate") {
@@ -105,16 +123,48 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
     } else if (flag == "--runs") {
       options.runs = std::strtoull(value.c_str(), nullptr, 10);
       if (options.runs == 0) options.runs = 1;
+    } else if (flag == "--seeds") {
+      options.seeds = std::strtoull(value.c_str(), nullptr, 10);
+      if (options.seeds == 0) options.seeds = 1;
+    } else if (flag == "--intensity") {
+      options.intensity = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
+  }
+  if (options.command == "chaos") {
+    if (!options.protocol_set) options.protocol = "both";
+    if (options.protocol != "pbft" && options.protocol != "gpbft" &&
+        options.protocol != "both") {
+      return false;
+    }
+    if (options.intensity != "light" && options.intensity != "medium" &&
+        options.intensity != "heavy" && options.intensity != "all") {
+      return false;
+    }
+    return true;
   }
   if (options.protocol != "pbft" && options.protocol != "gpbft" &&
       options.protocol != "dbft" && options.protocol != "pow") {
     return false;
   }
   return true;
+}
+
+int run_chaos(const CliOptions& options) {
+  sim::ChaosCampaignOptions campaign;
+  campaign.seeds = options.seeds;
+  campaign.base_seed = options.experiment.seed;
+  campaign.committee = options.nodes.empty() ? 7 : options.nodes.front();
+  if (options.txs_set) campaign.txs_per_client = options.experiment.txs_per_client;
+  if (options.intensity != "all") campaign.intensities = {options.intensity};
+  campaign.run_pbft = options.protocol == "pbft" || options.protocol == "both";
+  campaign.run_gpbft = options.protocol == "gpbft" || options.protocol == "both";
+
+  const sim::ChaosCampaignResult result = sim::run_chaos_campaign(campaign);
+  std::fputs(result.summary().c_str(), stdout);
+  return result.failed_runs() == 0 ? 0 : 1;
 }
 
 sim::ExperimentResult run_latency(const CliOptions& options, std::size_t nodes) {
@@ -167,6 +217,8 @@ int main(int argc, char** argv) {
     print_usage();
     return 2;
   }
+
+  if (options.command == "chaos") return run_chaos(options);
 
   if (options.csv) print_csv_header();
 
