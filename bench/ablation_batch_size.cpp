@@ -17,8 +17,8 @@ int main() {
   std::printf("%8s %14s %14s %12s\n", "batch", "mean lat(s)", "p95 lat(s)", "sim time(s)");
   for (const std::size_t batch : {1u, 4u, 8u, 16u, 32u, 64u, 128u}) {
     sim::ExperimentOptions options = sim::default_options();
-    options.batch_size = batch;
-    options.txs_per_client = 6;
+    options.engine.batch_size = batch;
+    options.workload.txs_per_client = 6;
     const sim::ExperimentResult result = sim::run_pbft_latency(kNodes, options);
     // p95 from the merged samples.
     std::vector<double> sorted = result.latency_samples;

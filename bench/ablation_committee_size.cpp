@@ -14,10 +14,9 @@ int main() {
   std::printf("%6s %6s %14s %14s %4s\n", "max", "cmte", "mean lat(s)", "KB/tx", "f");
   for (const std::size_t cap : {4u, 10u, 20u, 40u, 70u}) {
     sim::ExperimentOptions options = sim::default_options();
-    options.txs_per_client = 6;
-    options.max_committee = cap;
-    options.min_committee = std::min<std::size_t>(4, cap);
-    options.initial_committee = 4;
+    options.workload.txs_per_client = 6;
+    options.committee.max = cap;
+    options.committee.min = std::min<std::size_t>(4, cap);
 
     const sim::ExperimentResult latency = sim::run_gpbft_latency(kNodes, options);
     const sim::ExperimentResult cost = sim::run_gpbft_single_tx(kNodes, options);

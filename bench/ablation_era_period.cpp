@@ -6,9 +6,10 @@
 //   * mean transaction latency under constant load (switch pauses tax it),
 //   * promotion delay: how long after a candidate becomes eligible it
 //     actually enters the committee (bounded below by T).
+#include <memory>
+
 #include "bench_util.hpp"
-#include "sim/cluster.hpp"
-#include "sim/workload.hpp"
+#include "sim/deployment.hpp"
 
 namespace {
 
@@ -21,49 +22,47 @@ struct EraPeriodResult {
 };
 
 EraPeriodResult run_with_period(Duration era_period) {
-  sim::GpbftClusterConfig config;
-  config.nodes = 12;
-  config.initial_committee = 4;
-  config.clients = 12;
-  config.seed = 11;
-  config.protocol.genesis.era_period = era_period;
-  config.protocol.genesis.geo_report_period = Duration::seconds(2);
-  config.protocol.genesis.geo_window = std::max(era_period, Duration::seconds(6));
-  config.protocol.genesis.min_geo_reports = 2;
-  config.protocol.genesis.promotion_threshold = Duration::seconds(20);
-  config.protocol.genesis.policy.min_endorsers = 4;
-  config.protocol.genesis.policy.max_endorsers = 8;
-  config.protocol.pbft.request_timeout = Duration::seconds(4000);
+  sim::ScenarioSpec spec;
+  spec.protocol = sim::ProtocolKind::Gpbft;
+  spec.nodes = 12;
+  spec.clients = 12;
+  spec.seed = 11;
+  spec.committee.initial = 4;
+  spec.committee.min = 4;
+  spec.committee.max = 8;
+  spec.committee.era_period = era_period;
+  spec.geo.report_period = Duration::seconds(2);
+  spec.geo.window = std::max(era_period, Duration::seconds(6));
+  spec.geo.min_reports = 2;
+  spec.geo.promotion_threshold = Duration::seconds(20);
+  spec.engine.request_timeout = Duration::seconds(4000);
+  spec.workload.period = Duration::seconds(2);
+  spec.workload.txs_per_client = 30;
 
-  sim::GpbftCluster cluster(config);
-  cluster.start();
+  const std::unique_ptr<sim::GpbftCluster> cluster = sim::make_gpbft_deployment(spec);
+  cluster->start();
 
   sim::LatencyRecorder recorder;
-  sim::WorkloadConfig workload;
-  workload.period = Duration::seconds(2);
-  workload.count = 30;
-  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
-    sim::schedule_workload(cluster.simulator(), cluster.client(i),
-                           cluster.placement().position(i), workload, i, &recorder);
-  }
+  cluster->schedule_workload(spec.workload, &recorder);
 
   // Candidates become eligible at promotion_threshold (20 s); record when
   // the committee first grows beyond the initial 4.
   double grew_at = -1.0;
   const TimePoint eligible_at{Duration::seconds(20).ns};
-  while (cluster.simulator().now().to_seconds() < 90.0) {
-    cluster.run_for(Duration::millis(200));
-    if (grew_at < 0 && cluster.committee_size() > 4) {
-      grew_at = cluster.simulator().now().to_seconds();
+  while (cluster->simulator().now().to_seconds() < 90.0) {
+    cluster->run_for(Duration::millis(200));
+    if (grew_at < 0 && cluster->committee_size() > 4) {
+      grew_at = cluster->simulator().now().to_seconds();
     }
   }
-  cluster.run_until_committed(workload.count, TimePoint{Duration::seconds(600).ns});
-  cluster.stop();
+  cluster->run_until_committed(spec.workload.txs_per_client,
+                               TimePoint{Duration::seconds(600).ns});
+  cluster->stop();
 
   EraPeriodResult result;
   result.mean_latency = recorder.mean();
   result.promotion_delay = grew_at < 0 ? -1.0 : grew_at - eligible_at.to_seconds();
-  result.switches = cluster.total_era_switches();
+  result.switches = cluster->total_era_switches();
   return result;
 }
 

@@ -4,12 +4,11 @@
 // (random walk: relocating every 8 s). Sweep the minimum-report threshold:
 // a tiny n lets a briefly-stationary mobile device slip into the committee
 // (false promotion); a large n delays or starves legitimate promotions.
-#include <algorithm>
 #include <memory>
 #include <set>
 
 #include "bench_util.hpp"
-#include "sim/cluster.hpp"
+#include "sim/deployment.hpp"
 #include "sim/mobility.hpp"
 
 namespace {
@@ -22,41 +21,42 @@ struct ThresholdResult {
 };
 
 ThresholdResult run_with_threshold(std::size_t min_reports) {
-  sim::GpbftClusterConfig config;
-  config.nodes = 16;  // 1..4 core, 5..10 fixed candidates, 11..16 mobile
-  config.initial_committee = 4;
-  config.clients = 0;
-  config.seed = 5;
-  config.protocol.genesis.era_period = Duration::seconds(10);
-  config.protocol.genesis.geo_report_period = Duration::seconds(2);
-  config.protocol.genesis.geo_window = Duration::seconds(10);
-  config.protocol.genesis.min_geo_reports = min_reports;
-  config.protocol.genesis.promotion_threshold = Duration::seconds(6);
-  config.protocol.genesis.policy.min_endorsers = 4;
-  config.protocol.genesis.policy.max_endorsers = 40;
-  config.protocol.pbft.request_timeout = Duration::seconds(4000);
+  sim::ScenarioSpec spec;
+  spec.protocol = sim::ProtocolKind::Gpbft;
+  spec.nodes = 16;  // 1..4 core, 5..10 fixed candidates, 11..16 mobile
+  spec.clients = 0;
+  spec.seed = 5;
+  spec.committee.initial = 4;
+  spec.committee.min = 4;
+  spec.committee.max = 40;
+  spec.committee.era_period = Duration::seconds(10);
+  spec.geo.report_period = Duration::seconds(2);
+  spec.geo.window = Duration::seconds(10);
+  spec.geo.min_reports = min_reports;
+  spec.geo.promotion_threshold = Duration::seconds(6);
+  spec.engine.request_timeout = Duration::seconds(4000);
 
-  sim::GpbftCluster cluster(config);
+  const std::unique_ptr<sim::GpbftCluster> cluster = sim::make_gpbft_deployment(spec);
 
   // Devices 11..16 are mobile: they hop between disjoint grid slots every
   // 8 s (honest moves — the registry follows).
-  sim::Mobility mobility(cluster.simulator(), cluster.area(), cluster.placement());
+  sim::Mobility mobility(cluster->simulator(), cluster->area(), cluster->placement());
   for (std::size_t i = 10; i < 16; ++i) {
-    mobility.random_hop(cluster.endorser(i), Duration::seconds(8),
+    mobility.random_hop(cluster->endorser(i), Duration::seconds(8),
                         /*slot_base=*/100 + i * 20, /*slot_count=*/18,
                         /*start=*/Duration::seconds(4));
   }
 
-  cluster.start();
+  cluster->start();
 
   // Sample the roster as eras pass: a mobile device that slips in is often
   // demoted again shortly after, so count everyone *ever* admitted.
   std::set<std::uint64_t> ever_member;
-  while (cluster.simulator().now().to_seconds() < 90.0) {
-    cluster.run_for(Duration::millis(500));
-    for (const NodeId member : cluster.roster()) ever_member.insert(member.value);
+  while (cluster->simulator().now().to_seconds() < 90.0) {
+    cluster->run_for(Duration::millis(500));
+    for (const NodeId member : cluster->roster()) ever_member.insert(member.value);
   }
-  cluster.stop();
+  cluster->stop();
 
   ThresholdResult result;
   for (std::uint64_t id = 5; id <= 10; ++id) {

@@ -10,41 +10,39 @@
 // Consensus latency tracks the *committee's* power, not the fleet average —
 // exactly why G-PBFT elects the powerful fixed devices.
 #include <cstdio>
+#include <memory>
 
-#include "sim/cluster.hpp"
-#include "sim/workload.hpp"
+#include "sim/deployment.hpp"
 
 namespace {
 
 using namespace gpbft;
 
 double run_case(double committee_rate, double device_rate) {
-  sim::GpbftClusterConfig config;
-  config.nodes = 40;
-  config.initial_committee = 10;
-  config.clients = 40;
-  config.seed = 23;
-  config.protocol.genesis.era_period = Duration::seconds(1000);  // isolate the effect
-  config.protocol.pbft.request_timeout = Duration::seconds(4000);
+  sim::ScenarioSpec spec;
+  spec.protocol = sim::ProtocolKind::Gpbft;
+  spec.nodes = 40;
+  spec.clients = 40;
+  spec.seed = 23;
+  spec.committee.initial = 10;
+  spec.committee.era_period = Duration::seconds(1000);  // isolate the effect
+  spec.engine.request_timeout = Duration::seconds(4000);
+  spec.workload.period = Duration::seconds(5);
+  spec.workload.txs_per_client = 8;
 
-  sim::GpbftCluster cluster(config);
-  for (std::size_t i = 0; i < cluster.endorser_count(); ++i) {
-    const bool in_committee = i < config.initial_committee;
-    cluster.network().set_processing_rate(cluster.endorser(i).id(),
-                                          in_committee ? committee_rate : device_rate);
+  const std::unique_ptr<sim::GpbftCluster> cluster = sim::make_gpbft_deployment(spec);
+  for (std::size_t i = 0; i < cluster->endorser_count(); ++i) {
+    const bool in_committee = i < spec.committee.initial;
+    cluster->network().set_processing_rate(cluster->endorser(i).id(),
+                                           in_committee ? committee_rate : device_rate);
   }
-  cluster.start();
+  cluster->start();
 
   sim::LatencyRecorder recorder;
-  sim::WorkloadConfig workload;
-  workload.period = Duration::seconds(5);
-  workload.count = 8;
-  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
-    sim::schedule_workload(cluster.simulator(), cluster.client(i),
-                           cluster.placement().position(i), workload, i, &recorder);
-  }
-  cluster.run_until_committed(workload.count, TimePoint{Duration::seconds(2000).ns});
-  cluster.stop();
+  cluster->schedule_workload(spec.workload, &recorder);
+  cluster->run_until_committed(spec.workload.txs_per_client,
+                               TimePoint{Duration::seconds(2000).ns});
+  cluster->stop();
   return recorder.mean();
 }
 

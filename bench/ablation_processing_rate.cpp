@@ -14,9 +14,9 @@ int main() {
   std::printf("%10s %14s %16s\n", "s(msg/s)", "mean lat(s)", "lat x s (~const)");
   for (const double rate : {40.0, 80.0, 160.0, 320.0, 640.0}) {
     sim::ExperimentOptions options = sim::default_options();
-    options.processing_rate = rate;
-    options.txs_per_client = 1;         // no backlog: pure O(n/s) regime
-    options.proposal_period = Duration::seconds(5);
+    options.net.processing_rate_msgs_per_sec = rate;
+    options.workload.txs_per_client = 1;  // no backlog: pure O(n/s) regime
+    options.workload.period = Duration::seconds(5);
     const sim::ExperimentResult result = sim::run_pbft_latency(kNodes, options);
     std::printf("%10.0f %14.3f %16.1f\n", rate, result.latency.mean,
                 result.latency.mean * rate);

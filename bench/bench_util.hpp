@@ -1,12 +1,21 @@
 // Shared helpers for the figure/table harnesses.
 //
-// Environment knobs:
+// Environment knobs (documented in EXPERIMENTS.md):
 //   GPBFT_BENCH_RUNS   seeded repetitions per point for Fig. 3 (default 3;
-//                      the paper used 10 — raise it when you have the time)
+//                      the paper used 10 — raise it when you have the time).
+//                      Must be a positive integer with no trailing junk;
+//                      anything else aborts loudly instead of silently
+//                      benchmarking the wrong configuration.
 //   GPBFT_BENCH_QUICK  when set (non-empty), use a coarse node grid so the
 //                      whole suite finishes in about a minute
+//   GPBFT_BENCH_JSON   when set, append one JSON record per measured point
+//                      (protocol, nodes, committee, boxplot stats, KB on
+//                      wire, seed) to the named file — deterministic given
+//                      the same build and knobs
 #pragma once
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,11 +26,16 @@
 namespace gpbft::bench {
 
 inline std::size_t runs_per_point() {
-  if (const char* env = std::getenv("GPBFT_BENCH_RUNS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  const char* env = std::getenv("GPBFT_BENCH_RUNS");
+  if (env == nullptr || env[0] == '\0') return 3;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (errno == ERANGE || end == env || *end != '\0' || parsed <= 0) {
+    std::fprintf(stderr, "GPBFT_BENCH_RUNS=\"%s\" is not a positive integer\n", env);
+    std::exit(2);
   }
-  return 3;
+  return static_cast<std::size_t>(parsed);
 }
 
 inline bool quick_mode() {
@@ -54,6 +68,34 @@ inline void print_boxplot_row(const sim::ExperimentResult& r) {
               r.latency.min, r.latency.q1, r.latency.median, r.latency.q3, r.latency.max,
               r.latency.mean, r.committee, static_cast<unsigned long long>(r.committed),
               static_cast<unsigned long long>(r.expected));
+}
+
+/// GPBFT_BENCH_JSON: appends one self-contained JSON line per measured
+/// point. `series` names the figure/table series ("fig3a.pbft", ...).
+/// Doubles use %.17g so records round-trip exactly; identical runs append
+/// identical bytes.
+inline void append_json_record(const char* series, const sim::ExperimentResult& r,
+                               std::uint64_t seed) {
+  const char* path = std::getenv("GPBFT_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  std::FILE* out = std::fopen(path, "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "GPBFT_BENCH_JSON: cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(out,
+               "{\"series\":\"%s\",\"seed\":%llu,\"nodes\":%zu,\"committee\":%zu,"
+               "\"samples\":%zu,\"latency\":{\"min\":%.17g,\"q1\":%.17g,\"median\":%.17g,"
+               "\"q3\":%.17g,\"max\":%.17g,\"mean\":%.17g},\"consensus_kb\":%.17g,"
+               "\"total_kb\":%.17g,\"committed\":%llu,\"expected\":%llu,"
+               "\"era_switches\":%llu,\"hashes\":%.17g}\n",
+               series, static_cast<unsigned long long>(seed), r.nodes, r.committee,
+               r.latency_samples.size(), r.latency.min, r.latency.q1, r.latency.median,
+               r.latency.q3, r.latency.max, r.latency.mean, r.consensus_kb, r.total_kb,
+               static_cast<unsigned long long>(r.committed),
+               static_cast<unsigned long long>(r.expected),
+               static_cast<unsigned long long>(r.era_switches), r.hashes_computed);
+  std::fclose(out);
 }
 
 }  // namespace gpbft::bench

@@ -17,6 +17,7 @@ int main() {
     const sim::ExperimentResult result =
         sim::repeat_runs(sim::run_pbft_latency, nodes, options, runs);
     bench::print_boxplot_row(result);
+    bench::append_json_record("fig3a.pbft", result, options.seed);
     std::fflush(stdout);
   }
   return 0;

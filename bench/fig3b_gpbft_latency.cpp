@@ -12,13 +12,14 @@ int main() {
   sim::ExperimentOptions options = sim::default_options();
 
   std::printf("Fig. 3b: G-PBFT consensus latency, %zu runs per point (max committee %zu)\n",
-              runs, options.max_committee);
+              runs, options.committee.max);
   bench::print_boxplot_header("(boxplot of per-transaction latency, seconds)");
   std::uint64_t switches = 0;
   for (const std::size_t nodes : bench::node_grid()) {
     const sim::ExperimentResult result =
         sim::repeat_runs(sim::run_gpbft_latency, nodes, options, runs);
     bench::print_boxplot_row(result);
+    bench::append_json_record("fig3b.gpbft", result, options.seed);
     switches += result.era_switches;
     std::fflush(stdout);
   }

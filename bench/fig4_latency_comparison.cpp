@@ -13,9 +13,13 @@ int main() {
   for (const std::size_t nodes : bench::extended_grid()) {
     double pbft_mean = -1.0;
     if (nodes <= 202) {
-      pbft_mean = sim::run_pbft_latency(nodes, options).latency.mean;
+      const sim::ExperimentResult pbft = sim::run_pbft_latency(nodes, options);
+      bench::append_json_record("fig4.pbft", pbft, options.seed);
+      pbft_mean = pbft.latency.mean;
     }
-    const double gpbft_mean = sim::run_gpbft_latency(nodes, options).latency.mean;
+    const sim::ExperimentResult gpbft = sim::run_gpbft_latency(nodes, options);
+    bench::append_json_record("fig4.gpbft", gpbft, options.seed);
+    const double gpbft_mean = gpbft.latency.mean;
     if (pbft_mean >= 0) {
       std::printf("%6zu %12.3f %12.3f %7.2f%%\n", nodes, pbft_mean, gpbft_mean,
                   100.0 * gpbft_mean / pbft_mean);

@@ -19,16 +19,18 @@ int main() {
   for (const std::size_t nodes : bench::node_grid()) {
     const sim::ExperimentResult result = sim::run_pbft_single_tx(nodes, options);
     std::printf("%6zu %14.2f %14.2f\n", nodes, result.consensus_kb, result.total_kb);
+    bench::append_json_record("fig5a.pbft", result, options.seed);
     std::fflush(stdout);
   }
 
   std::printf("\nFig. 5b: G-PBFT communication costs per transaction (max committee %zu)\n",
-              options.max_committee);
+              options.committee.max);
   std::printf("%6s %6s %14s %14s\n", "nodes", "cmte", "consensus(KB)", "total(KB)");
   for (const std::size_t nodes : bench::node_grid()) {
     const sim::ExperimentResult result = sim::run_gpbft_single_tx(nodes, options);
     std::printf("%6zu %6zu %14.2f %14.2f\n", nodes, result.committee, result.consensus_kb,
                 result.total_kb);
+    bench::append_json_record("fig5b.gpbft", result, options.seed);
     std::fflush(stdout);
   }
   return 0;

@@ -10,8 +10,14 @@ int main() {
   std::printf("%6s %14s %14s %8s\n", "nodes", "PBFT(KB)", "G-PBFT(KB)", "ratio");
   for (const std::size_t nodes : bench::extended_grid()) {
     double pbft_kb = -1.0;
-    if (nodes <= 202) pbft_kb = sim::run_pbft_single_tx(nodes, options).consensus_kb;
-    const double gpbft_kb = sim::run_gpbft_single_tx(nodes, options).consensus_kb;
+    if (nodes <= 202) {
+      const sim::ExperimentResult pbft = sim::run_pbft_single_tx(nodes, options);
+      bench::append_json_record("fig6.pbft", pbft, options.seed);
+      pbft_kb = pbft.consensus_kb;
+    }
+    const sim::ExperimentResult gpbft = sim::run_gpbft_single_tx(nodes, options);
+    bench::append_json_record("fig6.gpbft", gpbft, options.seed);
+    const double gpbft_kb = gpbft.consensus_kb;
     if (pbft_kb >= 0) {
       std::printf("%6zu %14.2f %14.2f %7.2f%%\n", nodes, pbft_kb, gpbft_kb,
                   100.0 * gpbft_kb / pbft_kb);

@@ -3,7 +3,9 @@
 // harness can sweep per wall-clock second.
 #include <benchmark/benchmark.h>
 
-#include "sim/cluster.hpp"
+#include <memory>
+
+#include "sim/deployment.hpp"
 #include "sim/workload.hpp"
 
 namespace {
@@ -51,22 +53,23 @@ void BM_ConsensusRound(benchmark::State& state) {
   // Full three-phase PBFT round, committee size as the argument.
   for (auto _ : state) {
     state.PauseTiming();
-    sim::PbftClusterConfig config;
-    config.replicas = static_cast<std::size_t>(state.range(0));
-    config.clients = 1;
-    config.seed = 1;
-    config.pbft.compute_macs = false;
-    sim::PbftCluster cluster(config);
-    cluster.start();
+    sim::ScenarioSpec spec;
+    spec.protocol = sim::ProtocolKind::Pbft;
+    spec.nodes = static_cast<std::size_t>(state.range(0));
+    spec.clients = 1;
+    spec.seed = 1;
+    spec.engine.compute_macs = false;
+    const std::unique_ptr<sim::PbftCluster> cluster = sim::make_pbft_deployment(spec);
+    cluster->start();
     state.ResumeTiming();
 
-    cluster.client(0).submit(sim::make_workload_tx(cluster.client(0).id(), 1,
-                                                   cluster.placement().position(0),
-                                                   cluster.simulator().now(), 32, 10, 1));
-    cluster.run_until_committed(1, TimePoint{Duration::seconds(120).ns});
-    benchmark::DoNotOptimize(cluster.client(0).committed_count());
+    cluster->client(0).submit(sim::make_workload_tx(cluster->client(0).id(), 1,
+                                                    cluster->placement().position(0),
+                                                    cluster->simulator().now(), 32, 10, 1));
+    cluster->run_until_committed(1, TimePoint{Duration::seconds(120).ns});
+    benchmark::DoNotOptimize(cluster->client(0).committed_count());
     state.PauseTiming();
-    cluster.stop();
+    cluster->stop();
     state.ResumeTiming();
   }
 }

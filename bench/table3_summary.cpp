@@ -11,10 +11,11 @@
 // ~4.43% of PBFT.
 #include <cstdio>
 
-#include "sim/experiment.hpp"
+#include "bench_util.hpp"
 
 int main() {
-  using namespace gpbft::sim;
+  using namespace gpbft;
+  using namespace ::gpbft::sim;
   constexpr std::size_t kNodes = 202;
 
   ExperimentOptions options = default_options();
@@ -25,6 +26,10 @@ int main() {
   const ExperimentResult gpbft_latency = run_gpbft_latency(kNodes, options);
   const ExperimentResult pbft_cost = run_pbft_single_tx(kNodes, options);
   const ExperimentResult gpbft_cost = run_gpbft_single_tx(kNodes, options);
+  bench::append_json_record("table3.pbft.latency", pbft_latency, options.seed);
+  bench::append_json_record("table3.gpbft.latency", gpbft_latency, options.seed);
+  bench::append_json_record("table3.pbft.cost", pbft_cost, options.seed);
+  bench::append_json_record("table3.gpbft.cost", gpbft_cost, options.seed);
 
   std::printf("| Consensus | Average latency (s) | Average costs (KB) |\n");
   std::printf("|-----------|---------------------|--------------------|\n");

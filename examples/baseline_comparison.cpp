@@ -18,17 +18,17 @@ int main() {
   constexpr std::size_t kNodes = 30;
 
   sim::ExperimentOptions options = sim::default_options();
-  options.txs_per_client = 2;
-  options.proposal_period = Duration::seconds(4);
-  options.max_committee = 10;
-  options.dbft_block_interval = Duration::seconds(15);
-  options.pow_block_interval = Duration::seconds(10);
-  options.pow_confirmations = 3;
+  options.workload.txs_per_client = 2;
+  options.workload.period = Duration::seconds(4);
+  options.committee.max = 10;
+  options.dbft.block_interval = Duration::seconds(15);
+  options.pow.block_interval = Duration::seconds(10);
+  options.pow.confirmations = 3;
   options.hard_deadline = Duration::seconds(3000);
 
   std::printf("IoT workload on %zu nodes: %llu devices x %llu transactions each\n\n", kNodes,
               static_cast<unsigned long long>(kNodes),
-              static_cast<unsigned long long>(options.txs_per_client));
+              static_cast<unsigned long long>(options.workload.txs_per_client));
   std::printf("%-8s %10s %12s %12s %14s %s\n", "protocol", "committee", "mean lat(s)",
               "max lat(s)", "traffic (KB)", "notes");
 

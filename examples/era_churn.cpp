@@ -10,9 +10,9 @@
 //   ./build/examples/era_churn
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
-#include "sim/cluster.hpp"
-#include "sim/workload.hpp"
+#include "sim/deployment.hpp"
 
 namespace {
 
@@ -31,86 +31,82 @@ void print_status(gpbft::sim::GpbftCluster& cluster, const char* note) {
 int main() {
   using namespace gpbft;
 
-  sim::GpbftClusterConfig config;
-  config.nodes = 10;
-  config.initial_committee = 5;
-  config.clients = 4;
-  config.seed = 31;
-  config.protocol.genesis.era_period = Duration::seconds(10);
-  config.protocol.genesis.geo_report_period = Duration::seconds(2);
-  config.protocol.genesis.geo_window = Duration::seconds(10);
-  config.protocol.genesis.min_geo_reports = 2;
-  config.protocol.genesis.promotion_threshold = Duration::seconds(15);
-  config.protocol.genesis.policy.min_endorsers = 4;
-  config.protocol.genesis.policy.max_endorsers = 8;
-  config.protocol.pbft.request_timeout = Duration::seconds(6);
-  config.protocol.pbft.view_change_timeout = Duration::seconds(5);
+  sim::ScenarioSpec spec;
+  spec.protocol = sim::ProtocolKind::Gpbft;
+  spec.nodes = 10;
+  spec.clients = 4;
+  spec.seed = 31;
+  spec.committee.initial = 5;
+  spec.committee.min = 4;
+  spec.committee.max = 8;
+  spec.committee.era_period = Duration::seconds(10);
+  spec.geo.report_period = Duration::seconds(2);
+  spec.geo.window = Duration::seconds(10);
+  spec.geo.min_reports = 2;
+  spec.geo.promotion_threshold = Duration::seconds(15);
+  spec.engine.request_timeout = Duration::seconds(6);
+  spec.engine.view_change_timeout = Duration::seconds(5);
+  spec.workload.period = Duration::seconds(3);
+  spec.workload.txs_per_client = 25;
 
-  sim::GpbftCluster cluster(config);
-  cluster.start();
+  const std::unique_ptr<sim::GpbftCluster> cluster = sim::make_gpbft_deployment(spec);
+  cluster->start();
 
   // Constant background load from the IoT clients.
   sim::LatencyRecorder recorder;
-  sim::WorkloadConfig workload;
-  workload.period = Duration::seconds(3);
-  workload.count = 25;
-  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
-    sim::schedule_workload(cluster.simulator(), cluster.client(i),
-                           cluster.placement().position(i), workload, i, &recorder);
-  }
+  cluster->schedule_workload(spec.workload, &recorder);
 
-  print_status(cluster, "(genesis: devices 1-5; 6-10 are candidates)");
+  print_status(*cluster, "(genesis: devices 1-5; 6-10 are candidates)");
 
-  cluster.run_for(Duration::seconds(22));
-  print_status(cluster, "(candidates qualified after 15 s stationary -> capped at 8)");
+  cluster->run_for(Duration::seconds(22));
+  print_status(*cluster, "(candidates qualified after 15 s stationary -> capped at 8)");
 
   // Departure 1: device 2 is physically relocated. It is demoted at the
   // next era switch (its reports no longer match the enrolled location),
   // and — staying put at the new spot — re-earns endorsement later.
-  const geo::GeoPoint moved = cluster.placement().position(40);
-  cluster.endorser(1).set_location(moved);
-  cluster.area().place(cluster.endorser(1).id(), moved);
+  const geo::GeoPoint moved = cluster->placement().position(40);
+  cluster->endorser(1).set_location(moved);
+  cluster->area().place(cluster->endorser(1).id(), moved);
   std::printf("         >> device 2 relocated (honest move)\n");
 
   bool device2_demoted = false;
   for (int chunk = 0; chunk < 11; ++chunk) {
-    cluster.run_for(Duration::seconds(2));
-    const auto& members = cluster.roster();
+    cluster->run_for(Duration::seconds(2));
+    const auto& members = cluster->roster();
     const bool in_committee =
-        std::find(members.begin(), members.end(), cluster.endorser(1).id()) != members.end();
+        std::find(members.begin(), members.end(), cluster->endorser(1).id()) != members.end();
     if (!in_committee && !device2_demoted) {
       device2_demoted = true;
-      print_status(cluster, "(device 2 demoted: reports left its enrolled cell)");
+      print_status(*cluster, "(device 2 demoted: reports left its enrolled cell)");
     } else if (in_committee && device2_demoted) {
-      print_status(cluster, "(device 2 re-qualified at its new fixed location)");
+      print_status(*cluster, "(device 2 re-qualified at its new fixed location)");
       break;
     }
   }
 
   // Departure 2: device 3 crashes outright.
-  cluster.network().crash(cluster.endorser(2).id());
+  cluster->network().crash(cluster->endorser(2).id());
   std::printf("         >> device 3 crashed\n");
 
-  cluster.run_for(Duration::seconds(30));
-  print_status(cluster, "(device 3 expelled after missing its blocks)");
+  cluster->run_for(Duration::seconds(30));
+  print_status(*cluster, "(device 3 expelled after missing its blocks)");
 
-  cluster.run_until_committed(workload.count, TimePoint{Duration::seconds(300).ns});
+  cluster->run_until_committed(spec.workload.txs_per_client,
+                               TimePoint{Duration::seconds(300).ns});
 
-  std::uint64_t committed = 0;
-  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
-    committed += cluster.client(i).committed_count();
-  }
+  const std::uint64_t committed = cluster->committed_count();
   std::printf("\nall workload transactions committed: %llu/%llu (mean latency %.3f s, max %.3f s)\n",
               static_cast<unsigned long long>(committed),
-              static_cast<unsigned long long>(workload.count * cluster.client_count()),
+              static_cast<unsigned long long>(spec.workload.txs_per_client *
+                                              cluster->client_count()),
               recorder.mean(), recorder.percentile(100));
   std::printf("era switches completed: %llu; last switch period: %.3f s\n",
-              static_cast<unsigned long long>(cluster.total_era_switches()),
-              cluster.endorser(0).last_switch_duration().to_seconds());
+              static_cast<unsigned long long>(cluster->total_era_switches()),
+              cluster->endorser(0).last_switch_duration().to_seconds());
 
-  const auto& roster = cluster.roster();
+  const auto& roster = cluster->roster();
   const bool crashed_out =
-      std::find(roster.begin(), roster.end(), cluster.endorser(2).id()) == roster.end();
+      std::find(roster.begin(), roster.end(), cluster->endorser(2).id()) == roster.end();
   std::printf("relocated device was demoted: %s; crashed device expelled: %s\n",
               device2_demoted ? "yes" : "no", crashed_out ? "yes" : "no");
   return (device2_demoted && crashed_out) ? 0 : 1;

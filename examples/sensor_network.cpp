@@ -1,7 +1,7 @@
 // Environmental sensor network with on-chain location reports.
 //
 // A city deploys fixed air-quality sensors. The deployment runs G-PBFT in
-// full-fidelity mode (geo_reports_on_chain): every periodic location report
+// full-fidelity mode (geo.reports_on_chain): every periodic location report
 // is a zero-fee transaction, so the election table — the paper's
 // chain-based G(v, t) — is reconstructible from blocks alone. The example
 // shows a late-joining sensor bootstrapping its entire election table from
@@ -10,52 +10,47 @@
 //
 //   ./build/examples/sensor_network
 #include <cstdio>
+#include <memory>
 
-#include "sim/cluster.hpp"
-#include "sim/workload.hpp"
+#include "sim/deployment.hpp"
 
 int main() {
   using namespace gpbft;
 
-  sim::GpbftClusterConfig config;
-  config.nodes = 8;              // fixed sensors
-  config.initial_committee = 4;  // the first four installed
-  config.clients = 4;            // mobile probes submitting readings
-  config.seed = 12;
-  config.protocol.geo_reports_on_chain = true;
-  config.protocol.genesis.era_period = Duration::seconds(12);
-  config.protocol.genesis.geo_report_period = Duration::seconds(3);
-  config.protocol.genesis.geo_window = Duration::seconds(12);
-  config.protocol.genesis.min_geo_reports = 2;
-  config.protocol.genesis.promotion_threshold = Duration::seconds(20);
+  sim::ScenarioSpec spec;
+  spec.protocol = sim::ProtocolKind::Gpbft;
+  spec.nodes = 8;              // fixed sensors
+  spec.committee.initial = 4;  // the first four installed
+  spec.clients = 4;            // mobile probes submitting readings
+  spec.seed = 12;
+  spec.geo.reports_on_chain = true;
+  spec.committee.era_period = Duration::seconds(12);
+  spec.geo.report_period = Duration::seconds(3);
+  spec.geo.window = Duration::seconds(12);
+  spec.geo.min_reports = 2;
+  spec.geo.promotion_threshold = Duration::seconds(20);
+  spec.workload.period = Duration::seconds(5);
+  spec.workload.txs_per_client = 10;
 
-  sim::GpbftCluster cluster(config);
-  cluster.start();
+  const std::unique_ptr<sim::GpbftCluster> cluster = sim::make_gpbft_deployment(spec);
+  cluster->start();
 
   // Mobile probes upload air-quality readings continuously.
   sim::LatencyRecorder recorder;
-  sim::WorkloadConfig workload;
-  workload.period = Duration::seconds(5);
-  workload.count = 10;
-  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
-    sim::schedule_workload(cluster.simulator(), cluster.client(i),
-                           cluster.placement().position(i), workload, i, &recorder);
-  }
+  cluster->schedule_workload(spec.workload, &recorder);
 
-  cluster.run_for(Duration::seconds(60));
-  cluster.run_until_committed(workload.count, TimePoint{Duration::seconds(300).ns});
+  cluster->run_for(Duration::seconds(60));
+  cluster->run_until_committed(spec.workload.txs_per_client,
+                               TimePoint{Duration::seconds(300).ns});
 
-  std::uint64_t committed = 0;
-  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
-    committed += cluster.client(i).committed_count();
-  }
+  const std::uint64_t committed = cluster->committed_count();
   std::printf("sensor network: era %llu, committee %zu, %llu readings committed "
               "(mean %.3f s)\n\n",
-              static_cast<unsigned long long>(cluster.era()), cluster.committee_size(),
+              static_cast<unsigned long long>(cluster->era()), cluster->committee_size(),
               static_cast<unsigned long long>(committed), recorder.mean());
 
   // How much of the chain is location reports vs readings?
-  const auto& chain = cluster.endorser(0).chain();
+  const auto& chain = cluster->endorser(0).chain();
   std::size_t reports = 0, readings = 0;
   for (Height h = 1; h <= chain.height(); ++h) {
     for (const auto& tx : chain.at(h).transactions) {
@@ -71,7 +66,7 @@ int main() {
 
   // The late-joining sensor (device 8) rebuilt its election table entirely
   // from chain data during its state transfer.
-  const auto& newcomer = cluster.endorser(7);
+  const auto& newcomer = cluster->endorser(7);
   std::printf("\ndevice 8 joined in era %llu as %s; its election table knows %zu devices\n",
               static_cast<unsigned long long>(newcomer.era()),
               newcomer.role() == ::gpbft::gpbft::Role::Active ? "an endorser" : "a candidate",
@@ -79,7 +74,7 @@ int main() {
 
   // Audit device 1's location history from the newcomer's chain-derived
   // table (the paper's Table II, rebuilt from blocks).
-  const NodeId audited = cluster.endorser(0).id();
+  const NodeId audited = cluster->endorser(0).id();
   std::printf("\naudit of %s from chain-derived data (last rows):\n", audited.str().c_str());
   const std::string table = newcomer.election_table().render(audited);
   // Print only the header and the final few rows to keep the output short.
@@ -101,5 +96,5 @@ int main() {
       ++line;
     }
   }
-  return committed == workload.count * cluster.client_count() ? 0 : 1;
+  return committed == spec.workload.txs_per_client * cluster->client_count() ? 0 : 1;
 }

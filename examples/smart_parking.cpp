@@ -9,79 +9,67 @@
 //
 //   ./build/examples/smart_parking
 #include <cstdio>
+#include <memory>
 
-#include "sim/cluster.hpp"
-#include "sim/workload.hpp"
+#include "sim/deployment.hpp"
 
 int main() {
   using namespace gpbft;
 
-  sim::GpbftClusterConfig config;
-  config.nodes = 8;              // payment machines (fixed infrastructure)
-  config.initial_committee = 4;  // machines 1-4 were installed first
-  config.clients = 6;            // cars entering and paying
-  config.seed = 7;
+  sim::ScenarioSpec spec;
+  spec.protocol = sim::ProtocolKind::Gpbft;
+  spec.nodes = 8;              // payment machines (fixed infrastructure)
+  spec.committee.initial = 4;  // machines 1-4 were installed first
+  spec.clients = 6;            // cars entering and paying
+  spec.seed = 7;
   // Scale the era machinery into simulation range: eras every 12 s,
   // location reports every 3 s, promotion after 20 s of stationarity.
-  config.protocol.genesis.era_period = Duration::seconds(12);
-  config.protocol.genesis.geo_report_period = Duration::seconds(3);
-  config.protocol.genesis.geo_window = Duration::seconds(12);
-  config.protocol.genesis.min_geo_reports = 2;
-  config.protocol.genesis.promotion_threshold = Duration::seconds(20);
+  spec.committee.era_period = Duration::seconds(12);
+  spec.geo.report_period = Duration::seconds(3);
+  spec.geo.window = Duration::seconds(12);
+  spec.geo.min_reports = 2;
+  spec.geo.promotion_threshold = Duration::seconds(20);
+  // Cars pay every few seconds while the lot operates.
+  spec.workload.period = Duration::seconds(4);
+  spec.workload.txs_per_client = 8;
+  spec.workload.fee = 25;  // parking fee units
 
-  sim::GpbftCluster cluster(config);
-  cluster.start();
+  const std::unique_ptr<sim::GpbftCluster> cluster = sim::make_gpbft_deployment(spec);
+  cluster->start();
 
   std::printf("parking lot online: %zu payment machines, committee of %zu, %zu cars\n\n",
-              cluster.endorser_count(), cluster.committee_size(), cluster.client_count());
+              cluster->endorser_count(), cluster->committee_size(), cluster->client_count());
 
-  // Cars pay every few seconds while the lot operates.
-  std::uint64_t payments_committed = 0;
-  double total_latency = 0;
   sim::LatencyRecorder recorder;
-  sim::WorkloadConfig workload;
-  workload.period = Duration::seconds(4);
-  workload.count = 8;
-  workload.fee = 25;  // parking fee units
-  for (std::size_t car = 0; car < cluster.client_count(); ++car) {
-    sim::schedule_workload(cluster.simulator(), cluster.client(car),
-                           cluster.placement().position(car), workload, car, &recorder);
-  }
+  cluster->schedule_workload(spec.workload, &recorder);
 
   // Let the lot run: payments commit, and the new machines earn their
   // endorsement through stationarity.
   for (int tick = 0; tick < 12; ++tick) {
-    cluster.run_for(Duration::seconds(5));
+    cluster->run_for(Duration::seconds(5));
     std::printf("t=%3.0fs  era %llu  committee %zu members  payments committed %llu\n",
-                cluster.simulator().now().to_seconds(),
-                static_cast<unsigned long long>(cluster.era()), cluster.committee_size(),
-                static_cast<unsigned long long>([&cluster]() {
-                  std::uint64_t total = 0;
-                  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
-                    total += cluster.client(i).committed_count();
-                  }
-                  return total;
-                }()));
+                cluster->simulator().now().to_seconds(),
+                static_cast<unsigned long long>(cluster->era()), cluster->committee_size(),
+                static_cast<unsigned long long>(cluster->committed_count()));
   }
-  cluster.run_until_committed(workload.count, TimePoint{Duration::seconds(300).ns});
+  cluster->run_until_committed(spec.workload.txs_per_client,
+                               TimePoint{Duration::seconds(300).ns});
 
-  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
-    payments_committed += cluster.client(i).committed_count();
-  }
-  total_latency = recorder.mean();
+  const std::uint64_t payments_committed = cluster->committed_count();
+  const double total_latency = recorder.mean();
 
   std::printf("\nall %llu payments committed; mean confirmation %.3f s\n",
               static_cast<unsigned long long>(payments_committed), total_latency);
 
   std::printf("\nfinal committee (production priority order):\n");
-  for (const NodeId member : cluster.endorser(0).producer_order()) {
+  for (const NodeId member : cluster->endorser(0).producer_order()) {
     std::printf("  %s%s\n", member.str().c_str(), member.value > 4 ? "  (earned endorsement)" : "");
   }
 
   std::printf("\nmachine revenue (70%% producer / 30%% endorsers of each fee):\n");
-  for (const NodeId member : cluster.roster()) {
+  for (const NodeId member : cluster->roster()) {
     std::printf("  %s: %lld\n", member.str().c_str(),
-                static_cast<long long>(cluster.endorser(0).state().balance_of_node(member)));
+                static_cast<long long>(cluster->endorser(0).state().balance_of_node(member)));
   }
   return 0;
 }

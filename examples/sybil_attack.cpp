@@ -11,56 +11,58 @@
 //   ./build/examples/sybil_attack
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
-#include "sim/cluster.hpp"
+#include "sim/deployment.hpp"
 
 int main() {
   using namespace gpbft;
 
-  sim::GpbftClusterConfig config;
-  config.nodes = 9;  // 4 core + 1 honest candidate + 4 attacker-controlled
-  config.initial_committee = 4;
-  config.clients = 0;
-  config.seed = 99;
-  config.protocol.genesis.era_period = Duration::seconds(10);
-  config.protocol.genesis.geo_report_period = Duration::seconds(2);
-  config.protocol.genesis.geo_window = Duration::seconds(10);
-  config.protocol.genesis.min_geo_reports = 2;
-  config.protocol.genesis.promotion_threshold = Duration::seconds(15);
+  sim::ScenarioSpec spec;
+  spec.protocol = sim::ProtocolKind::Gpbft;
+  spec.nodes = 9;  // 4 core + 1 honest candidate + 4 attacker-controlled
+  spec.committee.initial = 4;
+  spec.clients = 0;
+  spec.seed = 99;
+  spec.committee.era_period = Duration::seconds(10);
+  spec.geo.report_period = Duration::seconds(2);
+  spec.geo.window = Duration::seconds(10);
+  spec.geo.min_reports = 2;
+  spec.geo.promotion_threshold = Duration::seconds(15);
 
-  sim::GpbftCluster cluster(config);
+  const std::unique_ptr<sim::GpbftCluster> cluster = sim::make_gpbft_deployment(spec);
 
   // Attacker setup. Devices 6-9 are controlled by the adversary.
   //  - device 6: *fabricated* — claims machine 1's cell; physically absent
   //    (remove it from the area registry: no neighbour ever sees it).
-  cluster.endorser(5).set_location(cluster.placement().position(0));
-  cluster.area().remove(cluster.endorser(5).id());
+  cluster->endorser(5).set_location(cluster->placement().position(0));
+  cluster->area().remove(cluster->endorser(5).id());
   //  - device 7: real but *lying* — physically at its own spot, claims the
   //    area center next to machine 2 instead.
-  cluster.endorser(6).set_location(cluster.placement().position(1));
+  cluster->endorser(6).set_location(cluster->placement().position(1));
   //  - devices 8 and 9: report truthfully but from *outside* the area.
-  const geo::GeoPoint outside_a = cluster.placement().outside_position(0);
-  const geo::GeoPoint outside_b = cluster.placement().outside_position(3);
-  cluster.endorser(7).set_location(outside_a);
-  cluster.area().place(cluster.endorser(7).id(), outside_a);
-  cluster.endorser(8).set_location(outside_b);
-  cluster.area().place(cluster.endorser(8).id(), outside_b);
+  const geo::GeoPoint outside_a = cluster->placement().outside_position(0);
+  const geo::GeoPoint outside_b = cluster->placement().outside_position(3);
+  cluster->endorser(7).set_location(outside_a);
+  cluster->area().place(cluster->endorser(7).id(), outside_a);
+  cluster->endorser(8).set_location(outside_b);
+  cluster->area().place(cluster->endorser(8).id(), outside_b);
 
-  cluster.start();
+  cluster->start();
   std::printf("genesis committee: 4 machines; honest candidate: node-5;\n");
   std::printf("attacker identities: node-6 (fabricated), node-7 (lying),\n");
   std::printf("                     node-8/node-9 (outside the area)\n\n");
 
   for (int tick = 0; tick < 8; ++tick) {
-    cluster.run_for(Duration::seconds(5));
+    cluster->run_for(Duration::seconds(5));
     std::printf("t=%3.0fs  era %llu  committee: ",
-                cluster.simulator().now().to_seconds(),
-                static_cast<unsigned long long>(cluster.era()));
-    for (const NodeId member : cluster.roster()) std::printf("%s ", member.str().c_str());
+                cluster->simulator().now().to_seconds(),
+                static_cast<unsigned long long>(cluster->era()));
+    for (const NodeId member : cluster->roster()) std::printf("%s ", member.str().c_str());
     std::printf("\n");
   }
 
-  const auto& filter = cluster.endorser(0).sybil_filter();
+  const auto& filter = cluster->endorser(0).sybil_filter();
   std::printf("\nSybil filter verdicts at the committee:\n");
   for (std::uint64_t id = 5; id <= 9; ++id) {
     std::printf("  node-%llu: %s\n", static_cast<unsigned long long>(id),
@@ -68,7 +70,7 @@ int main() {
                                               : "clean");
   }
 
-  const auto& roster = cluster.roster();
+  const auto& roster = cluster->roster();
   const bool honest_in =
       std::find(roster.begin(), roster.end(), NodeId{5}) != roster.end();
   bool any_attacker_in = false;

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Fast CI gate: configure, build, run the tier-1 test label (everything
+# except the long-running torture/chaos suites — those run in the full
+# `ctest` sweep, see scripts/reproduce.sh) and smoke one bench harness on
+# the coarse GPBFT_BENCH_QUICK grid so bench regressions surface before a
+# full reproduction run.
+#
+# Knobs:
+#   GPBFT_CI_BUILD_DIR=build   build directory (default build)
+#   GPBFT_CI_JOBS=N            parallel ctest jobs (default nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${GPBFT_CI_BUILD_DIR:-build}"
+JOBS="${GPBFT_CI_JOBS:-$(nproc)}"
+
+# No -G: reuse whatever generator an existing build directory was
+# configured with (fresh checkouts get the platform default).
+cmake -B "${BUILD_DIR}"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+ctest --test-dir "${BUILD_DIR}" -L tier1 -j "${JOBS}" --output-on-failure
+
+# One declarative-harness bench end to end: the Fig. 3(b) harness drives
+# G-PBFT deployments through the ScenarioSpec factory on the coarse grid,
+# single run per point (~7 s).
+GPBFT_BENCH_QUICK=1 GPBFT_BENCH_RUNS=1 "${BUILD_DIR}/bench/fig3b_gpbft_latency"
+
+echo "ci: OK"

@@ -65,6 +65,8 @@ struct NetConfig {
   double processing_secs_per_byte = 0.0;
   /// Probability a message is silently dropped.
   double drop_rate = 0.0;
+
+  friend bool operator==(const NetConfig&, const NetConfig&) = default;
 };
 
 /// Per-link fault rule (the chaos engine's richer link faults). Applied to

@@ -1,5 +1,7 @@
 #include "pow/miner.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 #include "pbft/messages.hpp"
 
@@ -90,7 +92,15 @@ void Miner::handle(const net::Envelope& envelope) {
     case kPowBlock: {
       if (auto block = PowBlock::decode(BytesView(envelope.payload.data(),
                                                   envelope.payload.size()))) {
-        on_block_received(std::move(block.value()));
+        on_block_received(std::move(block.value()), envelope.from);
+      }
+      break;
+    }
+    case kPowBlockRequest: {
+      if (envelope.payload.size() == 32) {
+        crypto::Hash256 wanted;
+        std::copy(envelope.payload.begin(), envelope.payload.end(), wanted.bytes.begin());
+        on_block_requested(wanted, envelope.from);
       }
       break;
     }
@@ -107,16 +117,30 @@ void Miner::handle(const net::Envelope& envelope) {
   }
 }
 
-void Miner::on_block_received(PowBlock block) {
+void Miner::on_block_received(PowBlock block, NodeId from) {
   account_mining_time();
   // Drop the block's transactions from the local mempool so future blocks
   // do not re-include them (which would keep resetting their confirmation
   // depth and bloat every block).
   for (const ledger::Transaction& tx : block.transactions) mempool_.remove(tx.digest());
 
+  const crypto::Hash256 block_hash = block.hash();
+  const crypto::Hash256 parent = block.header.prev_hash;
   auto added = chain_.add_block(std::move(block));
   if (!added) {
     log_debug(id_.str() + ": rejected gossip block: " + added.error());
+    return;
+  }
+  if (!chain_.contains(block_hash) && !chain_.contains(parent)) {
+    // Buffered as an orphan: we missed the parent (crash, partition, loss).
+    // Ask the announcer for it; the walk repeats per served ancestor until
+    // the chains connect (the orphan buffer then connects descendants).
+    net::Envelope request;
+    request.from = id_;
+    request.to = from;
+    request.type = kPowBlockRequest;
+    request.payload.assign(parent.bytes.begin(), parent.bytes.end());
+    network_.send(std::move(request));
     return;
   }
   if (added.value()) {
@@ -124,6 +148,17 @@ void Miner::on_block_received(PowBlock block) {
     check_confirmations();
     arm_mining();
   }
+}
+
+void Miner::on_block_requested(const crypto::Hash256& block_hash, NodeId requester) {
+  const PowBlock* block = chain_.find_block(block_hash);
+  if (block == nullptr) return;  // unknown here too; a later announce retries
+  net::Envelope envelope;
+  envelope.from = id_;
+  envelope.to = requester;
+  envelope.type = kPowBlock;
+  envelope.payload = block->encode();
+  network_.send(std::move(envelope));
 }
 
 void Miner::submit(ledger::Transaction tx) {

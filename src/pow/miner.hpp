@@ -38,6 +38,12 @@ struct MinerConfig {
 
 /// Message type for gossiped PoW blocks (disjoint from the PBFT range).
 inline constexpr net::MessageType kPowBlock = 40;
+/// Parent-fetch sync: a 32-byte block hash the sender is missing. Blocks
+/// are only announced when mined, so a miner that was crashed or
+/// partitioned would otherwise buffer descendants as orphans forever; on
+/// receiving an orphan it instead asks the announcer for the missing
+/// parent, walking back until the chains connect.
+inline constexpr net::MessageType kPowBlockRequest = 42;
 /// Clients submit transactions with the PBFT ClientRequest type.
 
 class Miner : public net::INetNode {
@@ -69,7 +75,8 @@ class Miner : public net::INetNode {
  private:
   void arm_mining();
   void on_block_found(std::uint64_t attempt);
-  void on_block_received(PowBlock block);
+  void on_block_received(PowBlock block, NodeId from);
+  void on_block_requested(const crypto::Hash256& block_hash, NodeId requester);
   void account_mining_time();
   void check_confirmations();
 

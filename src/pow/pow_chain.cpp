@@ -277,4 +277,9 @@ std::size_t PowChain::stale_count() const {
   return blocks_.size() - static_cast<std::size_t>(tip_height() + 1);
 }
 
+const PowBlock* PowChain::find_block(const crypto::Hash256& block_hash) const {
+  const auto it = blocks_.find(block_hash);
+  return it == blocks_.end() ? nullptr : &it->second.block;
+}
+
 }  // namespace gpbft::pow

@@ -122,6 +122,9 @@ class PowChain {
   [[nodiscard]] std::uint64_t next_difficulty(const crypto::Hash256& parent) const;
 
   [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  /// The connected block with `block_hash`, or nullptr (orphans and unknown
+  /// hashes are not served). Powers the parent-fetch sync path in Miner.
+  [[nodiscard]] const PowBlock* find_block(const crypto::Hash256& block_hash) const;
   /// Blocks known but not on the best chain (stale/orphaned work).
   [[nodiscard]] std::size_t stale_count() const;
   [[nodiscard]] std::size_t pending_orphans() const { return orphans_.size(); }

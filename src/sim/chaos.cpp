@@ -6,7 +6,7 @@
 #include <map>
 #include <optional>
 
-#include "sim/cluster.hpp"
+#include "sim/deployment.hpp"
 #include "sim/workload.hpp"
 
 namespace gpbft::sim {
@@ -343,128 +343,100 @@ std::uint64_t mix_seed(std::uint64_t base, std::uint64_t run, const std::string&
   return splitmix64(h);
 }
 
-template <typename Cluster>
-std::uint64_t total_committed(Cluster& cluster) {
-  std::uint64_t committed = 0;
-  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
-    committed += cluster.client(i).committed_count();
+/// The ScenarioSpec a chaos run deploys for `protocol`. Shared pieces:
+/// campaign workload with retries on (faulty networks), PBFT timeouts tuned
+/// below the horizon so view changes fire under faults.
+ScenarioSpec chaos_scenario(ProtocolKind protocol, const ChaosCampaignOptions& options,
+                            std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.seed = seed;
+  spec.nodes = options.committee;
+  spec.clients = options.clients;
+  spec.workload.txs_per_client = options.txs_per_client;
+  spec.workload.period = options.tx_period;
+  spec.engine.request_timeout = Duration::seconds(6);
+  spec.engine.view_change_timeout = Duration::seconds(5);
+  switch (protocol) {
+    case ProtocolKind::Pbft:
+      break;
+    case ProtocolKind::Gpbft:
+      // Candidates join mid-run; the promotion machinery is compressed into
+      // the horizon so era switches happen while faults are live.
+      spec.nodes = options.committee + options.candidates;
+      spec.committee.initial = options.committee;
+      spec.committee.min = std::min<std::size_t>(options.committee, 4);
+      spec.committee.max = spec.nodes;
+      spec.committee.era_period = Duration::seconds(15);
+      spec.geo.report_period = Duration::seconds(3);
+      spec.geo.window = Duration::seconds(12);
+      spec.geo.min_reports = 2;
+      spec.geo.promotion_threshold = Duration::seconds(20);
+      break;
+    case ProtocolKind::Dbft:
+      // Block pacing compressed below the fault horizon so several blocks
+      // (and the speaker rotation) happen while faults are live.
+      spec.dbft.delegates = options.committee;
+      spec.dbft.block_interval = Duration::seconds(5);
+      break;
+    case ProtocolKind::Pow:
+      // Faster blocks and a shallower depth keep confirmation latency well
+      // inside the liveness grace window.
+      spec.pow.block_interval = Duration::seconds(5);
+      spec.pow.confirmations = 2;
+      break;
   }
-  return committed;
+  return spec;
 }
 
-template <typename Cluster>
-void schedule_campaign_workload(Cluster& cluster, const ChaosCampaignOptions& options,
-                                InvariantMonitor& monitor) {
-  WorkloadConfig workload;
-  workload.period = options.tx_period;
-  workload.count = options.txs_per_client;
-  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
-    schedule_workload(cluster.simulator(), cluster.client(i), cluster.placement().position(i),
-                      workload, i, nullptr,
-                      [&monitor](const ledger::Transaction& tx) { monitor.expect_submission(tx); });
-  }
-}
+ChaosRunResult run_protocol_chaos(ProtocolKind protocol, const ChaosCampaignOptions& options,
+                                  const std::string& intensity, std::uint64_t run_index) {
+  const std::uint64_t seed = options.base_seed + run_index;
+  ChaosRunResult result;
+  result.protocol = protocol_name(protocol);
+  result.intensity = intensity;
+  result.seed = seed;
 
-template <typename Cluster>
-void finish_run(Cluster& cluster, const ChaosCampaignOptions& options, const FaultPlan& plan,
-                InvariantMonitor& monitor, ChaosRunResult& result) {
-  cluster.run_for(options.horizon);
+  const ScenarioSpec spec = chaos_scenario(protocol, options, seed);
+  const std::unique_ptr<Deployment> deployment = make_deployment(spec);
+
+  InvariantMonitor monitor(deployment->simulator());
+  deployment->watch(monitor);
+  deployment->start();
+  deployment->schedule_workload(
+      spec.workload, nullptr,
+      [&monitor](const ledger::Transaction& tx) { monitor.expect_submission(tx); });
+
+  ChaosProfile profile = profile_for(intensity);
+  profile.max_faulty = (options.committee - 1) / 3;
+  // Miners model no equivocation faults (there is no FaultMode to toggle);
+  // PoW runs get the profile's crash/partition/link/brownout families only.
+  if (protocol == ProtocolKind::Pow) profile.byzantine_chance = 0.0;
+  const FaultPlan plan = FaultPlan::random(
+      mix_seed(options.base_seed, run_index, std::string(protocol_name(protocol)) + "-" + intensity),
+      profile, deployment->fault_targets(), options.horizon);
+  plan.schedule(
+      deployment->simulator(), deployment->network(),
+      [&deployment, &monitor](NodeId id, pbft::FaultMode mode) {
+        deployment->set_fault_mode(id, mode);
+        monitor.set_faulty(id, mode != pbft::FaultMode::None);
+      },
+      [&monitor](const ChaosEvent& event) { monitor.note_fault(event.describe()); });
+
+  deployment->run_for(options.horizon);
   const TimePoint healed = plan.all_healed_at();
   const TimePoint deadline{std::max(options.horizon.ns, healed.ns) + options.liveness_grace.ns};
-  cluster.run_until_committed(options.txs_per_client, deadline);
+  deployment->run_until_committed(options.txs_per_client, deadline);
+  deployment->stop();
+  deployment->finish_invariants(monitor);
 
   result.expected = options.txs_per_client * options.clients;
-  result.committed = total_committed(cluster);
+  result.committed = deployment->committed_count();
   monitor.check_bounded_liveness(result.committed, result.expected, healed,
                                  options.liveness_grace);
   result.violations = monitor.violations();
   result.blocks_checked = monitor.blocks_checked();
   result.fault_events = plan.events().size();
-}
-
-ChaosRunResult run_pbft_chaos(const ChaosCampaignOptions& options, const std::string& intensity,
-                              std::uint64_t run_index) {
-  const std::uint64_t seed = options.base_seed + run_index;
-  ChaosRunResult result{"pbft", intensity, seed};
-
-  PbftClusterConfig config;
-  config.replicas = options.committee;
-  config.clients = options.clients;
-  config.seed = seed;
-  config.pbft.request_timeout = Duration::seconds(6);
-  config.pbft.view_change_timeout = Duration::seconds(5);
-  PbftCluster cluster(config);
-
-  InvariantMonitor monitor(cluster.simulator());
-  monitor.watch(cluster);
-  cluster.start();
-  schedule_campaign_workload(cluster, options, monitor);
-
-  ChaosProfile profile = profile_for(intensity);
-  profile.max_faulty = (options.committee - 1) / 3;
-  const FaultPlan plan =
-      FaultPlan::random(mix_seed(options.base_seed, run_index, "pbft-" + intensity), profile,
-                        cluster.committee(), options.horizon);
-  plan.schedule(
-      cluster.simulator(), cluster.network(),
-      [&cluster, &monitor](NodeId id, pbft::FaultMode mode) {
-        for (std::size_t i = 0; i < cluster.replica_count(); ++i) {
-          if (cluster.replica(i).id() == id) cluster.replica(i).set_fault_mode(mode);
-        }
-        monitor.set_faulty(id, mode != pbft::FaultMode::None);
-      },
-      [&monitor](const ChaosEvent& event) { monitor.note_fault(event.describe()); });
-
-  finish_run(cluster, options, plan, monitor, result);
-  return result;
-}
-
-ChaosRunResult run_gpbft_chaos(const ChaosCampaignOptions& options, const std::string& intensity,
-                               std::uint64_t run_index) {
-  const std::uint64_t seed = options.base_seed + run_index;
-  ChaosRunResult result{"gpbft", intensity, seed};
-
-  GpbftClusterConfig config;
-  config.nodes = options.committee + options.candidates;
-  config.initial_committee = options.committee;
-  config.clients = options.clients;
-  config.seed = seed;
-  config.protocol.genesis.era_period = Duration::seconds(15);
-  config.protocol.genesis.geo_report_period = Duration::seconds(3);
-  config.protocol.genesis.geo_window = Duration::seconds(12);
-  config.protocol.genesis.min_geo_reports = 2;
-  config.protocol.genesis.promotion_threshold = Duration::seconds(20);
-  config.protocol.genesis.policy.min_endorsers = std::min<std::size_t>(options.committee, 4);
-  config.protocol.genesis.policy.max_endorsers = config.nodes;
-  config.protocol.pbft.request_timeout = Duration::seconds(6);
-  config.protocol.pbft.view_change_timeout = Duration::seconds(5);
-  GpbftCluster cluster(config);
-
-  InvariantMonitor monitor(cluster.simulator());
-  monitor.watch(cluster);
-  cluster.start();
-  schedule_campaign_workload(cluster, options, monitor);
-
-  // Fault victims are the genesis committee; the budget is its f. Promoted
-  // committees are only ever larger, so the bound stays conservative.
-  std::vector<NodeId> victims;
-  for (std::size_t i = 0; i < options.committee; ++i) victims.push_back(NodeId{i + 1});
-  ChaosProfile profile = profile_for(intensity);
-  profile.max_faulty = (options.committee - 1) / 3;
-  const FaultPlan plan =
-      FaultPlan::random(mix_seed(options.base_seed, run_index, "gpbft-" + intensity), profile,
-                        victims, options.horizon);
-  plan.schedule(
-      cluster.simulator(), cluster.network(),
-      [&cluster, &monitor](NodeId id, pbft::FaultMode mode) {
-        for (std::size_t i = 0; i < cluster.endorser_count(); ++i) {
-          if (cluster.endorser(i).id() == id) cluster.endorser(i).set_fault_mode(mode);
-        }
-        monitor.set_faulty(id, mode != pbft::FaultMode::None);
-      },
-      [&monitor](const ChaosEvent& event) { monitor.note_fault(event.describe()); });
-
-  finish_run(cluster, options, plan, monitor, result);
   return result;
 }
 
@@ -507,12 +479,10 @@ std::string ChaosCampaignResult::summary() const {
 
 ChaosCampaignResult run_chaos_campaign(const ChaosCampaignOptions& options) {
   ChaosCampaignResult result;
-  for (const bool gpbft : {false, true}) {
-    if (gpbft ? !options.run_gpbft : !options.run_pbft) continue;
+  for (const ProtocolKind protocol : options.protocols) {
     for (const std::string& intensity : options.intensities) {
       for (std::uint64_t run = 0; run < options.seeds; ++run) {
-        result.runs.push_back(gpbft ? run_gpbft_chaos(options, intensity, run)
-                                    : run_pbft_chaos(options, intensity, run));
+        result.runs.push_back(run_protocol_chaos(protocol, options, intensity, run));
       }
     }
   }

@@ -15,9 +15,15 @@
 // the paper's evaluation rests on (§IV: tolerance under node churn and
 // failures), turned into a repeatable harness.
 //
-// run_chaos_campaign drives N seeds x intensity levels x {PBFT, G-PBFT}
-// with an InvariantMonitor attached and renders a deterministic pass/fail
-// report (the CLI `chaos` subcommand is a thin wrapper over it).
+// run_chaos_campaign drives N seeds x intensity levels x protocols
+// (PBFT / G-PBFT / dBFT / PoW, all behind the Deployment interface) with an
+// InvariantMonitor attached and renders a deterministic pass/fail report
+// (the CLI `chaos` subcommand is a thin wrapper over it). Each protocol is
+// checked against the invariant subset that applies to it: the BFT
+// deployments hook every execution online; PoW has no execution hook and
+// instead replays every miner's confirmed prefix at run end — agreement is
+// only claimed at the configured confirmation depth. Byzantine fault-mode
+// toggles only exist for the BFT protocols; PoW profiles zero that chance.
 #pragma once
 
 #include <functional>
@@ -27,6 +33,7 @@
 #include "net/network.hpp"
 #include "pbft/config.hpp"
 #include "sim/invariants.hpp"
+#include "sim/scenario.hpp"
 
 namespace gpbft::sim {
 
@@ -138,10 +145,12 @@ struct ChaosCampaignOptions {
   std::size_t seeds{10};
   std::uint64_t base_seed{1};
   std::vector<std::string> intensities{"light", "medium", "heavy"};
-  bool run_pbft{true};
-  bool run_gpbft{true};
+  /// Protocols swept, in report order.
+  std::vector<ProtocolKind> protocols{ProtocolKind::Pbft, ProtocolKind::Gpbft,
+                                      ProtocolKind::Dbft, ProtocolKind::Pow};
 
-  /// Committee size (PBFT replicas / G-PBFT initial committee).
+  /// Committee size (PBFT replicas / G-PBFT initial committee / dBFT
+  /// delegates / PoW miners).
   std::size_t committee{7};
   /// Extra G-PBFT candidate endorsers (era switches promote them mid-run).
   std::size_t candidates{2};

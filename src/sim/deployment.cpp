@@ -1,0 +1,487 @@
+#include "sim/deployment.hpp"
+
+#include <algorithm>
+
+#include "pbft/messages.hpp"
+#include "sim/invariants.hpp"
+#include "sim/workload.hpp"
+
+namespace gpbft::sim {
+
+// --- Deployment base -----------------------------------------------------------------
+
+Deployment::Deployment(std::uint64_t seed, const net::NetConfig& net,
+                       const PlacementConfig& placement)
+    : sim_(seed),
+      network_(sim_, net),
+      keys_(seed ^ 0x67e55044'10b1426full),
+      placement_(placement) {}
+
+void Deployment::start() {
+  start_nodes();
+  for (auto& client : clients_) client->start();
+}
+
+void Deployment::stop() {
+  stop_nodes();
+  for (auto& client : clients_) client->stop();
+}
+
+void Deployment::run_for(Duration d) { sim_.run_until(sim_.now() + d); }
+
+bool Deployment::run_until_committed(std::uint64_t per_client, TimePoint deadline) {
+  const Duration chunk = Duration::seconds(1);
+  while (sim_.now() < deadline) {
+    if (workload_done(per_client)) return true;
+    sim_.run_until(sim_.now() + chunk);
+  }
+  return workload_done(per_client);
+}
+
+bool Deployment::workload_done(std::uint64_t per_client) const {
+  return std::all_of(clients_.begin(), clients_.end(), [per_client](const auto& client) {
+    return client->committed_count() >= per_client;
+  });
+}
+
+void Deployment::schedule_workload(const WorkloadSpec& workload, LatencyRecorder* recorder,
+                                   SubmitHook on_submit) {
+  WorkloadConfig config;
+  config.period = workload.period;
+  config.payload_bytes = workload.payload_bytes;
+  config.fee = workload.fee;
+  config.start = workload.start;
+  config.stagger = workload.stagger;
+  config.count = workload.txs_per_client;
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    // Loss-free measurement runs disable retransmission so REQUEST traffic
+    // matches the paper's testbed; chaos runs keep retries on.
+    if (!workload.client_retries) clients_[i]->set_retry_interval(Duration{0});
+    sim::schedule_workload(sim_, *clients_[i], placement_.position(i), config, i, recorder,
+                           on_submit);
+  }
+}
+
+std::uint64_t Deployment::committed_count() const {
+  std::uint64_t committed = 0;
+  for (const auto& client : clients_) committed += client->committed_count();
+  return committed;
+}
+
+void Deployment::set_fault_mode(NodeId id, pbft::FaultMode mode) {
+  (void)id;
+  (void)mode;
+}
+
+void Deployment::watch(InvariantMonitor& monitor) { (void)monitor; }
+
+void Deployment::finish_invariants(InvariantMonitor& monitor) { (void)monitor; }
+
+// --- PbftCluster -----------------------------------------------------------------
+
+PbftCluster::PbftCluster(PbftClusterConfig config)
+    : Deployment(config.seed, config.net, config.placement), config_(config) {
+  // Genesis: the whole network is the committee (plain PBFT).
+  ledger::GenesisConfig genesis_config;
+  genesis_config.chain_seed = config.seed;
+  for (std::size_t i = 0; i < config.replicas; ++i) {
+    genesis_config.initial_endorsers.push_back(
+        ledger::EndorserInfo{NodeId{i + 1}, placement_.position(i)});
+  }
+  genesis_config.policy.min_endorsers = config.replicas;
+  genesis_config.policy.max_endorsers = config.replicas;
+  const ledger::Block genesis = ledger::make_genesis_block(genesis_config);
+
+  std::vector<NodeId> committee;
+  for (std::size_t i = 0; i < config.replicas; ++i) committee.push_back(NodeId{i + 1});
+
+  for (std::size_t i = 0; i < config.replicas; ++i) {
+    replicas_.push_back(std::make_unique<pbft::Replica>(NodeId{i + 1}, committee, genesis,
+                                                        config.pbft, network_, keys_));
+  }
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    clients_.push_back(std::make_unique<pbft::Client>(NodeId{kClientIdBase + i + 1}, committee,
+                                                      network_, keys_,
+                                                      config.pbft.compute_macs));
+  }
+}
+
+void PbftCluster::start_nodes() {
+  for (auto& replica : replicas_) replica->start();
+}
+
+void PbftCluster::stop_nodes() {
+  for (auto& replica : replicas_) replica->stop();
+}
+
+std::vector<NodeId> PbftCluster::committee() const {
+  std::vector<NodeId> out;
+  out.reserve(replicas_.size());
+  for (const auto& replica : replicas_) out.push_back(replica->id());
+  return out;
+}
+
+void PbftCluster::set_fault_mode(NodeId id, pbft::FaultMode mode) {
+  for (auto& replica : replicas_) {
+    if (replica->id() == id) replica->set_fault_mode(mode);
+  }
+}
+
+void PbftCluster::watch(InvariantMonitor& monitor) {
+  for (auto& replica : replicas_) monitor.watch(*replica);
+}
+
+// --- GpbftCluster ------------------------------------------------------------------
+
+GpbftCluster::GpbftCluster(GpbftClusterConfig config)
+    : Deployment(config.seed, config.net, config.placement), config_(std::move(config)) {
+  const std::size_t committee_size = std::min(config_.initial_committee, config_.nodes);
+
+  ::gpbft::gpbft::GpbftConfig protocol = config_.protocol;
+  protocol.genesis.chain_seed = config_.seed;
+  protocol.genesis.area_prefix = placement_.area_prefix();
+  protocol.genesis.initial_endorsers.clear();
+  for (std::size_t i = 0; i < committee_size; ++i) {
+    protocol.genesis.initial_endorsers.push_back(
+        ledger::EndorserInfo{NodeId{i + 1}, placement_.position(i)});
+  }
+  const ledger::Block genesis = ledger::make_genesis_block(protocol.genesis);
+
+  roster_.clear();
+  for (std::size_t i = 0; i < committee_size; ++i) roster_.push_back(NodeId{i + 1});
+
+  for (std::size_t i = 0; i < config_.nodes; ++i) {
+    const NodeId id{i + 1};
+    const geo::GeoPoint position = placement_.position(i);
+    area_.place(id, position);
+    auto endorser = std::make_unique<::gpbft::gpbft::Endorser>(id, position, protocol, genesis,
+                                                               network_, keys_, &area_);
+    endorser->set_roster_callback(
+        [this](EraId era, const std::vector<NodeId>& roster) { on_roster(era, roster); });
+    endorsers_.push_back(std::move(endorser));
+  }
+
+  for (std::size_t i = 0; i < config_.clients; ++i) {
+    const NodeId id{kClientIdBase + i + 1};
+    // Clients sit next to "their" fixed device (one per node position).
+    area_.place(id, placement_.position(i % std::max<std::size_t>(config_.nodes, 1)));
+    clients_.push_back(std::make_unique<pbft::Client>(id, roster_, network_, keys_,
+                                                      config_.protocol.pbft.compute_macs));
+  }
+}
+
+void GpbftCluster::start_nodes() {
+  for (auto& endorser : endorsers_) endorser->start_protocol();
+}
+
+void GpbftCluster::stop_nodes() {
+  for (auto& endorser : endorsers_) endorser->stop_protocol();
+}
+
+void GpbftCluster::on_roster(EraId era, const std::vector<NodeId>& roster) {
+  if (era <= era_) return;
+  era_ = era;
+  roster_ = roster;
+  for (auto& client : clients_) client->set_committee(roster);
+  for (auto& endorser : endorsers_) {
+    if (endorser->role() == ::gpbft::gpbft::Role::Candidate) {
+      endorser->set_known_committee(roster);
+    }
+  }
+}
+
+std::vector<NodeId> GpbftCluster::fault_targets() const {
+  const std::size_t committee_size = std::min(config_.initial_committee, config_.nodes);
+  std::vector<NodeId> victims;
+  for (std::size_t i = 0; i < committee_size; ++i) victims.push_back(NodeId{i + 1});
+  return victims;
+}
+
+std::uint64_t GpbftCluster::total_era_switches() const {
+  std::uint64_t max_switches = 0;
+  for (const auto& endorser : endorsers_) {
+    max_switches = std::max(max_switches, endorser->era_switches());
+  }
+  return max_switches;
+}
+
+void GpbftCluster::set_fault_mode(NodeId id, pbft::FaultMode mode) {
+  for (auto& endorser : endorsers_) {
+    if (endorser->id() == id) endorser->set_fault_mode(mode);
+  }
+}
+
+void GpbftCluster::watch(InvariantMonitor& monitor) {
+  for (auto& endorser : endorsers_) monitor.watch(*endorser);
+}
+
+// --- DbftCluster -------------------------------------------------------------------
+
+DbftCluster::DbftCluster(DbftClusterConfig config)
+    : Deployment(config.seed, config.net, config.placement), config_(config) {
+  const std::size_t delegate_count = std::min(config.nodes, config.delegates);
+  ledger::GenesisConfig genesis_config;
+  genesis_config.chain_seed = config.seed;
+  for (std::size_t i = 0; i < delegate_count; ++i) {
+    genesis_config.initial_endorsers.push_back(
+        ledger::EndorserInfo{NodeId{i + 1}, placement_.position(i)});
+  }
+  const ledger::Block genesis = ledger::make_genesis_block(genesis_config);
+
+  dbft::DbftConfig dbft_config;
+  dbft_config.pbft = config.pbft;
+  dbft_config.block_interval = config.block_interval;
+  dbft_config.delegate_count = config.delegates;
+  dbft_config.epoch_blocks = config.epoch_blocks;
+
+  std::vector<NodeId> all;
+  for (std::size_t i = 0; i < config.nodes; ++i) all.push_back(NodeId{i + 1});
+  roster_.assign(all.begin(), all.begin() + static_cast<long>(delegate_count));
+
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    members_.push_back(std::make_unique<dbft::Delegate>(NodeId{i + 1}, genesis, dbft_config,
+                                                        stakes_, all, network_, keys_));
+  }
+  for (std::size_t i = 0; i < config.clients; ++i) {
+    clients_.push_back(std::make_unique<pbft::Client>(NodeId{kClientIdBase + i + 1}, roster_,
+                                                      network_, keys_, config.pbft.compute_macs));
+  }
+}
+
+void DbftCluster::start_nodes() {
+  for (auto& member : members_) member->start_protocol();
+}
+
+void DbftCluster::stop_nodes() {
+  for (auto& member : members_) member->stop_protocol();
+}
+
+void DbftCluster::set_fault_mode(NodeId id, pbft::FaultMode mode) {
+  for (auto& member : members_) {
+    if (member->id() == id) member->set_fault_mode(mode);
+  }
+}
+
+void DbftCluster::watch(InvariantMonitor& monitor) {
+  for (auto& member : members_) monitor.watch(*member);
+}
+
+// --- PowCluster --------------------------------------------------------------------
+
+namespace {
+
+/// Constant-frequency PoW proposer: submissions travel to every miner as
+/// unsealed transaction gossip (there is no reply path; confirmation is
+/// observed on the miners' chains).
+struct PowDriver {
+  net::Simulator* sim;
+  net::Network* network;
+  std::vector<std::unique_ptr<pow::Miner>>* miners;
+  std::uint64_t client_index;
+  geo::GeoPoint location;
+  Duration period;
+  std::uint64_t remaining;
+  std::size_t payload_bytes;
+  Amount fee;
+  Deployment::SubmitHook on_submit;
+  RequestId next_request{1};
+
+  void step(const std::shared_ptr<PowDriver>& self) {
+    if (remaining == 0) return;
+    --remaining;
+    const ledger::Transaction tx =
+        make_workload_tx(NodeId{kClientIdBase + client_index + 1}, next_request++, location,
+                         sim->now(), payload_bytes, fee, client_index);
+    if (on_submit) on_submit(tx);
+    const Bytes encoded = tx.encode();
+    for (const auto& miner : *miners) {
+      net::Envelope envelope;
+      envelope.from = NodeId{kClientIdBase + client_index + 1};
+      envelope.to = miner->id();
+      envelope.type = pbft::msg_type::kClientRequest;
+      envelope.payload = encoded;
+      network->send(std::move(envelope));
+    }
+    if (remaining > 0) {
+      sim->schedule(period, [self]() { self->step(self); });
+    }
+  }
+};
+
+}  // namespace
+
+PowCluster::PowCluster(PowClusterConfig config)
+    : Deployment(config.seed, config.net, config.placement), config_(config) {
+  pow::MinerConfig miner_config;
+  miner_config.hashrate = config.hashrate;
+  // Network-wide solve rate = miners * hashrate / difficulty = 1/interval.
+  miner_config.difficulty = static_cast<std::uint64_t>(
+      static_cast<double>(config.miners) * config.hashrate * config.block_interval.to_seconds());
+  miner_config.confirmation_depth = config.confirmations;
+  miner_config.max_batch_size = config.batch_size;
+  const pow::PowBlock genesis = pow::make_pow_genesis(miner_config.difficulty);
+
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < config.miners; ++i) ids.push_back(NodeId{i + 1});
+  for (NodeId id : ids) {
+    miners_.push_back(std::make_unique<pow::Miner>(id, ids, genesis, miner_config, network_));
+  }
+  // Every miner observes confirmations; a transaction counts once, at its
+  // first confirmation anywhere (robust when single miners are crashed or
+  // partitioned while a watched transaction confirms).
+  for (auto& miner : miners_) {
+    miner->set_confirmed_callback([this](const crypto::Hash256& digest, Duration latency) {
+      if (confirmed_.insert(digest).second && recorder_ != nullptr) {
+        recorder_->record(latency);
+      }
+    });
+  }
+}
+
+void PowCluster::start_nodes() {
+  for (auto& miner : miners_) miner->start();
+}
+
+void PowCluster::stop_nodes() {
+  for (auto& miner : miners_) miner->stop();
+}
+
+std::vector<NodeId> PowCluster::committee() const {
+  std::vector<NodeId> out;
+  out.reserve(miners_.size());
+  for (const auto& miner : miners_) out.push_back(miner->id());
+  return out;
+}
+
+void PowCluster::schedule_workload(const WorkloadSpec& workload, LatencyRecorder* recorder,
+                                   SubmitHook on_submit) {
+  recorder_ = recorder;
+  for (std::size_t i = 0; i < config_.clients; ++i) {
+    auto driver = std::make_shared<PowDriver>();
+    driver->sim = &sim_;
+    driver->network = &network_;
+    driver->miners = &miners_;
+    driver->client_index = i;
+    driver->location = placement_.position(i);
+    driver->period = workload.period;
+    driver->remaining = workload.txs_per_client;
+    driver->payload_bytes = workload.payload_bytes;
+    driver->fee = workload.fee;
+    driver->on_submit = on_submit;
+    sim_.schedule_at(workload.start + workload.stagger * static_cast<std::int64_t>(i),
+                     [driver]() { driver->step(driver); });
+  }
+}
+
+double PowCluster::hashes_computed() const {
+  double hashes = 0;
+  for (const auto& miner : miners_) hashes += miner->hashes_computed();
+  return hashes;
+}
+
+bool PowCluster::workload_done(std::uint64_t per_client) const {
+  return confirmed_.size() >= per_client * config_.clients;
+}
+
+void PowCluster::finish_invariants(InvariantMonitor& monitor) {
+  // Agreement for PoW is probabilistic, bounded by the confirmation depth:
+  // honest miners must agree on every block that either of them considers
+  // confirmed. Validity/duplicate checks run over the same prefix.
+  for (const auto& miner : miners_) {
+    const Height tip = miner->chain().tip_height();
+    if (tip < config_.confirmations) continue;
+    const Height limit = tip - config_.confirmations;
+    for (const pow::PowBlock& block : miner->chain().best_chain()) {
+      const Height height = block.header.height;
+      if (height == 0 || height > limit) continue;  // genesis is shared by construction
+      monitor.check_block_hash(miner->id(), height, block.hash());
+      for (const ledger::Transaction& tx : block.transactions) {
+        monitor.check_transaction(miner->id(), height, tx);
+      }
+    }
+  }
+}
+
+// --- factory ---------------------------------------------------------------------
+
+pbft::PbftConfig to_pbft_config(const EngineSpec& engine) {
+  pbft::PbftConfig config;
+  config.max_batch_size = engine.batch_size;
+  config.pipeline_depth = engine.pipeline_depth;
+  config.checkpoint_interval = engine.checkpoint_interval;
+  config.compute_macs = engine.compute_macs;
+  config.request_timeout = engine.request_timeout;
+  config.view_change_timeout = engine.view_change_timeout;
+  return config;
+}
+
+std::unique_ptr<PbftCluster> make_pbft_deployment(const ScenarioSpec& spec) {
+  PbftClusterConfig config;
+  config.replicas = spec.nodes;
+  config.clients = spec.clients;
+  config.seed = spec.seed;
+  config.net = spec.net;
+  config.pbft = to_pbft_config(spec.engine);
+  config.placement = spec.placement;
+  return std::make_unique<PbftCluster>(config);
+}
+
+std::unique_ptr<GpbftCluster> make_gpbft_deployment(const ScenarioSpec& spec) {
+  GpbftClusterConfig config;
+  config.nodes = spec.nodes;
+  config.initial_committee = std::min(spec.committee.initial, spec.nodes);
+  config.clients = spec.clients;
+  config.seed = spec.seed;
+  config.net = spec.net;
+  config.placement = spec.placement;
+  config.protocol.pbft = to_pbft_config(spec.engine);
+  config.protocol.genesis.era_period = spec.committee.era_period;
+  config.protocol.genesis.policy.min_endorsers = spec.committee.min;
+  config.protocol.genesis.policy.max_endorsers = spec.committee.max;
+  config.protocol.genesis.geo_report_period = spec.geo.report_period;
+  config.protocol.genesis.geo_window = spec.geo.window;
+  config.protocol.genesis.min_geo_reports = spec.geo.min_reports;
+  config.protocol.genesis.promotion_threshold = spec.geo.promotion_threshold;
+  config.protocol.geo_reports_on_chain = spec.geo.reports_on_chain;
+  return std::make_unique<GpbftCluster>(config);
+}
+
+std::unique_ptr<DbftCluster> make_dbft_deployment(const ScenarioSpec& spec) {
+  DbftClusterConfig config;
+  config.nodes = spec.nodes;
+  config.clients = spec.clients;
+  config.seed = spec.seed;
+  config.net = spec.net;
+  config.pbft = to_pbft_config(spec.engine);
+  config.block_interval = spec.dbft.block_interval;
+  config.delegates = spec.dbft.delegates;
+  config.epoch_blocks = spec.dbft.epoch_blocks;
+  config.placement = spec.placement;
+  return std::make_unique<DbftCluster>(config);
+}
+
+std::unique_ptr<PowCluster> make_pow_deployment(const ScenarioSpec& spec) {
+  PowClusterConfig config;
+  config.miners = spec.nodes;
+  config.clients = spec.clients;
+  config.seed = spec.seed;
+  config.net = spec.net;
+  config.batch_size = spec.engine.batch_size;
+  config.block_interval = spec.pow.block_interval;
+  config.confirmations = spec.pow.confirmations;
+  config.hashrate = spec.pow.hashrate;
+  config.placement = spec.placement;
+  return std::make_unique<PowCluster>(config);
+}
+
+std::unique_ptr<Deployment> make_deployment(const ScenarioSpec& spec) {
+  switch (spec.protocol) {
+    case ProtocolKind::Pbft: return make_pbft_deployment(spec);
+    case ProtocolKind::Gpbft: return make_gpbft_deployment(spec);
+    case ProtocolKind::Dbft: return make_dbft_deployment(spec);
+    case ProtocolKind::Pow: return make_pow_deployment(spec);
+  }
+  return nullptr;
+}
+
+}  // namespace gpbft::sim

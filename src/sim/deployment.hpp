@@ -1,0 +1,311 @@
+// Uniform deployment layer: every consensus protocol behind one interface.
+//
+// A Deployment owns a whole simulated system — simulator, network, key
+// registry, placement, protocol nodes and client devices — and exposes the
+// uniform surface the harness drives: start / run_for / run_until_committed
+// / committee / stop / stats, plus workload scheduling, Byzantine fault
+// toggles and invariant-monitor attachment. The common run/stop plumbing
+// lives here exactly once; subclasses contribute only protocol wiring.
+//
+// Four deployments exist, one per protocol the paper evaluates (§V):
+//
+//   PbftCluster  — the baseline: every node is a PBFT replica, the
+//                  committee is the whole network (Fig. 3a/5a);
+//   GpbftCluster — endorser-capable fixed devices (initial committee +
+//                  candidates) with the control plane the harness owns:
+//                  AreaRegistry placement and roster fan-out after era
+//                  switches (zero simulated-wire cost; see DESIGN.md);
+//   DbftCluster  — NEO-style dBFT: every node a delegate-capable member,
+//                  blocks paced at a fixed interval, speaker rotation;
+//   PowCluster   — simulated Poisson miners with heaviest-chain fork
+//                  choice; transactions confirm at a configured depth.
+//
+// Deployments are built from a declarative ScenarioSpec via
+// make_deployment() — the only construction path benches, examples and the
+// CLI use. Tests that need full-fidelity knobs may still fill the concrete
+// config structs directly.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "dbft/delegate.hpp"
+#include "gpbft/endorser.hpp"
+#include "pbft/client.hpp"
+#include "pbft/replica.hpp"
+#include "pow/miner.hpp"
+#include "sim/metrics.hpp"
+#include "sim/placement.hpp"
+#include "sim/scenario.hpp"
+
+namespace gpbft::sim {
+
+class InvariantMonitor;
+
+/// Node-id layout shared by all deployments: protocol nodes are 1..N,
+/// clients 10001..; id 0 is the system/null node.
+inline constexpr std::uint64_t kClientIdBase = 10'000;
+
+class Deployment {
+ public:
+  using SubmitHook = std::function<void(const ledger::Transaction&)>;
+
+  virtual ~Deployment() = default;
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  /// Starts protocol nodes, then client devices.
+  void start();
+  /// Stops protocol timers so the event queue can drain.
+  void stop();
+
+  /// Advances simulated time by `d` (processing all events due in it).
+  void run_for(Duration d);
+
+  /// Runs until the workload is done (every client committed `per_client`
+  /// transactions) or the deadline passes; returns true when done.
+  bool run_until_committed(std::uint64_t per_client, TimePoint deadline);
+
+  [[nodiscard]] virtual ProtocolKind kind() const = 0;
+  /// The current consensus committee (all nodes for PBFT/PoW).
+  [[nodiscard]] virtual std::vector<NodeId> committee() const = 0;
+  [[nodiscard]] virtual std::size_t committee_size() const { return committee().size(); }
+  /// Nodes chaos campaigns may fault (the genesis committee by default:
+  /// promoted committees are only ever larger, so a budget computed from
+  /// these stays conservative).
+  [[nodiscard]] virtual std::vector<NodeId> fault_targets() const { return committee(); }
+
+  /// Schedules the constant-frequency workload on every proposer.
+  /// `recorder` (optional) collects commit latencies; `on_submit`
+  /// (optional) fires per submitted transaction — chaos runs wire it to
+  /// InvariantMonitor::expect_submission.
+  virtual void schedule_workload(const WorkloadSpec& workload, LatencyRecorder* recorder,
+                                 SubmitHook on_submit = {});
+
+  /// Transactions committed (PoW: confirmed at depth) across all clients.
+  [[nodiscard]] virtual std::uint64_t committed_count() const;
+  [[nodiscard]] virtual std::uint64_t era_switches() const { return 0; }
+  [[nodiscard]] virtual double hashes_computed() const { return 0.0; }
+
+  /// Toggles a node's Byzantine behaviour (no-op for PoW: miners model no
+  /// equivocation faults; chaos profiles keep byzantine_chance at zero).
+  virtual void set_fault_mode(NodeId id, pbft::FaultMode mode);
+  /// Attaches the invariant monitor to every node's execution path.
+  /// PoW has no online execution hook; it is checked at finish_invariants.
+  virtual void watch(InvariantMonitor& monitor);
+  /// End-of-run checks: PoW replays every miner's confirmed prefix through
+  /// the monitor (agreement/validity/duplicates over confirmed blocks).
+  virtual void finish_invariants(InvariantMonitor& monitor);
+
+  [[nodiscard]] net::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] const net::NetStats& stats() const { return network_.stats(); }
+  [[nodiscard]] const Placement& placement() const { return placement_; }
+  [[nodiscard]] const crypto::KeyRegistry& keys() const { return keys_; }
+  [[nodiscard]] pbft::Client& client(std::size_t i) { return *clients_.at(i); }
+  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+
+ protected:
+  Deployment(std::uint64_t seed, const net::NetConfig& net, const PlacementConfig& placement);
+
+  virtual void start_nodes() = 0;
+  virtual void stop_nodes() = 0;
+  /// Whether the workload finished; default: every client committed.
+  [[nodiscard]] virtual bool workload_done(std::uint64_t per_client) const;
+
+  net::Simulator sim_;
+  net::Network network_;
+  crypto::KeyRegistry keys_;
+  Placement placement_;
+  std::vector<std::unique_ptr<pbft::Client>> clients_;
+};
+
+// --- PBFT baseline ------------------------------------------------------------
+
+struct PbftClusterConfig {
+  std::size_t replicas{4};
+  std::size_t clients{0};
+  std::uint64_t seed{1};
+  net::NetConfig net;
+  pbft::PbftConfig pbft;
+  PlacementConfig placement;
+};
+
+class PbftCluster : public Deployment {
+ public:
+  explicit PbftCluster(PbftClusterConfig config);
+
+  [[nodiscard]] ProtocolKind kind() const override { return ProtocolKind::Pbft; }
+  [[nodiscard]] std::vector<NodeId> committee() const override;
+  void set_fault_mode(NodeId id, pbft::FaultMode mode) override;
+  void watch(InvariantMonitor& monitor) override;
+
+  [[nodiscard]] pbft::Replica& replica(std::size_t i) { return *replicas_.at(i); }
+  [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+
+ protected:
+  void start_nodes() override;
+  void stop_nodes() override;
+
+ private:
+  PbftClusterConfig config_;
+  std::vector<std::unique_ptr<pbft::Replica>> replicas_;
+};
+
+// --- G-PBFT deployment ----------------------------------------------------------
+
+struct GpbftClusterConfig {
+  /// Endorser-capable fixed devices (ids 1..nodes). The first
+  /// `initial_committee` form the genesis roster; the rest start as
+  /// candidates and may be promoted by era switches.
+  std::size_t nodes{4};
+  std::size_t initial_committee{4};
+  std::size_t clients{0};
+  std::uint64_t seed{1};
+  net::NetConfig net;
+  ::gpbft::gpbft::GpbftConfig protocol;  // genesis roster/area filled by the cluster
+  PlacementConfig placement;
+};
+
+class GpbftCluster : public Deployment {
+ public:
+  explicit GpbftCluster(GpbftClusterConfig config);
+
+  [[nodiscard]] ProtocolKind kind() const override { return ProtocolKind::Gpbft; }
+  [[nodiscard]] std::vector<NodeId> committee() const override { return roster_; }
+  [[nodiscard]] std::size_t committee_size() const override { return roster_.size(); }
+  /// Fault victims are the genesis committee (see fault_targets docs).
+  [[nodiscard]] std::vector<NodeId> fault_targets() const override;
+  [[nodiscard]] std::uint64_t era_switches() const override { return total_era_switches(); }
+  void set_fault_mode(NodeId id, pbft::FaultMode mode) override;
+  void watch(InvariantMonitor& monitor) override;
+
+  [[nodiscard]] ::gpbft::gpbft::Endorser& endorser(std::size_t i) { return *endorsers_.at(i); }
+  [[nodiscard]] std::size_t endorser_count() const { return endorsers_.size(); }
+  [[nodiscard]] ::gpbft::gpbft::AreaRegistry& area() { return area_; }
+  [[nodiscard]] const std::vector<NodeId>& roster() const { return roster_; }
+  [[nodiscard]] EraId era() const { return era_; }
+  [[nodiscard]] std::uint64_t total_era_switches() const;
+
+ protected:
+  void start_nodes() override;
+  void stop_nodes() override;
+
+ private:
+  void on_roster(EraId era, const std::vector<NodeId>& roster);
+
+  GpbftClusterConfig config_;
+  ::gpbft::gpbft::AreaRegistry area_;
+  std::vector<std::unique_ptr<::gpbft::gpbft::Endorser>> endorsers_;
+  std::vector<NodeId> roster_;
+  EraId era_{0};
+};
+
+// --- dBFT deployment ------------------------------------------------------------
+
+struct DbftClusterConfig {
+  /// Delegate-capable members (ids 1..nodes); the first
+  /// min(nodes, delegates) form the genesis delegate roster.
+  std::size_t nodes{7};
+  std::size_t clients{0};
+  std::uint64_t seed{1};
+  net::NetConfig net;
+  pbft::PbftConfig pbft;
+  Duration block_interval = Duration::seconds(15);
+  std::size_t delegates{7};
+  std::size_t epoch_blocks{16};
+  PlacementConfig placement;
+};
+
+class DbftCluster : public Deployment {
+ public:
+  explicit DbftCluster(DbftClusterConfig config);
+
+  [[nodiscard]] ProtocolKind kind() const override { return ProtocolKind::Dbft; }
+  [[nodiscard]] std::vector<NodeId> committee() const override { return roster_; }
+  void set_fault_mode(NodeId id, pbft::FaultMode mode) override;
+  void watch(InvariantMonitor& monitor) override;
+
+  [[nodiscard]] dbft::Delegate& delegate(std::size_t i) { return *members_.at(i); }
+  [[nodiscard]] std::size_t delegate_count() const { return members_.size(); }
+
+ protected:
+  void start_nodes() override;
+  void stop_nodes() override;
+
+ private:
+  DbftClusterConfig config_;
+  dbft::StakeRegistry stakes_;  // no voting unless a test registers stake
+  std::vector<std::unique_ptr<dbft::Delegate>> members_;
+  std::vector<NodeId> roster_;
+};
+
+// --- PoW deployment -------------------------------------------------------------
+
+struct PowClusterConfig {
+  std::size_t miners{7};
+  /// Proposing devices; their submissions gossip to every miner. PoW has no
+  /// reply path, so proposers are simulated drivers, not pbft::Clients.
+  std::size_t clients{0};
+  std::uint64_t seed{1};
+  net::NetConfig net;
+  std::size_t batch_size{32};
+  /// Consensus difficulty = miners * hashrate * block_interval (network-
+  /// wide solve rate of one block per interval).
+  Duration block_interval = Duration::seconds(10);
+  Height confirmations{3};
+  double hashrate{1e6};
+  PlacementConfig placement;
+};
+
+class PowCluster : public Deployment {
+ public:
+  explicit PowCluster(PowClusterConfig config);
+
+  [[nodiscard]] ProtocolKind kind() const override { return ProtocolKind::Pow; }
+  [[nodiscard]] std::vector<NodeId> committee() const override;
+  void schedule_workload(const WorkloadSpec& workload, LatencyRecorder* recorder,
+                         SubmitHook on_submit = {}) override;
+  /// Distinct transactions confirmed at depth on any miner's best chain
+  /// (first confirmation records the latency).
+  [[nodiscard]] std::uint64_t committed_count() const override { return confirmed_.size(); }
+  [[nodiscard]] double hashes_computed() const override;
+  /// Replays every miner's confirmed prefix (blocks at least
+  /// `confirmations` below that miner's tip) through the monitor.
+  void finish_invariants(InvariantMonitor& monitor) override;
+
+  [[nodiscard]] pow::Miner& miner(std::size_t i) { return *miners_.at(i); }
+  [[nodiscard]] std::size_t miner_count() const { return miners_.size(); }
+
+ protected:
+  void start_nodes() override;
+  void stop_nodes() override;
+  [[nodiscard]] bool workload_done(std::uint64_t per_client) const override;
+
+ private:
+  PowClusterConfig config_;
+  std::vector<std::unique_ptr<pow::Miner>> miners_;
+  std::set<crypto::Hash256> confirmed_;  // union over miners, first wins
+  LatencyRecorder* recorder_{nullptr};
+};
+
+// --- factory ---------------------------------------------------------------------
+
+/// Translates the engine piece of a spec into the PBFT replica config.
+[[nodiscard]] pbft::PbftConfig to_pbft_config(const EngineSpec& engine);
+
+/// Builds the deployment a spec describes. The only construction path for
+/// benches, examples and the CLI.
+[[nodiscard]] std::unique_ptr<Deployment> make_deployment(const ScenarioSpec& spec);
+
+/// Typed factories for consumers that need the concrete API (G-PBFT area
+/// registry, endorser access, ...). The spec's protocol field must match.
+[[nodiscard]] std::unique_ptr<PbftCluster> make_pbft_deployment(const ScenarioSpec& spec);
+[[nodiscard]] std::unique_ptr<GpbftCluster> make_gpbft_deployment(const ScenarioSpec& spec);
+[[nodiscard]] std::unique_ptr<DbftCluster> make_dbft_deployment(const ScenarioSpec& spec);
+[[nodiscard]] std::unique_ptr<PowCluster> make_pow_deployment(const ScenarioSpec& spec);
+
+}  // namespace gpbft::sim

@@ -1,16 +1,32 @@
 #include "sim/experiment.hpp"
 
-#include <memory>
+#include <algorithm>
 
-#include "dbft/delegate.hpp"
-#include "ledger/genesis.hpp"
 #include "pbft/messages.hpp"
-#include "pow/miner.hpp"
 
 namespace gpbft::sim {
 
 ExperimentOptions default_options() {
-  return ExperimentOptions{};  // field initialisers are the calibration
+  ExperimentOptions options;
+  // Loss-free measurement runs: retransmission off so REQUEST traffic
+  // matches the paper's testbed (retries are for faulty networks).
+  options.workload.client_retries = false;
+  options.engine.batch_size = 32;
+  // Large sweeps skip recomputing HMAC tags (bytes unchanged); see
+  // pbft::PbftConfig::compute_macs.
+  options.engine.compute_macs = false;
+  // Under the saturating workload of the latency experiments, requests can
+  // legitimately queue for hundreds of simulated seconds (that queueing is
+  // the measurement); the timeout must not fire view changes meanwhile.
+  options.engine.request_timeout = options.hard_deadline;
+  options.committee.era_period = Duration::seconds(30);
+  // Promotion machinery parameters: reports every 10 s, Algorithm 1 window
+  // of one era period, at least 2 reports; the 72 h stationarity rule is
+  // scaled into simulation range so candidate promotion is observable.
+  options.geo.window = options.committee.era_period;
+  options.geo.min_reports = 2;
+  options.geo.promotion_threshold = Duration::seconds(20);
+  return options;
 }
 
 double consensus_kilobytes(const net::NetStats& stats) {
@@ -26,37 +42,28 @@ double consensus_kilobytes(const net::NetStats& stats) {
 
 namespace {
 
-net::NetConfig net_config_for(const ExperimentOptions& options) {
-  net::NetConfig net;
-  net.processing_rate_msgs_per_sec = options.processing_rate;
-  return net;
-}
-
-pbft::PbftConfig pbft_config_for(const ExperimentOptions& options) {
-  pbft::PbftConfig config;
-  config.max_batch_size = options.batch_size;
-  config.compute_macs = options.compute_macs;
-  // Under the saturating workload of the latency experiments, requests can
-  // legitimately queue for hundreds of simulated seconds (that queueing is
-  // the measurement); the timeout must not fire view changes meanwhile.
-  config.request_timeout = options.hard_deadline;
-  return config;
-}
-
-::gpbft::gpbft::GpbftConfig gpbft_config_for(const ExperimentOptions& options) {
-  ::gpbft::gpbft::GpbftConfig protocol;
-  protocol.pbft = pbft_config_for(options);
-  protocol.genesis.era_period = options.era_period;
-  protocol.genesis.policy.min_endorsers = options.min_committee;
-  protocol.genesis.policy.max_endorsers = options.max_committee;
-  // Promotion machinery parameters: reports every 10 s, Algorithm 1 window
-  // of one era period, at least 3 reports; the 72 h stationarity rule is
-  // scaled into simulation range so candidate promotion is observable.
-  protocol.genesis.geo_report_period = Duration::seconds(10);
-  protocol.genesis.geo_window = options.era_period;
-  protocol.genesis.min_geo_reports = 2;
-  protocol.genesis.promotion_threshold = Duration::seconds(20);
-  return protocol;
+ScenarioSpec scenario_for(ProtocolKind protocol, std::size_t nodes, std::size_t clients,
+                          const ExperimentOptions& options) {
+  ScenarioSpec spec;
+  spec.protocol = protocol;
+  spec.seed = options.seed;
+  spec.nodes = nodes;
+  spec.clients = clients;
+  spec.deadline = options.hard_deadline;
+  spec.workload = options.workload;
+  spec.engine = options.engine;
+  spec.net = options.net;
+  spec.committee = options.committee;
+  spec.geo = options.geo;
+  spec.dbft = options.dbft;
+  spec.pow = options.pow;
+  if (protocol == ProtocolKind::Gpbft) {
+    // Steady state of the paper's Fig. 3b: all eligible nodes join until
+    // the maximum; the genesis roster holds them directly so the
+    // measurement is of the steady committee (era switches still run).
+    spec.committee.initial = std::min(nodes, options.committee.max);
+  }
+  return spec;
 }
 
 ExperimentResult finish_result(std::size_t nodes, std::size_t committee,
@@ -79,256 +86,58 @@ ExperimentResult finish_result(std::size_t nodes, std::size_t committee,
 
 }  // namespace
 
+ScenarioSpec latency_scenario(ProtocolKind protocol, std::size_t nodes,
+                              const ExperimentOptions& options) {
+  // One proposing device per node (§V-B).
+  return scenario_for(protocol, nodes, nodes, options);
+}
+
 // --- latency experiments ------------------------------------------------------------
 
-ExperimentResult run_pbft_latency(std::size_t nodes, const ExperimentOptions& options) {
-  PbftClusterConfig config;
-  config.replicas = nodes;
-  config.clients = nodes;  // one proposing device per node (§V-B)
-  config.seed = options.seed;
-  config.net = net_config_for(options);
-  config.pbft = pbft_config_for(options);
-
-  PbftCluster cluster(config);
-  cluster.start();
+ExperimentResult run_latency(ProtocolKind protocol, std::size_t nodes,
+                             const ExperimentOptions& options) {
+  const ScenarioSpec spec = latency_scenario(protocol, nodes, options);
+  const std::unique_ptr<Deployment> deployment = make_deployment(spec);
+  deployment->start();
 
   LatencyRecorder recorder;
-  WorkloadConfig workload;
-  workload.period = options.proposal_period;
-  workload.count = options.txs_per_client;
-  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
-    // Loss-free measurement runs: retransmission off so REQUEST traffic
-    // matches the paper's testbed (retries are for faulty networks).
-    cluster.client(i).set_retry_interval(Duration{0});
-    schedule_workload(cluster.simulator(), cluster.client(i), cluster.placement().position(i),
-                      workload, i, &recorder);
-  }
+  deployment->schedule_workload(spec.workload, &recorder);
 
-  const TimePoint deadline{options.hard_deadline.ns};
-  cluster.run_until_committed(options.txs_per_client, deadline);
-  cluster.stop();
+  const TimePoint deadline{spec.deadline.ns};
+  deployment->run_until_committed(spec.workload.txs_per_client, deadline);
+  deployment->stop();
 
-  std::uint64_t committed = 0;
-  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
-    committed += cluster.client(i).committed_count();
-  }
-  return finish_result(nodes, nodes, recorder, cluster.network().stats(), committed,
-                       options.txs_per_client * cluster.client_count(),
-                       cluster.simulator().now().to_seconds(), 0);
+  ExperimentResult result = finish_result(
+      nodes, deployment->committee_size(), recorder, deployment->stats(),
+      deployment->committed_count(), spec.workload.txs_per_client * nodes,
+      deployment->simulator().now().to_seconds(), deployment->era_switches());
+  result.hashes_computed = deployment->hashes_computed();
+  return result;
+}
+
+ExperimentResult run_pbft_latency(std::size_t nodes, const ExperimentOptions& options) {
+  return run_latency(ProtocolKind::Pbft, nodes, options);
 }
 
 ExperimentResult run_gpbft_latency(std::size_t nodes, const ExperimentOptions& options) {
-  GpbftClusterConfig config;
-  config.nodes = nodes;
-  // Steady state of the paper's Fig. 3b: all eligible nodes join until the
-  // maximum; the genesis roster holds them directly so the measurement is
-  // of the steady committee (era switches still run during the experiment).
-  config.initial_committee = std::min(nodes, options.max_committee);
-  config.clients = nodes;
-  config.seed = options.seed;
-  config.net = net_config_for(options);
-  config.protocol = gpbft_config_for(options);
-
-  GpbftCluster cluster(config);
-  cluster.start();
-
-  LatencyRecorder recorder;
-  WorkloadConfig workload;
-  workload.period = options.proposal_period;
-  workload.count = options.txs_per_client;
-  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
-    // Loss-free measurement runs: retransmission off so REQUEST traffic
-    // matches the paper's testbed (retries are for faulty networks).
-    cluster.client(i).set_retry_interval(Duration{0});
-    schedule_workload(cluster.simulator(), cluster.client(i), cluster.placement().position(i),
-                      workload, i, &recorder);
-  }
-
-  const TimePoint deadline{options.hard_deadline.ns};
-  cluster.run_until_committed(options.txs_per_client, deadline);
-  cluster.stop();
-
-  std::uint64_t committed = 0;
-  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
-    committed += cluster.client(i).committed_count();
-  }
-  return finish_result(nodes, cluster.committee_size(), recorder, cluster.network().stats(),
-                       committed, options.txs_per_client * cluster.client_count(),
-                       cluster.simulator().now().to_seconds(), cluster.total_era_switches());
+  return run_latency(ProtocolKind::Gpbft, nodes, options);
 }
 
-// --- baseline protocols ---------------------------------------------------------------
-
 ExperimentResult run_dbft_latency(std::size_t nodes, const ExperimentOptions& options) {
-  net::Simulator sim(options.seed);
-  net::Network network(sim, net_config_for(options));
-  crypto::KeyRegistry keys(options.seed ^ 0x67e55044'10b1426full);
-  Placement placement;
-
-  const std::size_t delegate_count = std::min(nodes, options.dbft_delegates);
-  ledger::GenesisConfig genesis_config;
-  genesis_config.chain_seed = options.seed;
-  for (std::size_t i = 0; i < delegate_count; ++i) {
-    genesis_config.initial_endorsers.push_back(
-        ledger::EndorserInfo{NodeId{i + 1}, placement.position(i)});
-  }
-  const ledger::Block genesis = ledger::make_genesis_block(genesis_config);
-
-  dbft::DbftConfig config;
-  config.pbft = pbft_config_for(options);
-  config.block_interval = options.dbft_block_interval;
-  config.delegate_count = options.dbft_delegates;
-
-  std::vector<NodeId> all;
-  for (std::size_t i = 0; i < nodes; ++i) all.push_back(NodeId{i + 1});
-  std::vector<NodeId> roster(all.begin(), all.begin() + static_cast<long>(delegate_count));
-
-  dbft::StakeRegistry stakes;  // no voting during the measurement run
-  std::vector<std::unique_ptr<dbft::Delegate>> members;
-  for (std::size_t i = 0; i < nodes; ++i) {
-    members.push_back(std::make_unique<dbft::Delegate>(NodeId{i + 1}, genesis, config, stakes,
-                                                       all, network, keys));
-  }
-  std::vector<std::unique_ptr<pbft::Client>> clients;
-  for (std::size_t i = 0; i < nodes; ++i) {
-    clients.push_back(std::make_unique<pbft::Client>(NodeId{kClientIdBase + i + 1}, roster,
-                                                     network, keys, options.compute_macs));
-  }
-
-  for (auto& member : members) member->start_protocol();
-  for (auto& client : clients) client->start();
-
-  LatencyRecorder recorder;
-  WorkloadConfig workload;
-  workload.period = options.proposal_period;
-  workload.count = options.txs_per_client;
-  for (std::size_t i = 0; i < clients.size(); ++i) {
-    clients[i]->set_retry_interval(Duration{0});
-    schedule_workload(sim, *clients[i], placement.position(i), workload, i, &recorder);
-  }
-
-  const TimePoint deadline{options.hard_deadline.ns};
-  while (sim.now() < deadline) {
-    const bool done = std::all_of(clients.begin(), clients.end(), [&](const auto& client) {
-      return client->committed_count() >= options.txs_per_client;
-    });
-    if (done) break;
-    sim.run_until(sim.now() + Duration::seconds(1));
-  }
-  for (auto& member : members) member->stop_protocol();
-
-  std::uint64_t committed = 0;
-  for (const auto& client : clients) committed += client->committed_count();
-  ExperimentResult result =
-      finish_result(nodes, delegate_count, recorder, network.stats(), committed,
-                    options.txs_per_client * clients.size(), sim.now().to_seconds(), 0);
-  return result;
+  return run_latency(ProtocolKind::Dbft, nodes, options);
 }
 
 ExperimentResult run_pow_latency(std::size_t nodes, const ExperimentOptions& options) {
-  net::Simulator sim(options.seed);
-  net::Network network(sim, net_config_for(options));
-  Placement placement;
-
-  pow::MinerConfig config;
-  config.hashrate = options.pow_hashrate;
-  // Network-wide solve rate = nodes * hashrate / difficulty = 1/interval.
-  config.difficulty = static_cast<std::uint64_t>(
-      static_cast<double>(nodes) * options.pow_hashrate *
-      options.pow_block_interval.to_seconds());
-  config.confirmation_depth = options.pow_confirmations;
-  config.max_batch_size = options.batch_size;
-  const pow::PowBlock genesis = pow::make_pow_genesis(config.difficulty);
-
-  std::vector<NodeId> ids;
-  for (std::size_t i = 0; i < nodes; ++i) ids.push_back(NodeId{i + 1});
-  std::vector<std::unique_ptr<pow::Miner>> miners;
-  for (NodeId id : ids) {
-    miners.push_back(std::make_unique<pow::Miner>(id, ids, genesis, config, network));
-  }
-  for (auto& miner : miners) miner->start();
-
-  // Miner 0 is the confirmation observer for all watched transactions.
-  LatencyRecorder recorder;
-  std::uint64_t confirmed = 0;
-  miners[0]->set_confirmed_callback([&](const crypto::Hash256&, Duration latency) {
-    recorder.record(latency);
-    ++confirmed;
-  });
-
-  // One proposing device per miner node, same constant-frequency workload;
-  // submissions travel to every miner as unsealed transaction gossip.
-  const std::uint64_t expected = options.txs_per_client * nodes;
-  struct PowDriver {
-    net::Simulator* sim;
-    net::Network* network;
-    std::vector<std::unique_ptr<pow::Miner>>* miners;
-    std::uint64_t client_index;
-    geo::GeoPoint location;
-    Duration period;
-    std::uint64_t remaining;
-    RequestId next_request{1};
-
-    void step(const std::shared_ptr<PowDriver>& self) {
-      if (remaining == 0) return;
-      --remaining;
-      const ledger::Transaction tx =
-          make_workload_tx(NodeId{kClientIdBase + client_index + 1}, next_request++, location,
-                           sim->now(), 32, 10, client_index);
-      const Bytes encoded = tx.encode();
-      for (const auto& miner : *miners) {
-        net::Envelope envelope;
-        envelope.from = NodeId{kClientIdBase + client_index + 1};
-        envelope.to = miner->id();
-        envelope.type = pbft::msg_type::kClientRequest;
-        envelope.payload = encoded;
-        network->send(std::move(envelope));
-      }
-      if (remaining > 0) {
-        sim->schedule(period, [self]() { self->step(self); });
-      }
-    }
-  };
-  for (std::size_t i = 0; i < nodes; ++i) {
-    auto driver = std::make_shared<PowDriver>();
-    driver->sim = &sim;
-    driver->network = &network;
-    driver->miners = &miners;
-    driver->client_index = i;
-    driver->location = placement.position(i);
-    driver->period = options.proposal_period;
-    driver->remaining = options.txs_per_client;
-    sim.schedule(Duration::millis(static_cast<std::int64_t>(25 * i) + 1000),
-                 [driver]() { driver->step(driver); });
-  }
-
-  const TimePoint deadline{options.hard_deadline.ns};
-  while (sim.now() < deadline && confirmed < expected) {
-    sim.run_until(sim.now() + Duration::seconds(5));
-  }
-  double hashes = 0;
-  for (auto& miner : miners) {
-    miner->stop();
-    hashes += miner->hashes_computed();
-  }
-
-  ExperimentResult result = finish_result(nodes, nodes, recorder, network.stats(), confirmed,
-                                          expected, sim.now().to_seconds(), 0);
-  result.hashes_computed = hashes;
-  return result;
+  return run_latency(ProtocolKind::Pow, nodes, options);
 }
 
 // --- communication-cost experiments ---------------------------------------------------
 
-ExperimentResult run_pbft_single_tx(std::size_t nodes, const ExperimentOptions& options) {
-  PbftClusterConfig config;
-  config.replicas = nodes;
-  config.clients = 1;
-  config.seed = options.seed;
-  config.net = net_config_for(options);
-  config.pbft = pbft_config_for(options);
+namespace {
 
-  PbftCluster cluster(config);
+template <typename Cluster>
+ExperimentResult run_single_tx(Cluster& cluster, std::size_t nodes,
+                               const ExperimentOptions& options) {
   cluster.start();
   cluster.run_for(Duration::millis(100));  // settle attachments
   cluster.network().reset_stats();
@@ -348,43 +157,23 @@ ExperimentResult run_pbft_single_tx(std::size_t nodes, const ExperimentOptions& 
   cluster.run_until_committed(1, deadline);
   cluster.stop();
 
-  return finish_result(nodes, nodes, recorder, cluster.network().stats(),
+  return finish_result(nodes, cluster.committee_size(), recorder, cluster.stats(),
                        cluster.client(0).committed_count(), 1,
-                       cluster.simulator().now().to_seconds(), 0);
+                       cluster.simulator().now().to_seconds(), cluster.era_switches());
+}
+
+}  // namespace
+
+ExperimentResult run_pbft_single_tx(std::size_t nodes, const ExperimentOptions& options) {
+  const ScenarioSpec spec = scenario_for(ProtocolKind::Pbft, nodes, 1, options);
+  const std::unique_ptr<PbftCluster> cluster = make_pbft_deployment(spec);
+  return run_single_tx(*cluster, nodes, options);
 }
 
 ExperimentResult run_gpbft_single_tx(std::size_t nodes, const ExperimentOptions& options) {
-  GpbftClusterConfig config;
-  config.nodes = nodes;
-  config.initial_committee = std::min(nodes, options.max_committee);
-  config.clients = 1;
-  config.seed = options.seed;
-  config.net = net_config_for(options);
-  config.protocol = gpbft_config_for(options);
-
-  GpbftCluster cluster(config);
-  cluster.start();
-  cluster.run_for(Duration::millis(100));
-  cluster.network().reset_stats();
-
-  LatencyRecorder recorder;
-  cluster.client(0).set_retry_interval(Duration{0});
-  cluster.client(0).set_commit_callback(
-      [&recorder](const crypto::Hash256&, Height, Duration latency) {
-        recorder.record(latency);
-      });
-  const ledger::Transaction tx = make_workload_tx(
-      cluster.client(0).id(), 1, cluster.placement().position(0),
-      cluster.simulator().now(), 32, 10, options.seed);
-  cluster.client(0).submit(tx);
-
-  const TimePoint deadline{options.hard_deadline.ns};
-  cluster.run_until_committed(1, deadline);
-  cluster.stop();
-
-  return finish_result(nodes, cluster.committee_size(), recorder, cluster.network().stats(),
-                       cluster.client(0).committed_count(), 1,
-                       cluster.simulator().now().to_seconds(), cluster.total_era_switches());
+  const ScenarioSpec spec = scenario_for(ProtocolKind::Gpbft, nodes, 1, options);
+  const std::unique_ptr<GpbftCluster> cluster = make_gpbft_deployment(spec);
+  return run_single_tx(*cluster, nodes, options);
 }
 
 }  // namespace gpbft::sim

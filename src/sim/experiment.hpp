@@ -1,11 +1,13 @@
 // Experiment runners for the paper's evaluation section.
 //
-// Each runner builds a fresh, seeded deployment, drives the paper's
+// Each runner builds a fresh, seeded deployment from a declarative
+// ScenarioSpec (see scenario.hpp / deployment.hpp), drives the paper's
 // workload and returns the measured quantities:
 //
-//   * latency experiments (Figs. 3a/3b/4, Table III): every node proposes
-//     transactions at a constant frequency; per-transaction consensus
-//     latency = submission to (f+1)-th matching reply;
+//   * latency experiments (Figs. 3a/3b/4, Tables III-IV): every node
+//     proposes transactions at a constant frequency; per-transaction
+//     consensus latency = submission to (f+1)-th matching reply (PoW:
+//     submission to confirmation depth);
 //   * communication-cost experiments (Figs. 5a/5b/6, Table III): a single
 //     transaction is proposed and the bytes on the wire are accounted,
 //     split into consensus traffic (REQUEST + three phases + REPLY) and
@@ -17,44 +19,40 @@
 #include <cstdint>
 
 #include "net/network.hpp"
-#include "sim/cluster.hpp"
+#include "sim/deployment.hpp"
 #include "sim/metrics.hpp"
 #include "sim/workload.hpp"
 
 namespace gpbft::sim {
 
+/// Experiment calibration, decomposed into the same spec pieces a
+/// ScenarioSpec carries. latency_scenario() translates options into the
+/// spec the deployment factory consumes.
 struct ExperimentOptions {
   std::uint64_t seed{1};
 
-  // Workload (§V-B: constant-frequency proposals per node).
-  std::uint64_t txs_per_client{12};
-  Duration proposal_period = Duration::seconds(5);
+  /// Workload (§V-B: constant-frequency proposals per node). Measurement
+  /// runs keep client_retries off — loss-free testbed semantics.
+  WorkloadSpec workload;
 
-  // Node model (the paper's s, §IV-B) and batching.
-  double processing_rate{160.0};
-  std::size_t batch_size{32};
+  /// PBFT engine shared by the PBFT / G-PBFT / dBFT deployments.
+  EngineSpec engine;
 
-  // G-PBFT parameters (§V-A: min 4, max 40; era switches during the run).
-  std::size_t initial_committee{4};
-  std::size_t min_committee{4};
-  std::size_t max_committee{40};
-  Duration era_period = Duration::seconds(30);
+  /// Network model (the paper's s = processing_rate, §IV-B).
+  net::NetConfig net;
+
+  /// G-PBFT committee bounds (§V-A: min 4, max 40) and era cadence.
+  CommitteeSpec committee;
+
+  /// Geographic-promotion machinery, scaled into simulation range.
+  GeoSpec geo;
 
   // Simulation guard rail.
   Duration hard_deadline = Duration::seconds(4000);
 
-  /// Large sweeps skip recomputing HMAC tags (bytes unchanged); see
-  /// pbft::PbftConfig::compute_macs.
-  bool compute_macs{false};
-
-  // --- baseline protocols (Table IV rows) -------------------------------------
-  /// dBFT block cadence (NEO: ~15 s, the §VI-A critique) and committee.
-  Duration dbft_block_interval = Duration::seconds(15);
-  std::size_t dbft_delegates{7};
-  /// PoW: expected network-wide block interval and confirmation depth.
-  Duration pow_block_interval = Duration::seconds(10);
-  Height pow_confirmations{3};
-  double pow_hashrate{1e6};  // hashes per second per IoT-class miner
+  // Baseline protocols (Table IV rows).
+  DbftSpec dbft;
+  PowSpec pow;
 };
 
 /// Calibrated defaults shared by every bench (single source of truth).
@@ -77,23 +75,29 @@ struct ExperimentResult {
 /// Consensus-traffic bytes from network stats (KB).
 [[nodiscard]] double consensus_kilobytes(const net::NetStats& stats);
 
-// --- latency (Figs. 3a, 3b, 4; Table III) -----------------------------------------
+/// The ScenarioSpec a latency experiment deploys: `nodes` protocol nodes,
+/// one proposing client per node, calibrated engine/net/committee pieces.
+/// (G-PBFT seeds the genesis roster at min(nodes, committee.max): the
+/// paper's Fig. 3b steady state, with era switches still running.)
+[[nodiscard]] ScenarioSpec latency_scenario(ProtocolKind protocol, std::size_t nodes,
+                                            const ExperimentOptions& options);
+
+// --- latency (Figs. 3a, 3b, 4; Tables III-IV) ---------------------------------------
+
+/// Runs the constant-frequency workload against the protocol's deployment
+/// and measures per-transaction consensus latency.
+[[nodiscard]] ExperimentResult run_latency(ProtocolKind protocol, std::size_t nodes,
+                                           const ExperimentOptions& options);
 
 [[nodiscard]] ExperimentResult run_pbft_latency(std::size_t nodes,
                                                 const ExperimentOptions& options);
 [[nodiscard]] ExperimentResult run_gpbft_latency(std::size_t nodes,
                                                  const ExperimentOptions& options);
-
-// --- baseline protocols (Table IV's dBFT and PoW rows, measured) --------------------
-
-/// dBFT: `nodes` dBFT nodes (min(nodes, dbft_delegates) genesis delegates),
-/// one proposing client per node, NEO-style 15 s block pacing.
+/// dBFT: min(nodes, dbft.delegates) genesis delegates, NEO-style pacing.
 [[nodiscard]] ExperimentResult run_dbft_latency(std::size_t nodes,
                                                 const ExperimentOptions& options);
-
-/// PoW: `nodes` miners, one proposing client per node; a transaction counts
-/// once it reaches pow_confirmations depth on the observer miner's best
-/// chain. hashes_computed reports the network's total mining work.
+/// PoW: a transaction counts once it reaches pow.confirmations depth on any
+/// miner's best chain. hashes_computed reports total mining work.
 [[nodiscard]] ExperimentResult run_pow_latency(std::size_t nodes,
                                                const ExperimentOptions& options);
 
@@ -126,6 +130,7 @@ template <typename Runner>
     merged.consensus_kb += result.consensus_kb;
     merged.total_kb += result.total_kb;
     merged.sim_seconds += result.sim_seconds;
+    merged.hashes_computed += result.hashes_computed;
   }
   merged.consensus_kb /= static_cast<double>(runs);
   merged.total_kb /= static_cast<double>(runs);

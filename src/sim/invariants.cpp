@@ -2,7 +2,8 @@
 
 #include <cstdio>
 
-#include "sim/cluster.hpp"
+#include "pbft/replica.hpp"
+#include "sim/deployment.hpp"
 
 namespace gpbft::sim {
 
@@ -42,14 +43,6 @@ void InvariantMonitor::watch(pbft::Replica& replica) {
       [this, id](const ledger::Block& block) { on_executed(id, block); });
 }
 
-void InvariantMonitor::watch(PbftCluster& cluster) {
-  for (std::size_t i = 0; i < cluster.replica_count(); ++i) watch(cluster.replica(i));
-}
-
-void InvariantMonitor::watch(GpbftCluster& cluster) {
-  for (std::size_t i = 0; i < cluster.endorser_count(); ++i) watch(cluster.endorser(i));
-}
-
 void InvariantMonitor::expect_submission(const ledger::Transaction& tx) {
   submitted_.insert(tx.digest());
 }
@@ -67,13 +60,18 @@ void InvariantMonitor::note_fault(const std::string& description) {
 }
 
 void InvariantMonitor::on_executed(NodeId node, const ledger::Block& block) {
+  const Height height = block.header.height;
+  check_block_hash(node, height, block.hash());
+  for (const ledger::Transaction& tx : block.transactions) {
+    check_transaction(node, height, tx);
+  }
+}
+
+void InvariantMonitor::check_block_hash(NodeId node, Height height, const crypto::Hash256& hash) {
   // A Byzantine node may execute anything; only honest replicas are held to
   // the invariants.
   if (faulty_.contains(node.value)) return;
-
   blocks_checked_ += 1;
-  const Height height = block.header.height;
-  const crypto::Hash256 hash = block.hash();
 
   // AGREEMENT: first honest executor of a height fixes the canonical block.
   const auto [it, inserted] = canonical_.emplace(height, hash);
@@ -81,33 +79,34 @@ void InvariantMonitor::on_executed(NodeId node, const ledger::Block& block) {
     record(Violation::Kind::Agreement, node, height,
            "executed " + hash.short_hex() + " but canonical is " + it->second.short_hex());
   }
+}
 
-  auto& seen = executed_txs_[node.value];
-  for (const ledger::Transaction& tx : block.transactions) {
-    txs_checked_ += 1;
-    const crypto::Hash256 digest = tx.digest();
+void InvariantMonitor::check_transaction(NodeId node, Height height,
+                                         const ledger::Transaction& tx) {
+  if (faulty_.contains(node.value)) return;
+  txs_checked_ += 1;
+  const crypto::Hash256 digest = tx.digest();
 
-    // VALIDITY: client-submitted transactions must come from the registered
-    // workload (protocol-generated geo/config transactions are endorser-sent
-    // and exempt).
-    if (tx.sender.value > kClientIdBase && !submitted_.contains(digest)) {
-      record(Violation::Kind::Validity, node, height,
-             "committed unsubmitted tx " + digest.short_hex() + " from " + tx.sender.str());
-    }
-    if (!seen.insert(digest).second) {
-      record(Violation::Kind::DuplicateExecution, node, height,
-             "tx " + digest.short_hex() + " executed twice");
-    }
+  // VALIDITY: client-submitted transactions must come from the registered
+  // workload (protocol-generated geo/config transactions are endorser-sent
+  // and exempt).
+  if (tx.sender.value > kClientIdBase && !submitted_.contains(digest)) {
+    record(Violation::Kind::Validity, node, height,
+           "committed unsubmitted tx " + digest.short_hex() + " from " + tx.sender.str());
+  }
+  if (!executed_txs_[node.value].insert(digest).second) {
+    record(Violation::Kind::DuplicateExecution, node, height,
+           "tx " + digest.short_hex() + " executed twice");
+  }
 
-    // ROSTER: every endorser must commit the same configuration for an era.
-    if (tx.kind == ledger::TxKind::Config) {
-      const auto [config_it, first] = canonical_config_.emplace(tx.era_config.era, tx.era_config);
-      if (!first && !(config_it->second == tx.era_config)) {
-        record(Violation::Kind::RosterMismatch, node, height,
-               "era " + std::to_string(tx.era_config.era) + " roster " +
-                   roster_str(tx.era_config.endorsers) + " but canonical is " +
-                   roster_str(config_it->second.endorsers));
-      }
+  // ROSTER: every endorser must commit the same configuration for an era.
+  if (tx.kind == ledger::TxKind::Config) {
+    const auto [config_it, first] = canonical_config_.emplace(tx.era_config.era, tx.era_config);
+    if (!first && !(config_it->second == tx.era_config)) {
+      record(Violation::Kind::RosterMismatch, node, height,
+             "era " + std::to_string(tx.era_config.era) + " roster " +
+                 roster_str(tx.era_config.endorsers) + " but canonical is " +
+                 roster_str(config_it->second.endorsers));
     }
   }
 }

@@ -34,9 +34,6 @@ class Replica;
 
 namespace gpbft::sim {
 
-class PbftCluster;
-class GpbftCluster;
-
 struct Violation {
   enum class Kind { Agreement, Validity, DuplicateExecution, RosterMismatch, Liveness };
 
@@ -57,11 +54,9 @@ class InvariantMonitor {
   InvariantMonitor& operator=(const InvariantMonitor&) = delete;
 
   /// Hooks one replica's executed-block callback. The monitor must outlive
-  /// the replica (or the replica must stop executing first).
+  /// the replica (or the replica must stop executing first). Deployments
+  /// hook every node via Deployment::watch.
   void watch(pbft::Replica& replica);
-  /// Hooks every replica / endorser of a cluster.
-  void watch(PbftCluster& cluster);
-  void watch(GpbftCluster& cluster);
 
   /// Registers a client submission; committed client transactions outside
   /// this set are VALIDITY violations.
@@ -75,6 +70,13 @@ class InvariantMonitor {
   /// The executed-block check; public so tests (and custom harnesses) can
   /// drive it directly.
   void on_executed(NodeId node, const ledger::Block& block);
+
+  /// Fine-grained entry points for protocols without an execution hook
+  /// (PoW replays its confirmed prefix through these at run end).
+  /// AGREEMENT: the first honest node at a height fixes the canonical hash.
+  void check_block_hash(NodeId node, Height height, const crypto::Hash256& hash);
+  /// VALIDITY / DUPLICATE-EXECUTION / ROSTER checks for one transaction.
+  void check_transaction(NodeId node, Height height, const ledger::Transaction& tx);
 
   /// LIVENESS: call once every injected fault has healed and the workload
   /// has had `grace` time to finish. Records a violation when commits are

@@ -20,6 +20,8 @@ struct PlacementConfig {
   int area_precision{5};
   /// Grid spacing between neighbouring devices, meters.
   double spacing_meters{10.0};
+
+  friend bool operator==(const PlacementConfig&, const PlacementConfig&) = default;
 };
 
 class Placement {

@@ -1,0 +1,150 @@
+// Declarative scenario specifications.
+//
+// A ScenarioSpec is the single description of a simulated deployment: which
+// protocol to run (PBFT / G-PBFT / dBFT / PoW), how many nodes and clients,
+// committee bounds, network and placement models, the workload, and an
+// optional chaos (fault-injection) plan reference. Every consumer of the
+// harness — the experiment runners, the chaos campaigns, the CLI, benches
+// and examples — builds deployments from a spec via make_deployment()
+// (deployment.hpp) instead of wiring protocol objects by hand.
+//
+// Specs serialise to a small deterministic key=value text format
+// (print_scenario / parse_scenario): one `key=value` per line, `#` comments,
+// durations as integral nanoseconds (`*_ns` keys), doubles printed with
+// %.17g so parse(print(spec)) == spec exactly. Parsing is strict — unknown
+// keys, trailing junk and out-of-range values are errors, not warnings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+#include "net/network.hpp"
+#include "sim/placement.hpp"
+
+namespace gpbft::sim {
+
+enum class ProtocolKind { Pbft, Gpbft, Dbft, Pow };
+
+[[nodiscard]] const char* protocol_name(ProtocolKind kind);
+/// Parses "pbft" / "gpbft" / "dbft" / "pow"; error on anything else.
+[[nodiscard]] Result<ProtocolKind> protocol_from_name(const std::string& name);
+
+/// Constant-frequency client workload (§V-B: every device proposes at a
+/// fixed rate). Mirrors WorkloadConfig plus the client-retransmission
+/// switch: measurement runs disable retries so REQUEST traffic matches the
+/// paper's loss-free testbed; chaos runs keep them on.
+struct WorkloadSpec {
+  std::uint64_t txs_per_client{12};
+  Duration period = Duration::seconds(5);
+  std::size_t payload_bytes{32};
+  Amount fee{10};
+  TimePoint start{Duration::seconds(1).ns};
+  Duration stagger = Duration::millis(25);  // multiplied by the client index
+  bool client_retries{true};
+
+  friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
+};
+
+/// Committee bounds and era cadence (G-PBFT: §V-A min 4 / max 40; dBFT
+/// reuses `initial` as its delegate count ceiling via DbftSpec).
+struct CommitteeSpec {
+  std::size_t initial{4};
+  std::size_t min{4};
+  std::size_t max{40};
+  Duration era_period = Duration::seconds(60);
+
+  friend bool operator==(const CommitteeSpec&, const CommitteeSpec&) = default;
+};
+
+/// Geographic-promotion machinery (Algorithm 1 parameters).
+struct GeoSpec {
+  Duration report_period = Duration::seconds(10);
+  Duration window = Duration::seconds(60);
+  std::size_t min_reports{3};
+  Duration promotion_threshold = Duration::hours(72);
+  bool reports_on_chain{false};
+
+  friend bool operator==(const GeoSpec&, const GeoSpec&) = default;
+};
+
+/// PBFT engine knobs shared by the PBFT, G-PBFT and dBFT deployments.
+/// Defaults mirror pbft::PbftConfig so a default spec builds the same
+/// replica a default PbftConfig does.
+struct EngineSpec {
+  std::size_t batch_size{8};
+  std::size_t pipeline_depth{1};
+  std::size_t checkpoint_interval{16};
+  bool compute_macs{true};
+  Duration request_timeout = Duration::seconds(20);
+  Duration view_change_timeout = Duration::seconds(10);
+
+  friend bool operator==(const EngineSpec&, const EngineSpec&) = default;
+};
+
+/// dBFT deployment parameters (NEO-style block pacing).
+struct DbftSpec {
+  Duration block_interval = Duration::seconds(15);
+  std::size_t delegates{7};
+  std::size_t epoch_blocks{16};
+
+  friend bool operator==(const DbftSpec&, const DbftSpec&) = default;
+};
+
+/// PoW deployment parameters. The consensus difficulty is derived as
+/// nodes * hashrate * block_interval so the whole network finds a block
+/// every `block_interval` on average.
+struct PowSpec {
+  Duration block_interval = Duration::seconds(10);
+  Height confirmations{3};
+  double hashrate{1e6};  // hashes per second per IoT-class miner
+
+  friend bool operator==(const PowSpec&, const PowSpec&) = default;
+};
+
+/// Optional fault-plan reference: intensity "none" runs fault-free;
+/// light/medium/heavy select the seeded ChaosProfile of the same name
+/// (chaos.hpp), generated over `horizon` with the spec's seed.
+struct ChaosSpec {
+  std::string intensity{"none"};
+  Duration horizon = Duration::seconds(40);
+  Duration liveness_grace = Duration::seconds(300);
+
+  friend bool operator==(const ChaosSpec&, const ChaosSpec&) = default;
+};
+
+/// The full declarative deployment description.
+struct ScenarioSpec {
+  ProtocolKind protocol{ProtocolKind::Gpbft};
+  std::uint64_t seed{1};
+  /// Consensus-capable nodes: replicas / endorser-capable devices /
+  /// dBFT members / miners, ids 1..nodes.
+  std::size_t nodes{4};
+  /// Proposing client devices, ids kClientIdBase+1.. (for PoW these drive
+  /// transaction gossip to every miner).
+  std::size_t clients{0};
+  /// Simulation guard rail for run-until-committed drivers.
+  Duration deadline = Duration::seconds(4000);
+
+  WorkloadSpec workload;
+  CommitteeSpec committee;
+  GeoSpec geo;
+  EngineSpec engine;
+  net::NetConfig net;
+  PlacementConfig placement;
+  DbftSpec dbft;
+  PowSpec pow;
+  ChaosSpec chaos;
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// Deterministic key=value rendering; parse_scenario(print_scenario(s)) == s.
+[[nodiscard]] std::string print_scenario(const ScenarioSpec& spec);
+
+/// Strict parse of the text format. Unknown keys, malformed numbers
+/// (trailing junk, overflow), invalid enum values and out-of-range
+/// parameters are errors. Keys not present keep their defaults.
+[[nodiscard]] Result<ScenarioSpec> parse_scenario(const std::string& text);
+
+}  // namespace gpbft::sim

@@ -7,7 +7,7 @@
 
 #include "ledger/block.hpp"
 #include "sim/chaos.hpp"
-#include "sim/cluster.hpp"
+#include "sim/deployment.hpp"
 #include "sim/invariants.hpp"
 
 namespace gpbft::sim {
@@ -204,12 +204,25 @@ TEST(ChaosCampaign, SummaryIsByteIdenticalAcrossRuns) {
   const ChaosCampaignResult second = run_chaos_campaign(options);
   EXPECT_EQ(first.summary(), second.summary());
   EXPECT_EQ(first.failed_runs(), 0u);
-  ASSERT_EQ(first.runs.size(), 4u);  // 2 seeds x {pbft, gpbft}
+  ASSERT_EQ(first.runs.size(), 8u);  // 2 seeds x {pbft, gpbft, dbft, pow}
   for (const ChaosRunResult& run : first.runs) {
     EXPECT_TRUE(run.passed()) << run.protocol << " seed " << run.seed;
     EXPECT_EQ(run.committed, run.expected);
     EXPECT_GT(run.blocks_checked, 0u);
   }
+}
+
+TEST(ChaosCampaign, SingleProtocolSelection) {
+  // The campaign sweeps exactly the protocols asked for, in order.
+  ChaosCampaignOptions options;
+  options.seeds = 1;
+  options.intensities = {"light"};
+  options.protocols = {ProtocolKind::Dbft, ProtocolKind::Pow};
+  const ChaosCampaignResult result = run_chaos_campaign(options);
+  ASSERT_EQ(result.runs.size(), 2u);
+  EXPECT_EQ(result.runs[0].protocol, "dbft");
+  EXPECT_EQ(result.runs[1].protocol, "pow");
+  EXPECT_EQ(result.failed_runs(), 0u);
 }
 
 }  // namespace

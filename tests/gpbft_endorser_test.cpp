@@ -5,7 +5,7 @@
 
 #include <algorithm>
 
-#include "sim/cluster.hpp"
+#include "sim/deployment.hpp"
 #include "sim/workload.hpp"
 
 namespace gpbft::sim {

@@ -4,7 +4,7 @@
 
 #include <algorithm>
 
-#include "sim/cluster.hpp"
+#include "sim/deployment.hpp"
 #include "sim/invariants.hpp"
 #include "sim/workload.hpp"
 
@@ -99,7 +99,7 @@ TEST(EraEdge, LeadCrashMidSwitchUnderLossKeepsRosterConsistent) {
   GpbftCluster cluster(config);
 
   InvariantMonitor monitor(cluster.simulator());
-  monitor.watch(cluster);
+  cluster.watch(monitor);
   cluster.start();
 
   const NodeId lead = cluster.endorser(0).primary_of(0);

@@ -10,11 +10,12 @@ namespace {
 
 ExperimentOptions quick_options() {
   ExperimentOptions options = default_options();
-  options.txs_per_client = 3;
-  options.proposal_period = Duration::seconds(2);
-  options.max_committee = 10;  // small cap so the effect shows at small n
-  options.min_committee = 4;
-  options.era_period = Duration::seconds(15);
+  options.workload.txs_per_client = 3;
+  options.workload.period = Duration::seconds(2);
+  options.committee.max = 10;  // small cap so the effect shows at small n
+  options.committee.min = 4;
+  options.committee.era_period = Duration::seconds(15);
+  options.geo.window = options.committee.era_period;
   options.hard_deadline = Duration::seconds(600);
   return options;
 }
@@ -99,16 +100,17 @@ TEST(Integration, CommCostQuadraticFactorMatchesTheory) {
 TEST(Integration, AllTransactionsCommitUnderChurnLoad) {
   // Era switches during a loaded run never lose transactions.
   ExperimentOptions options = quick_options();
-  options.era_period = Duration::seconds(8);
-  options.txs_per_client = 4;
+  options.committee.era_period = Duration::seconds(8);
+  options.geo.window = options.committee.era_period;
+  options.workload.txs_per_client = 4;
   const ExperimentResult result = run_gpbft_latency(12, options);
   EXPECT_EQ(result.committed, result.expected);
 }
 
 TEST(Integration, DbftCommitsWithBlockPacingLatency) {
   ExperimentOptions options = quick_options();
-  options.txs_per_client = 2;
-  options.dbft_block_interval = Duration::seconds(5);
+  options.workload.txs_per_client = 2;
+  options.dbft.block_interval = Duration::seconds(5);
   const ExperimentResult result = run_dbft_latency(10, options);
   EXPECT_EQ(result.committed, result.expected);
   EXPECT_EQ(result.committee, 7u);  // NEO-style delegate count
@@ -119,9 +121,9 @@ TEST(Integration, DbftCommitsWithBlockPacingLatency) {
 
 TEST(Integration, PowConfirmsWithProbabilisticLatency) {
   ExperimentOptions options = quick_options();
-  options.txs_per_client = 1;
-  options.pow_block_interval = Duration::seconds(5);
-  options.pow_confirmations = 2;
+  options.workload.txs_per_client = 1;
+  options.pow.block_interval = Duration::seconds(5);
+  options.pow.confirmations = 2;
   options.hard_deadline = Duration::seconds(2000);
   const ExperimentResult result = run_pow_latency(8, options);
   EXPECT_EQ(result.committed, result.expected);
@@ -132,10 +134,10 @@ TEST(Integration, PowConfirmsWithProbabilisticLatency) {
 
 TEST(Integration, GpbftFasterThanBothBaselines) {
   ExperimentOptions options = quick_options();
-  options.txs_per_client = 2;
-  options.pow_block_interval = Duration::seconds(5);
-  options.pow_confirmations = 2;
-  options.dbft_block_interval = Duration::seconds(5);
+  options.workload.txs_per_client = 2;
+  options.pow.block_interval = Duration::seconds(5);
+  options.pow.confirmations = 2;
+  options.dbft.block_interval = Duration::seconds(5);
   options.hard_deadline = Duration::seconds(2000);
 
   const double gpbft = run_gpbft_latency(12, options).latency.mean;
@@ -149,9 +151,9 @@ TEST(Integration, ProcessingRateScalesLatency) {
   // §IV-B: consensus time ~ O(n/s). Halving s should roughly double the
   // queue-free consensus latency.
   ExperimentOptions options = quick_options();
-  options.txs_per_client = 1;
+  options.workload.txs_per_client = 1;
   ExperimentOptions slow = options;
-  slow.processing_rate = options.processing_rate / 2;
+  slow.net.processing_rate_msgs_per_sec = options.net.processing_rate_msgs_per_sec / 2;
   const ExperimentResult fast_run = run_pbft_latency(10, options);
   const ExperimentResult slow_run = run_pbft_latency(10, slow);
   EXPECT_GT(slow_run.latency.mean, fast_run.latency.mean * 1.4);

@@ -2,7 +2,7 @@
 // view changes, checkpoints, partitions, and safety invariants.
 #include <gtest/gtest.h>
 
-#include "sim/cluster.hpp"
+#include "sim/deployment.hpp"
 #include "sim/workload.hpp"
 
 namespace gpbft::sim {

@@ -6,7 +6,7 @@
 
 #include "common/rng.hpp"
 #include "pbft/messages.hpp"
-#include "sim/cluster.hpp"
+#include "sim/deployment.hpp"
 #include "sim/workload.hpp"
 
 namespace gpbft {

@@ -2,7 +2,7 @@
 // generation, and cluster plumbing.
 #include <gtest/gtest.h>
 
-#include "sim/cluster.hpp"
+#include "sim/deployment.hpp"
 #include "sim/experiment.hpp"
 #include "sim/metrics.hpp"
 #include "sim/mobility.hpp"
@@ -269,8 +269,8 @@ TEST(Experiment, ConsensusBytesExcludeGeoTraffic) {
 
 TEST(Experiment, RepeatRunsMergesSamples) {
   ExperimentOptions options = default_options();
-  options.txs_per_client = 1;
-  options.proposal_period = Duration::seconds(1);
+  options.workload.txs_per_client = 1;
+  options.workload.period = Duration::seconds(1);
   options.hard_deadline = Duration::seconds(120);
   const ExperimentResult merged = repeat_runs(run_pbft_latency, 4, options, 3);
   EXPECT_EQ(merged.committed, merged.expected);
@@ -280,8 +280,8 @@ TEST(Experiment, RepeatRunsMergesSamples) {
 
 TEST(Experiment, DeterministicForSameSeed) {
   ExperimentOptions options = default_options();
-  options.txs_per_client = 2;
-  options.proposal_period = Duration::seconds(1);
+  options.workload.txs_per_client = 2;
+  options.workload.period = Duration::seconds(1);
   options.hard_deadline = Duration::seconds(120);
   options.seed = 99;
   const ExperimentResult a = run_pbft_latency(4, options);

@@ -8,9 +8,9 @@ namespace {
 
 ExperimentOptions small_options() {
   ExperimentOptions options = default_options();
-  options.txs_per_client = 2;
-  options.proposal_period = Duration::seconds(1);
-  options.compute_macs = true;
+  options.workload.txs_per_client = 2;
+  options.workload.period = Duration::seconds(1);
+  options.engine.compute_macs = true;
   options.hard_deadline = Duration::seconds(300);
   return options;
 }

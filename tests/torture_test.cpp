@@ -14,7 +14,7 @@
 
 #include "common/rng.hpp"
 #include "sim/chaos.hpp"
-#include "sim/cluster.hpp"
+#include "sim/deployment.hpp"
 #include "sim/invariants.hpp"
 #include "sim/workload.hpp"
 
@@ -61,7 +61,7 @@ TEST_P(PbftTorture, RandomCrashRecoverScheduleNeverDiverges) {
   PbftCluster cluster(config);
 
   InvariantMonitor monitor(cluster.simulator());
-  monitor.watch(cluster);
+  cluster.watch(monitor);
   cluster.start();
 
   WorkloadConfig workload;
@@ -129,7 +129,7 @@ TEST_P(ByzantineTorture, FByzantineReplicasCannotBreakSafety) {
   PbftCluster cluster(config);
 
   InvariantMonitor monitor(cluster.simulator());
-  monitor.watch(cluster);
+  cluster.watch(monitor);
   cluster.start();
 
   // Two Byzantine replicas with random attack modes (possibly the primary),
@@ -214,7 +214,7 @@ TEST_P(GpbftTorture, ChurnPlusFaultsKeepCommitteeChainsConsistent) {
   GpbftCluster cluster(config);
 
   InvariantMonitor monitor(cluster.simulator());
-  monitor.watch(cluster);
+  cluster.watch(monitor);
   cluster.start();
 
   WorkloadConfig workload;

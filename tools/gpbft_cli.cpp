@@ -7,6 +7,7 @@
 //   gpbft_cli cost    --protocol pbft  --nodes 130
 //   gpbft_cli sweep   --protocol gpbft --nodes 4,40,130,202 --runs 3 --csv
 //   gpbft_cli chaos   --seeds 20 --intensity all
+//   gpbft_cli run     --scenario deployment.scenario
 //
 // Commands:
 //   latency  constant-frequency workload; per-transaction commit latency
@@ -16,6 +17,10 @@
 //            protocols) with the online invariant monitor attached; prints
 //            a deterministic pass/fail report and exits non-zero on any
 //            violation
+//   run      one deployment described by a declarative scenario file
+//            (key=value; see sim/scenario.hpp). When the scenario's chaos
+//            intensity is not "none", a seeded fault plan is injected and
+//            the invariant report printed (non-zero exit on violations).
 //
 // Common options (defaults = the calibrated values of DESIGN.md §4):
 //   --protocol pbft|gpbft|dbft|pow   --nodes N[,N...]   --seed S
@@ -30,6 +35,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -49,23 +56,28 @@ struct CliOptions {
   sim::ExperimentOptions experiment = sim::default_options();
   std::string intensity = "all";  // chaos: light|medium|heavy|all
   std::size_t seeds = 10;         // chaos: seeds per (protocol, intensity)
-  bool protocol_set = false;      // chaos defaults to both when unset
+  std::string scenario_path;      // run: scenario file
+  bool protocol_set = false;      // chaos/run defaults when unset
+  bool seed_set = false;          // run keeps the file's seed when unset
   bool txs_set = false;           // chaos keeps its own default when unset
 };
 
 void print_usage() {
   std::fprintf(stderr,
-               "usage: gpbft_cli <latency|cost|sweep|chaos> [options]\n"
+               "usage: gpbft_cli <latency|cost|sweep|chaos|run> [options]\n"
                "  --protocol pbft|gpbft|dbft|pow   consensus to run (default gpbft)\n"
                "  --nodes N[,N...]                 network sizes (default 40)\n"
                "  --seed S --txs K --period SEC --rate S --batch B\n"
                "  --max-committee C --era-period SEC --runs R --csv\n"
                "chaos options:\n"
-               "  --protocol pbft|gpbft|both       protocols to torture (default both)\n"
+               "  --protocol pbft|gpbft|dbft|pow|all  protocols to torture (default all)\n"
                "  --seeds N                        seeds per protocol x intensity (default 10)\n"
                "  --intensity light|medium|heavy|all  fault intensity (default all)\n"
                "  --nodes N                        committee size (default 7)\n"
-               "  --seed S --txs K\n");
+               "  --seed S --txs K\n"
+               "run options:\n"
+               "  --scenario FILE                  declarative scenario (key=value)\n"
+               "  --protocol P --seed S            override the file's values\n");
 }
 
 std::vector<std::size_t> parse_node_list(const std::string& arg) {
@@ -87,7 +99,7 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
   if (argc < 2) return false;
   options.command = argv[1];
   if (options.command != "latency" && options.command != "cost" && options.command != "sweep" &&
-      options.command != "chaos") {
+      options.command != "chaos" && options.command != "run") {
     return false;
   }
 
@@ -107,19 +119,23 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       if (options.nodes.empty()) return false;
     } else if (flag == "--seed") {
       options.experiment.seed = std::strtoull(value.c_str(), nullptr, 10);
+      options.seed_set = true;
     } else if (flag == "--txs") {
-      options.experiment.txs_per_client = std::strtoull(value.c_str(), nullptr, 10);
+      options.experiment.workload.txs_per_client = std::strtoull(value.c_str(), nullptr, 10);
       options.txs_set = true;
     } else if (flag == "--period") {
-      options.experiment.proposal_period = Duration::from_seconds(std::atof(value.c_str()));
+      options.experiment.workload.period = Duration::from_seconds(std::atof(value.c_str()));
     } else if (flag == "--rate") {
-      options.experiment.processing_rate = std::atof(value.c_str());
+      options.experiment.net.processing_rate_msgs_per_sec = std::atof(value.c_str());
     } else if (flag == "--batch") {
-      options.experiment.batch_size = std::strtoull(value.c_str(), nullptr, 10);
+      options.experiment.engine.batch_size = std::strtoull(value.c_str(), nullptr, 10);
     } else if (flag == "--max-committee") {
-      options.experiment.max_committee = std::strtoull(value.c_str(), nullptr, 10);
+      options.experiment.committee.max = std::strtoull(value.c_str(), nullptr, 10);
     } else if (flag == "--era-period") {
-      options.experiment.era_period = Duration::from_seconds(std::atof(value.c_str()));
+      // The promotion window follows the era cadence (Algorithm 1 evaluates
+      // one era's worth of reports).
+      options.experiment.committee.era_period = Duration::from_seconds(std::atof(value.c_str()));
+      options.experiment.geo.window = options.experiment.committee.era_period;
     } else if (flag == "--runs") {
       options.runs = std::strtoull(value.c_str(), nullptr, 10);
       if (options.runs == 0) options.runs = 1;
@@ -128,15 +144,16 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       if (options.seeds == 0) options.seeds = 1;
     } else if (flag == "--intensity") {
       options.intensity = value;
+    } else if (flag == "--scenario") {
+      options.scenario_path = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
     }
   }
   if (options.command == "chaos") {
-    if (!options.protocol_set) options.protocol = "both";
-    if (options.protocol != "pbft" && options.protocol != "gpbft" &&
-        options.protocol != "both") {
+    if (!options.protocol_set) options.protocol = "all";
+    if (options.protocol != "all" && !sim::protocol_from_name(options.protocol).ok()) {
       return false;
     }
     if (options.intensity != "light" && options.intensity != "medium" &&
@@ -145,10 +162,12 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
     }
     return true;
   }
-  if (options.protocol != "pbft" && options.protocol != "gpbft" &&
-      options.protocol != "dbft" && options.protocol != "pow") {
-    return false;
+  if (options.command == "run") {
+    if (options.scenario_path.empty()) return false;
+    if (options.protocol_set && !sim::protocol_from_name(options.protocol).ok()) return false;
+    return true;
   }
+  if (!sim::protocol_from_name(options.protocol).ok()) return false;
   return true;
 }
 
@@ -157,10 +176,11 @@ int run_chaos(const CliOptions& options) {
   campaign.seeds = options.seeds;
   campaign.base_seed = options.experiment.seed;
   campaign.committee = options.nodes.empty() ? 7 : options.nodes.front();
-  if (options.txs_set) campaign.txs_per_client = options.experiment.txs_per_client;
+  if (options.txs_set) campaign.txs_per_client = options.experiment.workload.txs_per_client;
   if (options.intensity != "all") campaign.intensities = {options.intensity};
-  campaign.run_pbft = options.protocol == "pbft" || options.protocol == "both";
-  campaign.run_gpbft = options.protocol == "gpbft" || options.protocol == "both";
+  if (options.protocol != "all") {
+    campaign.protocols = {sim::protocol_from_name(options.protocol).value()};
+  }
 
   const sim::ChaosCampaignResult result = sim::run_chaos_campaign(campaign);
   std::fputs(result.summary().c_str(), stdout);
@@ -168,10 +188,8 @@ int run_chaos(const CliOptions& options) {
 }
 
 sim::ExperimentResult run_latency(const CliOptions& options, std::size_t nodes) {
-  if (options.protocol == "pbft") return sim::run_pbft_latency(nodes, options.experiment);
-  if (options.protocol == "dbft") return sim::run_dbft_latency(nodes, options.experiment);
-  if (options.protocol == "pow") return sim::run_pow_latency(nodes, options.experiment);
-  return sim::run_gpbft_latency(nodes, options.experiment);
+  return sim::run_latency(sim::protocol_from_name(options.protocol).value(), nodes,
+                          options.experiment);
 }
 
 sim::ExperimentResult run_cost(const CliOptions& options, std::size_t nodes) {
@@ -181,10 +199,10 @@ sim::ExperimentResult run_cost(const CliOptions& options, std::size_t nodes) {
   std::exit(2);
 }
 
-void print_result(const CliOptions& options, const sim::ExperimentResult& r) {
-  if (options.csv) {
+void print_result(const std::string& protocol, bool csv, const sim::ExperimentResult& r) {
+  if (csv) {
     std::printf("%s,%zu,%zu,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.3f,%.3f,%llu,%llu,%llu\n",
-                options.protocol.c_str(), r.nodes, r.committee, r.latency.min, r.latency.q1,
+                protocol.c_str(), r.nodes, r.committee, r.latency.min, r.latency.q1,
                 r.latency.median, r.latency.q3, r.latency.max, r.latency.mean, r.consensus_kb,
                 r.total_kb, static_cast<unsigned long long>(r.committed),
                 static_cast<unsigned long long>(r.expected),
@@ -193,7 +211,7 @@ void print_result(const CliOptions& options, const sim::ExperimentResult& r) {
   }
   std::printf("%-6s n=%-4zu committee=%-4zu | latency %s | consensus %.2f KB, total %.2f KB | "
               "%llu/%llu committed",
-              options.protocol.c_str(), r.nodes, r.committee, r.latency.str().c_str(),
+              protocol.c_str(), r.nodes, r.committee, r.latency.str().c_str(),
               r.consensus_kb, r.total_kb, static_cast<unsigned long long>(r.committed),
               static_cast<unsigned long long>(r.expected));
   if (r.era_switches > 0) {
@@ -209,6 +227,86 @@ void print_csv_header() {
       "consensus_kb,total_kb,committed,expected,era_switches\n");
 }
 
+/// `run`: one deployment straight from a scenario file.
+int run_scenario(const CliOptions& options) {
+  std::ifstream file(options.scenario_path);
+  if (!file) {
+    std::fprintf(stderr, "run: cannot open %s\n", options.scenario_path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  auto parsed = sim::parse_scenario(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "run: %s: %s\n", options.scenario_path.c_str(),
+                 parsed.error().c_str());
+    return 2;
+  }
+  sim::ScenarioSpec spec = parsed.value();
+  if (options.protocol_set) spec.protocol = sim::protocol_from_name(options.protocol).value();
+  if (options.seed_set) spec.seed = options.experiment.seed;
+
+  const std::unique_ptr<sim::Deployment> deployment = sim::make_deployment(spec);
+  sim::InvariantMonitor monitor(deployment->simulator());
+  const bool chaos = spec.chaos.intensity != "none";
+  sim::FaultPlan plan;
+  if (chaos) {
+    deployment->watch(monitor);
+    sim::ChaosProfile profile = sim::profile_for(spec.chaos.intensity);
+    const std::vector<NodeId> victims = deployment->fault_targets();
+    profile.max_faulty = victims.empty() ? 0 : (victims.size() - 1) / 3;
+    if (spec.protocol == sim::ProtocolKind::Pow) profile.byzantine_chance = 0.0;
+    plan = sim::FaultPlan::random(spec.seed, profile, victims, spec.chaos.horizon);
+    plan.schedule(
+        deployment->simulator(), deployment->network(),
+        [&deployment, &monitor](NodeId id, pbft::FaultMode mode) {
+          deployment->set_fault_mode(id, mode);
+          monitor.set_faulty(id, mode != pbft::FaultMode::None);
+        },
+        [&monitor](const sim::ChaosEvent& event) { monitor.note_fault(event.describe()); });
+  }
+
+  deployment->start();
+  sim::LatencyRecorder recorder;
+  sim::Deployment::SubmitHook on_submit;
+  if (chaos) {
+    on_submit = [&monitor](const ledger::Transaction& tx) { monitor.expect_submission(tx); };
+  }
+  deployment->schedule_workload(spec.workload, &recorder, on_submit);
+
+  TimePoint deadline{spec.deadline.ns};
+  if (chaos) {
+    deployment->run_for(spec.chaos.horizon);
+    deadline = TimePoint{std::max(spec.chaos.horizon.ns, plan.all_healed_at().ns) +
+                         spec.chaos.liveness_grace.ns};
+  }
+  deployment->run_until_committed(spec.workload.txs_per_client, deadline);
+  deployment->stop();
+
+  sim::ExperimentResult result;
+  result.nodes = spec.nodes;
+  result.committee = deployment->committee_size();
+  result.latency_samples = recorder.samples();
+  result.latency = recorder.boxplot();
+  result.committed = deployment->committed_count();
+  result.expected = spec.workload.txs_per_client * spec.clients;
+  result.consensus_kb = sim::consensus_kilobytes(deployment->stats());
+  result.total_kb = deployment->stats().total_kilobytes();
+  result.era_switches = deployment->era_switches();
+  result.hashes_computed = deployment->hashes_computed();
+  if (options.csv) print_csv_header();
+  print_result(sim::protocol_name(spec.protocol), options.csv, result);
+
+  if (chaos) {
+    deployment->finish_invariants(monitor);
+    monitor.check_bounded_liveness(result.committed, result.expected, plan.all_healed_at(),
+                                   spec.chaos.liveness_grace);
+    std::fputs(monitor.report().c_str(), stdout);
+    return monitor.clean() ? 0 : 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -219,18 +317,19 @@ int main(int argc, char** argv) {
   }
 
   if (options.command == "chaos") return run_chaos(options);
+  if (options.command == "run") return run_scenario(options);
 
   if (options.csv) print_csv_header();
 
   if (options.command == "latency") {
     for (const std::size_t nodes : options.nodes) {
-      print_result(options, run_latency(options, nodes));
+      print_result(options.protocol, options.csv, run_latency(options, nodes));
     }
     return 0;
   }
   if (options.command == "cost") {
     for (const std::size_t nodes : options.nodes) {
-      print_result(options, run_cost(options, nodes));
+      print_result(options.protocol, options.csv, run_cost(options, nodes));
     }
     return 0;
   }
@@ -243,7 +342,7 @@ int main(int argc, char** argv) {
           return run_latency(point, n);
         },
         nodes, options.experiment, options.runs);
-    print_result(options, merged);
+    print_result(options.protocol, options.csv, merged);
   }
   return 0;
 }
