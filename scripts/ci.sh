@@ -8,6 +8,9 @@
 # Knobs:
 #   GPBFT_CI_BUILD_DIR=build   build directory (default build)
 #   GPBFT_CI_JOBS=N            parallel ctest jobs (default nproc)
+#   GPBFT_CI_SANITIZE=1        also run the ASan/UBSan leg
+#                              (scripts/check_sanitizers.sh; off by default —
+#                              it configures and builds a second tree)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,5 +28,11 @@ ctest --test-dir "${BUILD_DIR}" -L tier1 -j "${JOBS}" --output-on-failure
 # G-PBFT deployments through the ScenarioSpec factory on the coarse grid,
 # single run per point (~7 s).
 GPBFT_BENCH_QUICK=1 GPBFT_BENCH_RUNS=1 "${BUILD_DIR}/bench/fig3b_gpbft_latency"
+
+# Opt-in sanitizer leg: a full ASan/UBSan build + test sweep in its own
+# build directory. Kept off the default path so the fast gate stays fast.
+if [[ "${GPBFT_CI_SANITIZE:-0}" == "1" ]]; then
+  scripts/check_sanitizers.sh
+fi
 
 echo "ci: OK"

@@ -79,7 +79,7 @@ NodeId Delegate::primary_of(ViewId view) const {
 }
 
 void Delegate::arm_pacing_timer() {
-  network().simulator().schedule(config_.block_interval / 8, [this]() {
+  schedule_protected(config_.block_interval / 8, [this]() {
     if (!protocol_started_) return;
     on_pacing_tick();
     arm_pacing_timer();
@@ -107,6 +107,11 @@ void Delegate::on_executed(const ledger::Block& block) {
   if (block.header.producer == id()) publish_block(block);
 
   if (block.header.height % config_.epoch_blocks == 0) maybe_reelect(block.header.height);
+
+  // dBFT blocks are final at 2f+1 PREPAREs (no fork to roll back), so every
+  // executed block is a durability point: a restarted delegate resumes at
+  // its exact executed height.
+  persist_now();
 }
 
 void Delegate::maybe_reelect(Height height) {

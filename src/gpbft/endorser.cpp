@@ -48,7 +48,7 @@ void Endorser::start_protocol() {
   start();
   // Stagger the first geo report per node id to avoid an artificial
   // thundering herd at t=0 (real devices report on independent clocks).
-  network().simulator().schedule(
+  schedule_protected(
       Duration{static_cast<std::int64_t>(id().value % 1000) * 1'000'000}, [this]() {
         if (!protocol_started_) return;
         send_geo_report();
@@ -74,7 +74,7 @@ NodeId Endorser::primary_of(ViewId view) const {
 // --- geo reporting -----------------------------------------------------------
 
 void Endorser::arm_geo_timer() {
-  network().simulator().schedule(config_.genesis.geo_report_period, [this]() {
+  schedule_protected(config_.genesis.geo_report_period, [this]() {
     if (!protocol_started_) return;
     send_geo_report();
     arm_geo_timer();
@@ -150,7 +150,7 @@ void Endorser::record_geo(NodeId device, const geo::GeoPoint& point, TimePoint a
 // --- era switches -------------------------------------------------------------
 
 void Endorser::arm_era_timer() {
-  network().simulator().schedule(config_.genesis.era_period, [this]() {
+  schedule_protected(config_.genesis.era_period, [this]() {
     if (!protocol_started_) return;
     on_era_timer();
     arm_era_timer();
@@ -178,7 +178,7 @@ void Endorser::initiate_era_switch() {
   broadcast_committee(pbft::msg_type::kEraHalt, BytesView(body.data(), body.size()));
 
   // Let in-flight instances land, then elect and propose the new roster.
-  network().simulator().schedule(config_.halt_settle, [this, closing = era_]() {
+  schedule_protected(config_.halt_settle, [this, closing = era_]() {
     if (!protocol_started_ || era_ != closing || !switch_in_progress_) return;
 
     ElectionParams params;
@@ -287,8 +287,8 @@ void Endorser::propose_config(const ledger::Transaction& tx, int attempt) {
     set_halted(false);
     return;
   }
-  network().simulator().schedule(config_.halt_settle,
-                                 [this, tx, attempt]() { propose_config(tx, attempt + 1); });
+  schedule_protected(config_.halt_settle,
+                     [this, tx, attempt]() { propose_config(tx, attempt + 1); });
 }
 
 void Endorser::record_block_geo(const ledger::Block& block) {
@@ -403,13 +403,12 @@ void Endorser::handle_extra(const net::Envelope& envelope) {
       switch_started_ = now();
       set_halted(true);
       // Failsafe: if the lead dies mid-switch, resume after half a period.
-      network().simulator().schedule(config_.genesis.era_period / 2,
-                                     [this, closing = era_]() {
-                                       if (switch_in_progress_ && era_ == closing) {
-                                         switch_in_progress_ = false;
-                                         set_halted(false);
-                                       }
-                                     });
+      schedule_protected(config_.genesis.era_period / 2, [this, closing = era_]() {
+        if (switch_in_progress_ && era_ == closing) {
+          switch_in_progress_ = false;
+          set_halted(false);
+        }
+      });
       break;
     }
     case pbft::msg_type::kEraLaunch: {

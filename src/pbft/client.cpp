@@ -11,7 +11,11 @@ Client::Client(NodeId id, std::vector<NodeId> committee, net::Network& network,
       committee_(std::move(committee)),
       network_(network),
       keys_(keys),
-      compute_macs_(compute_macs) {
+      compute_macs_(compute_macs),
+      // fork() is const: deriving the jitter stream does not perturb the
+      // simulator's main stream, so adding a client leaves every other
+      // random draw in the run unchanged.
+      backoff_rng_(network.simulator().rng().fork(0xc11e47b0ull ^ id.value)) {
   std::sort(committee_.begin(), committee_.end());
 }
 
@@ -39,11 +43,24 @@ void Client::arm_retry_tick() {
 void Client::on_retry_tick() {
   const TimePoint now = network_.simulator().now();
   for (auto& [digest, pending] : outstanding_) {
-    if (now - pending.last_sent_at >= retry_interval_) {
+    if (now >= pending.next_retry_at) {
+      ++pending.attempts;
       pending.last_sent_at = now;
+      pending.next_retry_at = now + backoff_delay(pending.attempts);
       send_request(pending.transaction);
     }
   }
+}
+
+Duration Client::backoff_delay(std::uint32_t attempt) {
+  // Bounded exponential backoff: base, 2x, 4x, then capped at 8x the base,
+  // each scaled by jitter U[0.75, 1.25) so clients desynchronize.
+  static constexpr std::uint32_t kMaxShift = 3;
+  const std::uint32_t shift = std::min(attempt, kMaxShift);
+  const double jitter = backoff_rng_.uniform_real(0.75, 1.25);
+  const double delay_ns =
+      static_cast<double>(retry_interval_.ns) * static_cast<double>(1u << shift) * jitter;
+  return Duration{static_cast<std::int64_t>(delay_ns)};
 }
 
 void Client::send_request(const ledger::Transaction& tx) {
@@ -68,6 +85,7 @@ void Client::submit(const ledger::Transaction& tx) {
     it->second.transaction = tx;
   }
   it->second.last_sent_at = network_.simulator().now();
+  it->second.next_retry_at = it->second.last_sent_at + backoff_delay(it->second.attempts);
   send_request(tx);
 }
 

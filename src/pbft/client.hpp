@@ -11,6 +11,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "common/rng.hpp"
 #include "crypto/authenticator.hpp"
 #include "net/network.hpp"
 #include "pbft/config.hpp"
@@ -28,14 +29,19 @@ class Client : public net::INetNode {
          const crypto::KeyRegistry& keys, bool compute_macs = true);
 
   /// Attaches to the network and arms the retransmission tick: outstanding
-  /// transactions older than the retry interval are resubmitted (replicas
+  /// transactions whose backoff deadline passed are resubmitted (replicas
   /// deduplicate; already-committed ones answer from the reply cache).
   void start();
 
   /// Stops the retransmission tick so a simulation can drain to idle.
   void stop() { started_ = false; }
 
-  /// Retransmission interval; zero disables retries.
+  /// Base retransmission interval; zero disables retries. Successive
+  /// retries of one transaction back off exponentially from this base
+  /// (doubling per attempt, capped at 8x) with deterministic jitter drawn
+  /// from a per-client RNG stream forked off the simulator seed — so the
+  /// retry flood after a partition heals is spread out instead of every
+  /// client resending in the same tick.
   void set_retry_interval(Duration interval) { retry_interval_ = interval; }
 
   // --- INetNode ---------------------------------------------------------------
@@ -57,6 +63,8 @@ class Client : public net::INetNode {
   struct Pending {
     TimePoint submitted_at;
     TimePoint last_sent_at;
+    TimePoint next_retry_at;     // backoff deadline for the next resend
+    std::uint32_t attempts{0};   // resends so far (drives the backoff)
     ledger::Transaction transaction;  // kept for retransmission
     // votes per (replica): height claimed; commit at f+1 matching heights.
     std::unordered_map<std::uint64_t, Height> votes;  // replica id -> height
@@ -65,6 +73,7 @@ class Client : public net::INetNode {
   void send_request(const ledger::Transaction& tx);
   void arm_retry_tick();
   void on_retry_tick();
+  [[nodiscard]] Duration backoff_delay(std::uint32_t attempt);
 
   [[nodiscard]] std::size_t reply_quorum() const {
     return (committee_.size() - 1) / 3 + 1;  // f + 1
@@ -80,6 +89,7 @@ class Client : public net::INetNode {
   CommitCallback commit_cb_;
   std::uint64_t committed_count_{0};
   Duration retry_interval_ = Duration::seconds(20);
+  Rng backoff_rng_;  // jitter stream, decorrelated from protocol randomness
   bool started_{false};
 };
 

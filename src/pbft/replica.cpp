@@ -42,6 +42,17 @@ void Replica::broadcast_committee(net::MessageType type, BytesView body) {
   for (NodeId peer : committee_) send_to(peer, type, body);
 }
 
+void Replica::schedule_protected(Duration delay, std::function<void()> fn) {
+  network_.simulator().schedule(
+      delay, [alive = std::weak_ptr<bool>(alive_), fn = std::move(fn)]() {
+        if (alive.lock()) fn();
+      });
+}
+
+void Replica::persist_now() {
+  if (persist_cb_) persist_cb_(chain_);
+}
+
 Bytes Replica::open_or_drop(const net::Envelope& envelope) {
   auto body = open(keys_, envelope.from, id_, BytesView(envelope.payload.data(),
                                                         envelope.payload.size()),
@@ -137,9 +148,13 @@ std::vector<ledger::Transaction> Replica::select_batch() {
 void Replica::on_view_changed(ViewId, ViewId) {}
 
 Result<void> Replica::adopt_chain_suffix(const std::vector<ledger::Block>& blocks) {
+  bool adopted_any = false;
   for (const ledger::Block& block : blocks) {
     if (block.header.height <= chain_.height()) continue;  // already have it
-    if (auto appended = chain_.append(block); !appended) return appended;
+    if (auto appended = chain_.append(block); !appended) {
+      if (adopted_any) persist_now();  // keep the partial progress durable
+      return appended;
+    }
     state_.apply_block(block, committee_);
     for (const ledger::Transaction& tx : block.transactions) {
       pending_since_.erase(tx.digest());
@@ -150,8 +165,23 @@ Result<void> Replica::adopt_chain_suffix(const std::vector<ledger::Block>& block
     if (it != log_.end()) it->second.executed = true;
     on_executed(block);
     if (executed_cb_) executed_cb_(block);
+    adopted_any = true;
   }
+  if (adopted_any) persist_now();  // sync progress is a durability point
   return {};
+}
+
+Result<void> Replica::restore_chain(const ledger::Chain& restored) {
+  std::vector<ledger::Block> suffix;
+  suffix.reserve(restored.size());
+  for (Height h = 1; h <= restored.height(); ++h) suffix.push_back(restored.at(h));
+  auto adopted = adopt_chain_suffix(suffix);
+  // Everything on disk passed a durability point (stable checkpoint, config
+  // block, adopted sync progress), so the window opens above it — otherwise
+  // a node restored past watermark_window could never accept new instances
+  // until peers' checkpoint votes arrived.
+  stable_seq_ = std::max(stable_seq_, chain_.height());
+  return adopted;
 }
 
 // --- chain sync ------------------------------------------------------------------
@@ -191,7 +221,9 @@ void Replica::maybe_request_sync() {
     }
   }
   if (!behind) return;
-  if (now() - last_sync_request_ < config_.request_timeout / 4) return;  // rate limit
+  if (last_sync_request_ && now() - *last_sync_request_ < config_.request_timeout / 4) {
+    return;  // rate limit
+  }
   last_sync_request_ = now();
 
   SyncRequest request;
@@ -209,7 +241,13 @@ void Replica::maybe_request_sync() {
 }
 
 void Replica::request_sync_from(NodeId peer) {
-  if (now() - last_sync_request_ < config_.request_timeout / 4) return;  // rate limit
+  if (last_sync_request_ && now() - *last_sync_request_ < config_.request_timeout / 4) {
+    return;  // rate limit
+  }
+  send_sync_request(peer);
+}
+
+void Replica::send_sync_request(NodeId peer) {
   last_sync_request_ = now();
   SyncRequest request;
   request.from_height = chain_.height() + 1;
@@ -218,13 +256,34 @@ void Replica::request_sync_from(NodeId peer) {
   send_to(peer, msg_type::kSyncRequest, BytesView(body.data(), body.size()));
 }
 
+void Replica::begin_resync() {
+  resync_attempts_left_ = kResyncAttempts;
+  resync_tick();
+}
+
+void Replica::resync_tick() {
+  if (!started_ || resync_attempts_left_ == 0) return;
+  --resync_attempts_left_;
+  // Ask the primary plus a rotating alternate; the rotation covers the case
+  // where the primary itself is crashed, partitioned or serving a degraded
+  // link. No evidence gating: a rebuilt node *knows* it may be behind.
+  const NodeId primary = primary_of(view_);
+  send_sync_request(primary);
+  const NodeId alternate = committee_[static_cast<std::size_t>(
+      (view_ + 1 + resync_attempts_left_) % committee_.size())];
+  if (alternate != primary) send_sync_request(alternate);
+  schedule_protected(config_.request_timeout, [this, before = chain_.height()]() {
+    // Retry only while no progress was made: any adopted response reaches
+    // the responder's tip (or chains follow-ups itself via on_sync_response).
+    if (chain_.height() == before) resync_tick();
+  });
+}
+
 void Replica::on_sync_request(const SyncRequest& msg) {
   if (msg.from_height > chain_.height()) return;  // nothing to offer
   SyncResponse response;
   response.responder = id_;
-  constexpr Height kMaxBlocksPerResponse = 64;
-  const Height last =
-      std::min(chain_.height(), msg.from_height + kMaxBlocksPerResponse - 1);
+  const Height last = std::min(chain_.height(), msg.from_height + kMaxSyncBlocks - 1);
   for (Height h = msg.from_height; h <= last; ++h) response.blocks.push_back(chain_.at(h));
   const Bytes body = response.encode();
   send_to(msg.requester, msg_type::kSyncResponse, BytesView(body.data(), body.size()));
@@ -243,8 +302,15 @@ void Replica::on_sync_response(const SyncResponse& msg) {
       return;
     }
   }
+  const Height before = chain_.height();
   if (auto adopted = adopt_chain_suffix(msg.blocks); !adopted) {
     log_debug(id_.str() + ": sync adoption stopped: " + adopted.error());
+  }
+  // A full response means the responder had more to give (deep catch-up
+  // after a restart from a stale or empty disk): chain a follow-up request
+  // immediately, bypassing the rate limit.
+  if (chain_.height() > before && msg.blocks.size() >= kMaxSyncBlocks) {
+    send_sync_request(msg.responder);
   }
   try_execute();
 }
@@ -494,6 +560,14 @@ void Replica::try_execute() {
 
     on_executed(block);
     if (executed_cb_) executed_cb_(block);
+    // Configuration blocks change the roster a restarted node must rebuild
+    // from disk — always worth a save (era switches are rare).
+    for (const ledger::Transaction& tx : block.transactions) {
+      if (tx.kind == ledger::TxKind::Config) {
+        persist_now();
+        break;
+      }
+    }
     maybe_checkpoint();
   }
   maybe_propose();
@@ -526,10 +600,12 @@ void Replica::on_checkpoint(NodeId from, const CheckpointMsg& msg) {
   const std::size_t f = faults_tolerated();
   if (voters.size() < 2 * f + 1) return;
 
-  // Stable: garbage-collect everything at or below.
+  // Stable: garbage-collect everything at or below, and persist — this is
+  // PBFT's canonical durability point (the prefix is provably agreed).
   stable_seq_ = msg.seq;
   log_.erase(log_.begin(), log_.upper_bound(stable_seq_));
   checkpoint_votes_.erase(checkpoint_votes_.begin(), checkpoint_votes_.upper_bound(stable_seq_));
+  persist_now();
 }
 
 bool Replica::seq_in_window(SeqNum seq) const {
@@ -713,7 +789,7 @@ void Replica::enter_new_view(ViewId view, const std::vector<PrePrepare>& repropo
 
 void Replica::arm_tick() {
   const Duration interval = config_.request_timeout / 4;
-  network_.simulator().schedule(interval, [this]() {
+  schedule_protected(interval, [this]() {
     on_tick();
     if (started_) arm_tick();
   });

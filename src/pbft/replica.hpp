@@ -22,6 +22,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -39,6 +40,7 @@ namespace gpbft::pbft {
 class Replica : public net::INetNode {
  public:
   using ExecutedCallback = std::function<void(const ledger::Block&)>;
+  using PersistCallback = std::function<void(const ledger::Chain&)>;
 
   Replica(NodeId id, std::vector<NodeId> committee, ledger::Block genesis, PbftConfig config,
           net::Network& network, const crypto::KeyRegistry& keys);
@@ -77,6 +79,27 @@ class Replica : public net::INetNode {
   void set_fault_mode(FaultMode mode) { fault_mode_ = mode; }
   void set_executed_callback(ExecutedCallback cb) { executed_cb_ = std::move(cb); }
 
+  /// Durability hook: invoked with the chain whenever the replica reaches a
+  /// point worth persisting — a stable checkpoint, an executed configuration
+  /// block, or adopted sync progress. The deployment layer wires this to the
+  /// node's simulated disk.
+  void set_persist_callback(PersistCallback cb) { persist_cb_ = std::move(cb); }
+
+  /// Active catch-up after a restart: immediately requests the chain suffix
+  /// from the primary plus a rotating alternate, bypassing the evidence
+  /// gating of maybe_request_sync (a freshly rebuilt node holds no commit
+  /// votes to prove it is behind), and retries a bounded number of times
+  /// until the chain advances.
+  void begin_resync();
+
+  /// Replays a persisted chain (from deserialize_chain) through the normal
+  /// execution path, before start(): protocol state — eras, rosters,
+  /// election bookkeeping in subclasses — re-derives via on_executed.
+  /// The restored prefix was only ever persisted at agreed durability
+  /// points, so it is treated as stable (the watermark window opens above
+  /// it). Stops at the first invalid block, keeping what came before.
+  [[nodiscard]] Result<void> restore_chain(const ledger::Chain& restored);
+
  protected:
   // Hooks for the G-PBFT layer -------------------------------------------------
   /// Batch selection for the next proposal; default drains the mempool.
@@ -112,6 +135,18 @@ class Replica : public net::INetNode {
 
   void send_to(NodeId to, net::MessageType type, BytesView body);
   void broadcast_committee(net::MessageType type, BytesView body);
+
+  /// Schedules `fn` guarded by this replica's lifetime token: if the object
+  /// is destroyed before the event fires (restart_node rebuilds a node from
+  /// disk), the callback is dropped instead of dereferencing freed memory.
+  /// Every protocol timer in this class and its subclasses must use this
+  /// rather than scheduling a bare `[this]` lambda.
+  void schedule_protected(Duration delay, std::function<void()> fn);
+
+  /// Invokes the persist callback with the current chain, if one is set
+  /// (exposed so subclasses can persist on their own durability points,
+  /// e.g. dBFT's per-block finality).
+  void persist_now();
 
   [[nodiscard]] TimePoint now() const { return network_.simulator().now(); }
   [[nodiscard]] net::Network& network() { return network_; }
@@ -182,8 +217,10 @@ class Replica : public net::INetNode {
   // Chain sync (see SyncRequest in messages.hpp).
   void maybe_request_sync();
   void request_sync_from(NodeId peer);
+  void send_sync_request(NodeId peer);
   void on_sync_request(const SyncRequest& msg);
   void on_sync_response(const SyncResponse& msg);
+  void resync_tick();
 
   void arm_tick();
   void on_tick();
@@ -228,13 +265,30 @@ class Replica : public net::INetNode {
   std::vector<Prepare> stashed_prepares_;
   std::vector<Commit> stashed_commits_;
 
-  TimePoint last_sync_request_{Duration::seconds(-3600).ns};
+  /// Largest number of blocks served per SyncResponse; a full response is
+  /// the signal that more blocks remain and the requester should chain a
+  /// follow-up request.
+  static constexpr Height kMaxSyncBlocks = 64;
+
+  /// When the last sync request was sent; nullopt until the first one (so a
+  /// fresh replica is never rate-limited by a sentinel "long ago" value).
+  std::optional<TimePoint> last_sync_request_;
+
+  /// Bounded post-restart catch-up attempts remaining (see begin_resync).
+  static constexpr std::uint32_t kResyncAttempts = 5;
+  std::uint32_t resync_attempts_left_{0};
 
   FaultMode fault_mode_{FaultMode::None};
   ExecutedCallback executed_cb_;
+  PersistCallback persist_cb_;
 
   std::uint64_t executed_blocks_{0};
   std::uint64_t completed_view_changes_{0};
+
+  /// Lifetime token for scheduled timers: the simulator cannot cancel
+  /// events, so every timer lambda holds a weak_ptr to this and becomes a
+  /// no-op once the replica is destroyed (crash–restart rebuilds objects).
+  std::shared_ptr<bool> alive_{std::make_shared<bool>(true)};
 };
 
 }  // namespace gpbft::pbft

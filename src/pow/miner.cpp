@@ -41,7 +41,24 @@ void Miner::arm_mining() {
       static_cast<double>(chain_.next_difficulty(chain_.tip_hash())) / config_.hashrate;
   const Duration solve =
       Duration::from_seconds(network_.simulator().rng().exponential(mean_seconds));
-  network_.simulator().schedule(solve, [this, attempt]() { on_block_found(attempt); });
+  network_.simulator().schedule(
+      solve, [alive = std::weak_ptr<bool>(alive_), this, attempt]() {
+        if (alive.lock()) on_block_found(attempt);
+      });
+}
+
+void Miner::maybe_persist() {
+  if (persist_cb_) persist_cb_(chain_);
+}
+
+void Miner::restore_chain(const std::vector<PowBlock>& blocks) {
+  for (const PowBlock& block : blocks) {
+    if (block.header.height == 0) continue;  // genesis is constructed, not loaded
+    if (auto added = chain_.add_block(block); !added) {
+      log_debug(id_.str() + ": restored block rejected: " + added.error());
+      return;  // descendants would only pile up as orphans
+    }
+  }
 }
 
 void Miner::on_block_found(std::uint64_t attempt) {
@@ -84,7 +101,8 @@ void Miner::on_block_found(std::uint64_t attempt) {
   }
 
   check_confirmations();
-  arm_mining();  // mine on the new tip
+  maybe_persist();  // own block extended the best tip
+  arm_mining();     // mine on the new tip
 }
 
 void Miner::handle(const net::Envelope& envelope) {
@@ -146,6 +164,7 @@ void Miner::on_block_received(PowBlock block, NodeId from) {
   if (added.value()) {
     // Tip changed: restart mining on the new best chain.
     check_confirmations();
+    maybe_persist();
     arm_mining();
   }
 }

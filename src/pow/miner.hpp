@@ -13,6 +13,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "ledger/mempool.hpp"
 #include "net/network.hpp"
@@ -51,6 +52,9 @@ class Miner : public net::INetNode {
   /// (digest, confirmation latency) when a transaction first reaches the
   /// configured confirmation depth on this miner's best chain.
   using ConfirmedCallback = std::function<void(const crypto::Hash256&, Duration)>;
+  /// Durability hook, fired whenever the best tip advances; the deployment
+  /// layer wires it to the node's simulated disk (see pow_store.hpp).
+  using PersistCallback = std::function<void(const PowChain&)>;
 
   Miner(NodeId id, std::vector<NodeId> peers, PowBlock genesis, MinerConfig config,
         net::Network& network);
@@ -66,14 +70,22 @@ class Miner : public net::INetNode {
   /// Submits a transaction directly (the harness's client path).
   void submit(ledger::Transaction tx);
 
+  /// Replays a persisted best chain (genesis first) into the block tree
+  /// before start(). Every block re-passes proof-of-work and linkage
+  /// validation; anything invalid is dropped, so a corrupt-but-well-framed
+  /// image degrades to a shorter chain rather than poisoning the tree.
+  void restore_chain(const std::vector<PowBlock>& blocks);
+
   // --- introspection ------------------------------------------------------------
   [[nodiscard]] const PowChain& chain() const { return chain_; }
   [[nodiscard]] double hashes_computed() const { return hashes_computed_; }
   [[nodiscard]] std::uint64_t blocks_mined() const { return blocks_mined_; }
   void set_confirmed_callback(ConfirmedCallback cb) { confirmed_cb_ = std::move(cb); }
+  void set_persist_callback(PersistCallback cb) { persist_cb_ = std::move(cb); }
 
  private:
   void arm_mining();
+  void maybe_persist();
   void on_block_found(std::uint64_t attempt);
   void on_block_received(PowBlock block, NodeId from);
   void on_block_requested(const crypto::Hash256& block_hash, NodeId requester);
@@ -96,7 +108,13 @@ class Miner : public net::INetNode {
   // Pending confirmation watches: digest -> submission time.
   std::unordered_map<crypto::Hash256, TimePoint> watched_;
   ConfirmedCallback confirmed_cb_;
+  PersistCallback persist_cb_;
   RequestId next_request_{1};
+
+  /// Lifetime token: solve events scheduled on the simulator cannot be
+  /// cancelled, so each holds a weak_ptr and no-ops once the miner object
+  /// is destroyed (crash–restart rebuilds miners from disk).
+  std::shared_ptr<bool> alive_{std::make_shared<bool>(true)};
 };
 
 }  // namespace gpbft::pow

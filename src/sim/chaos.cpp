@@ -84,6 +84,12 @@ std::string ChaosEvent::describe() const {
     case Kind::ByzantineHeal:
       out += "byzantine heal node " + nodes_str(nodes);
       break;
+    case Kind::Restart:
+      out += "restart node " + nodes_str(nodes);
+      break;
+    case Kind::DiskFault:
+      out += "disk fault node " + nodes_str(nodes) + " kind=" + disk_fault_name(disk);
+      break;
   }
   return out;
 }
@@ -122,6 +128,14 @@ ChaosEvent ChaosEvent::byzantine(TimePoint at, NodeId victim, pbft::FaultMode mo
 ChaosEvent ChaosEvent::byzantine_heal(TimePoint at, NodeId victim) {
   ChaosEvent event{at, Kind::ByzantineHeal, {victim}};
   event.mode = pbft::FaultMode::None;
+  return event;
+}
+ChaosEvent ChaosEvent::restart(TimePoint at, NodeId victim) {
+  return ChaosEvent{at, Kind::Restart, {victim}};
+}
+ChaosEvent ChaosEvent::disk_fault(TimePoint at, NodeId victim, DiskFaultKind kind) {
+  ChaosEvent event{at, Kind::DiskFault, {victim}};
+  event.disk = kind;
   return event;
 }
 
@@ -180,6 +194,11 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const ChaosProfile& profile,
   FaultPlan plan;
   if (nodes.empty() || profile.step.ns <= 0) return plan;
   Rng rng(seed);
+  // Durability faults (restart / disk corruption) draw from a forked stream:
+  // enabling them must not shift the draws of the pre-existing families, so
+  // a plan with restart_chance == 0 is byte-identical to one generated
+  // before these families existed.
+  Rng durability = rng.fork(0x64757261'62696c69ull);
 
   std::map<std::uint64_t, std::int64_t> down_until;  // node -> instant it is healthy again
   std::int64_t partition_until = 0;                  // one partition at a time
@@ -262,6 +281,28 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const ChaosProfile& profile,
                                     rng.uniform_real(2.0, profile.max_brownout)));
       plan.add(ChaosEvent::brownout_clear(TimePoint{heal_at}, plan.events_.back().nodes[0]));
     }
+    if (durability.chance(profile.restart_chance) && faulty_at(t) < profile.max_faulty) {
+      std::vector<NodeId> healthy;
+      for (NodeId node : nodes) {
+        const auto it = down_until.find(node.value);
+        if (it == down_until.end() || it->second <= t) healthy.push_back(node);
+      }
+      if (!healthy.empty()) {
+        const NodeId victim = healthy[durability.uniform(0, healthy.size() - 1)];
+        plan.add(ChaosEvent::restart(TimePoint{t}, victim));
+        // The reboot itself is instantaneous, but the node may lag until
+        // resync closes the gap — budget it as faulty for a fault window so
+        // other families cannot push the system past f alongside it.
+        down_until[victim.value] = heal_at;
+      }
+    }
+    if (durability.chance(profile.disk_fault_chance)) {
+      static constexpr DiskFaultKind kDiskKinds[] = {
+          DiskFaultKind::TornWrite, DiskFaultKind::BitRot, DiskFaultKind::StaleSnapshot};
+      const NodeId victim = nodes[durability.uniform(0, nodes.size() - 1)];
+      plan.add(
+          ChaosEvent::disk_fault(TimePoint{t}, victim, kDiskKinds[durability.uniform(0, 2)]));
+    }
   }
   return plan;
 }
@@ -285,8 +326,16 @@ std::string FaultPlan::describe() const {
 
 void FaultPlan::schedule(net::Simulator& sim, net::Network& network,
                          ByzantineSetter set_byzantine, EventHook hook) const {
+  ChaosHandlers handlers;
+  handlers.set_byzantine = std::move(set_byzantine);
+  handlers.hook = std::move(hook);
+  schedule(sim, network, handlers);
+}
+
+void FaultPlan::schedule(net::Simulator& sim, net::Network& network,
+                         const ChaosHandlers& handlers) const {
   for (const ChaosEvent& event : events_) {
-    sim.schedule_at(event.at, [&network, set_byzantine, hook, event]() {
+    sim.schedule_at(event.at, [&network, handlers, event]() {
       switch (event.kind) {
         case ChaosEvent::Kind::Crash:
           for (NodeId node : event.nodes) network.crash(node);
@@ -316,10 +365,16 @@ void FaultPlan::schedule(net::Simulator& sim, net::Network& network,
           break;
         case ChaosEvent::Kind::Byzantine:
         case ChaosEvent::Kind::ByzantineHeal:
-          if (set_byzantine) set_byzantine(event.nodes.at(0), event.mode);
+          if (handlers.set_byzantine) handlers.set_byzantine(event.nodes.at(0), event.mode);
+          break;
+        case ChaosEvent::Kind::Restart:
+          if (handlers.restart) handlers.restart(event.nodes.at(0));
+          break;
+        case ChaosEvent::Kind::DiskFault:
+          if (handlers.disk_fault) handlers.disk_fault(event.nodes.at(0), event.disk);
           break;
       }
-      if (hook) hook(event);
+      if (handlers.hook) handlers.hook(event);
     });
   }
 }
@@ -409,26 +464,39 @@ ChaosRunResult run_protocol_chaos(ProtocolKind protocol, const ChaosCampaignOpti
 
   ChaosProfile profile = profile_for(intensity);
   profile.max_faulty = (options.committee - 1) / 3;
+  profile.restart_chance = options.restart_chance;
+  profile.disk_fault_chance = options.disk_fault_chance;
   // Miners model no equivocation faults (there is no FaultMode to toggle);
   // PoW runs get the profile's crash/partition/link/brownout families only.
   if (protocol == ProtocolKind::Pow) profile.byzantine_chance = 0.0;
   const FaultPlan plan = FaultPlan::random(
       mix_seed(options.base_seed, run_index, std::string(protocol_name(protocol)) + "-" + intensity),
       profile, deployment->fault_targets(), options.horizon);
-  plan.schedule(
-      deployment->simulator(), deployment->network(),
-      [&deployment, &monitor](NodeId id, pbft::FaultMode mode) {
-        deployment->set_fault_mode(id, mode);
-        monitor.set_faulty(id, mode != pbft::FaultMode::None);
-      },
-      [&monitor](const ChaosEvent& event) { monitor.note_fault(event.describe()); });
+  FaultPlan::ChaosHandlers handlers;
+  handlers.set_byzantine = [&deployment, &monitor](NodeId id, pbft::FaultMode mode) {
+    deployment->set_fault_mode(id, mode);
+    monitor.set_faulty(id, mode != pbft::FaultMode::None);
+  };
+  handlers.restart = [&deployment](NodeId id) { (void)deployment->restart_node(id); };
+  handlers.disk_fault = [&deployment](NodeId id, DiskFaultKind kind) {
+    deployment->inject_disk_fault(id, kind);
+  };
+  handlers.hook = [&monitor](const ChaosEvent& event) { monitor.note_fault(event.describe()); };
+  plan.schedule(deployment->simulator(), deployment->network(), handlers);
 
   deployment->run_for(options.horizon);
   const TimePoint healed = plan.all_healed_at();
   const TimePoint deadline{std::max(options.horizon.ns, healed.ns) + options.liveness_grace.ns};
   deployment->run_until_committed(options.txs_per_client, deadline);
+  // Restarted nodes may still be closing their resync gap when the last
+  // client transaction lands; give the final round-trips time to settle
+  // before holding them to the post-restart convergence bound.
+  if (monitor.restarts_observed() > 0) {
+    deployment->run_for(spec.engine.request_timeout * 3);
+  }
   deployment->stop();
   deployment->finish_invariants(monitor);
+  monitor.check_restart_convergence();
 
   result.expected = options.txs_per_client * options.clients;
   result.committed = deployment->committed_count();
@@ -437,6 +505,7 @@ ChaosRunResult run_protocol_chaos(ProtocolKind protocol, const ChaosCampaignOpti
   result.violations = monitor.violations();
   result.blocks_checked = monitor.blocks_checked();
   result.fault_events = plan.events().size();
+  result.restarts = monitor.restarts_observed();
   return result;
 }
 

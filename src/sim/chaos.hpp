@@ -34,6 +34,7 @@
 #include "pbft/config.hpp"
 #include "sim/invariants.hpp"
 #include "sim/scenario.hpp"
+#include "sim/storage.hpp"
 
 namespace gpbft::sim {
 
@@ -50,6 +51,8 @@ struct ChaosEvent {
     BrownoutClear,  // nodes: {victim}
     Byzantine,      // nodes: {victim}; mode: the behaviour
     ByzantineHeal,  // nodes: {victim}
+    Restart,        // nodes: {victim}; crash–restart from the node's disk
+    DiskFault,      // nodes: {victim}; disk: the corruption injected
   };
 
   TimePoint at;
@@ -58,6 +61,7 @@ struct ChaosEvent {
   net::LinkFault fault{};
   double factor{1.0};
   pbft::FaultMode mode{pbft::FaultMode::None};
+  DiskFaultKind disk{DiskFaultKind::TornWrite};
 
   /// Deterministic one-line rendering ("t=12.000s crash node 3").
   [[nodiscard]] std::string describe() const;
@@ -73,6 +77,8 @@ struct ChaosEvent {
   static ChaosEvent brownout_clear(TimePoint at, NodeId victim);
   static ChaosEvent byzantine(TimePoint at, NodeId victim, pbft::FaultMode mode);
   static ChaosEvent byzantine_heal(TimePoint at, NodeId victim);
+  static ChaosEvent restart(TimePoint at, NodeId victim);
+  static ChaosEvent disk_fault(TimePoint at, NodeId victim, DiskFaultKind kind);
 };
 
 /// Intensity profile for random plan generation. Every `step`, each fault
@@ -87,6 +93,11 @@ struct ChaosProfile {
   double byzantine_chance{0.0};
   double link_fault_chance{0.2};
   double brownout_chance{0.15};
+  /// Durability faults; zero in the built-in profiles (campaigns opt in via
+  /// ChaosCampaignOptions). Their randomness draws from a stream forked off
+  /// the plan seed, so enabling them never perturbs the other families.
+  double restart_chance{0.0};
+  double disk_fault_chance{0.0};
 
   double max_loss{0.15};
   Duration max_extra_latency = Duration::millis(40);
@@ -124,11 +135,23 @@ class FaultPlan {
 
   using ByzantineSetter = std::function<void(NodeId, pbft::FaultMode)>;
   using EventHook = std::function<void(const ChaosEvent&)>;
+  using RestartHandler = std::function<void(NodeId)>;
+  using DiskFaultHandler = std::function<void(NodeId, DiskFaultKind)>;
 
-  /// Schedules every event onto the simulator. `set_byzantine` applies
-  /// fault-mode toggles to the right replica (omit for deployments without
-  /// Byzantine events); `hook` fires after each event is applied (wire it
-  /// to InvariantMonitor::note_fault for violation context).
+  /// Receivers for the event families that need deployment cooperation.
+  /// Network-level events (crash, partition, link, brownout) always apply;
+  /// an event whose handler is unset is skipped (the hook still fires).
+  struct ChaosHandlers {
+    ByzantineSetter set_byzantine;
+    RestartHandler restart;        // wire to Deployment::restart_node
+    DiskFaultHandler disk_fault;   // wire to Deployment::inject_disk_fault
+    EventHook hook;                // fires after each applied event
+  };
+
+  /// Schedules every event onto the simulator with the full handler set.
+  void schedule(net::Simulator& sim, net::Network& network, const ChaosHandlers& handlers) const;
+
+  /// Convenience overload for plans without restart/disk-fault events.
   void schedule(net::Simulator& sim, net::Network& network, ByzantineSetter set_byzantine = {},
                 EventHook hook = {}) const;
 
@@ -161,6 +184,13 @@ struct ChaosCampaignOptions {
   /// Fault-injection window; the liveness deadline is horizon + grace.
   Duration horizon = Duration::seconds(40);
   Duration liveness_grace = Duration::seconds(300);
+
+  /// Durability chaos, applied on top of the intensity profile: per step,
+  /// the chance a node is crash–restarted from its simulated disk, and the
+  /// chance a random disk suffers a fault (torn write / bit rot / stale
+  /// snapshot). Zero keeps campaigns byte-identical to pre-durability runs.
+  double restart_chance{0.0};
+  double disk_fault_chance{0.0};
 };
 
 struct ChaosRunResult {
@@ -170,6 +200,7 @@ struct ChaosRunResult {
   std::uint64_t committed{0};
   std::uint64_t expected{0};
   std::size_t fault_events{0};
+  std::uint64_t restarts{0};
   std::uint64_t blocks_checked{0};
   std::vector<Violation> violations;
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "common/logging.hpp"
+#include "ledger/store.hpp"
 #include "pbft/messages.hpp"
+#include "pow/pow_store.hpp"
 #include "sim/invariants.hpp"
 #include "sim/workload.hpp"
 
@@ -15,7 +18,10 @@ Deployment::Deployment(std::uint64_t seed, const net::NetConfig& net,
     : sim_(seed),
       network_(sim_, net),
       keys_(seed ^ 0x67e55044'10b1426full),
-      placement_(placement) {}
+      placement_(placement),
+      // Disk-fault randomness gets its own stream, decorrelated from the
+      // simulator, key and network-fault streams.
+      storage_(seed ^ 0x6469736b'5f666c74ull) {}
 
 void Deployment::start() {
   start_nodes();
@@ -73,7 +79,40 @@ void Deployment::set_fault_mode(NodeId id, pbft::FaultMode mode) {
   (void)mode;
 }
 
-void Deployment::watch(InvariantMonitor& monitor) { (void)monitor; }
+bool Deployment::restart_node(NodeId id) {
+  (void)id;
+  return false;
+}
+
+void Deployment::attach_persistence(pbft::Replica& replica) {
+  const NodeId id = replica.id();
+  replica.set_persist_callback([this, id](const ledger::Chain& chain) {
+    storage_.disk(id).save(ledger::serialize_chain(chain));
+  });
+}
+
+void Deployment::restore_from_disk(pbft::Replica& replica) {
+  const NodeId id = replica.id();
+  if (!storage_.has(id) || storage_.disk(id).empty()) return;
+  const Bytes& image = storage_.disk(id).image();
+  auto restored = ledger::deserialize_chain(BytesView(image.data(), image.size()));
+  if (!restored) {
+    log_warn(id.str() + ": disk image rejected (" + restored.error() +
+             "); restarting from genesis");
+    return;
+  }
+  if (auto adopted = replica.restore_chain(restored.value()); !adopted) {
+    log_warn(id.str() + ": restore stopped: " + adopted.error());
+  }
+}
+
+void Deployment::note_restarted(pbft::Replica& replica) {
+  if (monitor_ == nullptr) return;
+  monitor_->watch(replica);
+  monitor_->note_restart(replica.id(), replica.chain().height());
+}
+
+void Deployment::watch(InvariantMonitor& monitor) { monitor_ = &monitor; }
 
 void Deployment::finish_invariants(InvariantMonitor& monitor) { (void)monitor; }
 
@@ -90,17 +129,17 @@ PbftCluster::PbftCluster(PbftClusterConfig config)
   }
   genesis_config.policy.min_endorsers = config.replicas;
   genesis_config.policy.max_endorsers = config.replicas;
-  const ledger::Block genesis = ledger::make_genesis_block(genesis_config);
+  genesis_ = ledger::make_genesis_block(genesis_config);
 
-  std::vector<NodeId> committee;
-  for (std::size_t i = 0; i < config.replicas; ++i) committee.push_back(NodeId{i + 1});
+  for (std::size_t i = 0; i < config.replicas; ++i) member_ids_.push_back(NodeId{i + 1});
 
   for (std::size_t i = 0; i < config.replicas; ++i) {
-    replicas_.push_back(std::make_unique<pbft::Replica>(NodeId{i + 1}, committee, genesis,
+    replicas_.push_back(std::make_unique<pbft::Replica>(NodeId{i + 1}, member_ids_, genesis_,
                                                         config.pbft, network_, keys_));
+    attach_persistence(*replicas_.back());
   }
   for (std::size_t i = 0; i < config.clients; ++i) {
-    clients_.push_back(std::make_unique<pbft::Client>(NodeId{kClientIdBase + i + 1}, committee,
+    clients_.push_back(std::make_unique<pbft::Client>(NodeId{kClientIdBase + i + 1}, member_ids_,
                                                       network_, keys_,
                                                       config.pbft.compute_macs));
   }
@@ -128,7 +167,28 @@ void PbftCluster::set_fault_mode(NodeId id, pbft::FaultMode mode) {
 }
 
 void PbftCluster::watch(InvariantMonitor& monitor) {
+  Deployment::watch(monitor);
   for (auto& replica : replicas_) monitor.watch(*replica);
+}
+
+bool PbftCluster::restart_node(NodeId id) {
+  for (auto& slot : replicas_) {
+    if (slot->id() != id) continue;
+    network_.recover(id);  // a reboot clears the crash flag and the backlog
+    network_.detach(id);
+    slot.reset();  // scheduled timers die with the lifetime token
+
+    auto replica = std::make_unique<pbft::Replica>(id, member_ids_, genesis_, config_.pbft,
+                                                   network_, keys_);
+    restore_from_disk(*replica);  // replay happens before the monitor re-watches
+    attach_persistence(*replica);
+    note_restarted(*replica);
+    replica->start();
+    replica->begin_resync();
+    slot = std::move(replica);
+    return true;
+  }
+  return false;
 }
 
 // --- GpbftCluster ------------------------------------------------------------------
@@ -137,15 +197,15 @@ GpbftCluster::GpbftCluster(GpbftClusterConfig config)
     : Deployment(config.seed, config.net, config.placement), config_(std::move(config)) {
   const std::size_t committee_size = std::min(config_.initial_committee, config_.nodes);
 
-  ::gpbft::gpbft::GpbftConfig protocol = config_.protocol;
-  protocol.genesis.chain_seed = config_.seed;
-  protocol.genesis.area_prefix = placement_.area_prefix();
-  protocol.genesis.initial_endorsers.clear();
+  protocol_ = config_.protocol;
+  protocol_.genesis.chain_seed = config_.seed;
+  protocol_.genesis.area_prefix = placement_.area_prefix();
+  protocol_.genesis.initial_endorsers.clear();
   for (std::size_t i = 0; i < committee_size; ++i) {
-    protocol.genesis.initial_endorsers.push_back(
+    protocol_.genesis.initial_endorsers.push_back(
         ledger::EndorserInfo{NodeId{i + 1}, placement_.position(i)});
   }
-  const ledger::Block genesis = ledger::make_genesis_block(protocol.genesis);
+  genesis_ = ledger::make_genesis_block(protocol_.genesis);
 
   roster_.clear();
   for (std::size_t i = 0; i < committee_size; ++i) roster_.push_back(NodeId{i + 1});
@@ -154,10 +214,11 @@ GpbftCluster::GpbftCluster(GpbftClusterConfig config)
     const NodeId id{i + 1};
     const geo::GeoPoint position = placement_.position(i);
     area_.place(id, position);
-    auto endorser = std::make_unique<::gpbft::gpbft::Endorser>(id, position, protocol, genesis,
+    auto endorser = std::make_unique<::gpbft::gpbft::Endorser>(id, position, protocol_, genesis_,
                                                                network_, keys_, &area_);
     endorser->set_roster_callback(
         [this](EraId era, const std::vector<NodeId>& roster) { on_roster(era, roster); });
+    attach_persistence(*endorser);
     endorsers_.push_back(std::move(endorser));
   }
 
@@ -212,7 +273,40 @@ void GpbftCluster::set_fault_mode(NodeId id, pbft::FaultMode mode) {
 }
 
 void GpbftCluster::watch(InvariantMonitor& monitor) {
+  Deployment::watch(monitor);
   for (auto& endorser : endorsers_) monitor.watch(*endorser);
+}
+
+bool GpbftCluster::restart_node(NodeId id) {
+  for (auto& slot : endorsers_) {
+    if (slot->id() != id) continue;
+    network_.recover(id);
+    network_.detach(id);
+    slot.reset();
+
+    const std::size_t index = static_cast<std::size_t>(id.value - 1);
+    auto endorser = std::make_unique<::gpbft::gpbft::Endorser>(
+        id, placement_.position(index), protocol_, genesis_, network_, keys_, &area_);
+    endorser->set_roster_callback(
+        [this](EraId era, const std::vector<NodeId>& roster) { on_roster(era, roster); });
+    // Replaying the disk image re-derives era, roster, production order and
+    // enrolled cells from the persisted config blocks (on_executed path) —
+    // the cluster's on_roster guard drops the stale callbacks this fires.
+    restore_from_disk(*endorser);
+    // A node whose image predates its own promotion (or that lost its disk)
+    // comes back as a candidate; aim its reports at the live committee so
+    // the next era can re-admit it.
+    if (endorser->role() == ::gpbft::gpbft::Role::Candidate) {
+      endorser->set_known_committee(roster_);
+    }
+    attach_persistence(*endorser);
+    note_restarted(*endorser);
+    endorser->start_protocol();
+    endorser->begin_resync();
+    slot = std::move(endorser);
+    return true;
+  }
+  return false;
 }
 
 // --- DbftCluster -------------------------------------------------------------------
@@ -226,21 +320,20 @@ DbftCluster::DbftCluster(DbftClusterConfig config)
     genesis_config.initial_endorsers.push_back(
         ledger::EndorserInfo{NodeId{i + 1}, placement_.position(i)});
   }
-  const ledger::Block genesis = ledger::make_genesis_block(genesis_config);
+  genesis_ = ledger::make_genesis_block(genesis_config);
 
-  dbft::DbftConfig dbft_config;
-  dbft_config.pbft = config.pbft;
-  dbft_config.block_interval = config.block_interval;
-  dbft_config.delegate_count = config.delegates;
-  dbft_config.epoch_blocks = config.epoch_blocks;
+  dbft_config_.pbft = config.pbft;
+  dbft_config_.block_interval = config.block_interval;
+  dbft_config_.delegate_count = config.delegates;
+  dbft_config_.epoch_blocks = config.epoch_blocks;
 
-  std::vector<NodeId> all;
-  for (std::size_t i = 0; i < config.nodes; ++i) all.push_back(NodeId{i + 1});
-  roster_.assign(all.begin(), all.begin() + static_cast<long>(delegate_count));
+  for (std::size_t i = 0; i < config.nodes; ++i) all_members_.push_back(NodeId{i + 1});
+  roster_.assign(all_members_.begin(), all_members_.begin() + static_cast<long>(delegate_count));
 
   for (std::size_t i = 0; i < config.nodes; ++i) {
-    members_.push_back(std::make_unique<dbft::Delegate>(NodeId{i + 1}, genesis, dbft_config,
-                                                        stakes_, all, network_, keys_));
+    members_.push_back(std::make_unique<dbft::Delegate>(NodeId{i + 1}, genesis_, dbft_config_,
+                                                        stakes_, all_members_, network_, keys_));
+    attach_persistence(*members_.back());
   }
   for (std::size_t i = 0; i < config.clients; ++i) {
     clients_.push_back(std::make_unique<pbft::Client>(NodeId{kClientIdBase + i + 1}, roster_,
@@ -263,7 +356,30 @@ void DbftCluster::set_fault_mode(NodeId id, pbft::FaultMode mode) {
 }
 
 void DbftCluster::watch(InvariantMonitor& monitor) {
+  Deployment::watch(monitor);
   for (auto& member : members_) monitor.watch(*member);
+}
+
+bool DbftCluster::restart_node(NodeId id) {
+  for (auto& slot : members_) {
+    if (slot->id() != id) continue;
+    network_.recover(id);
+    network_.detach(id);
+    slot.reset();
+
+    auto member = std::make_unique<dbft::Delegate>(id, genesis_, dbft_config_, stakes_,
+                                                   all_members_, network_, keys_);
+    // dBFT persists on every executed block (2f+1 PREPARE finality), so a
+    // clean image resumes at the exact height it stopped at.
+    restore_from_disk(*member);
+    attach_persistence(*member);
+    note_restarted(*member);
+    member->start_protocol();
+    member->begin_resync();
+    slot = std::move(member);
+    return true;
+  }
+  return false;
 }
 
 // --- PowCluster --------------------------------------------------------------------
@@ -312,30 +428,67 @@ struct PowDriver {
 
 PowCluster::PowCluster(PowClusterConfig config)
     : Deployment(config.seed, config.net, config.placement), config_(config) {
-  pow::MinerConfig miner_config;
-  miner_config.hashrate = config.hashrate;
+  miner_config_.hashrate = config.hashrate;
   // Network-wide solve rate = miners * hashrate / difficulty = 1/interval.
-  miner_config.difficulty = static_cast<std::uint64_t>(
+  miner_config_.difficulty = static_cast<std::uint64_t>(
       static_cast<double>(config.miners) * config.hashrate * config.block_interval.to_seconds());
-  miner_config.confirmation_depth = config.confirmations;
-  miner_config.max_batch_size = config.batch_size;
-  const pow::PowBlock genesis = pow::make_pow_genesis(miner_config.difficulty);
+  miner_config_.confirmation_depth = config.confirmations;
+  miner_config_.max_batch_size = config.batch_size;
+  genesis_ = pow::make_pow_genesis(miner_config_.difficulty);
 
-  std::vector<NodeId> ids;
-  for (std::size_t i = 0; i < config.miners; ++i) ids.push_back(NodeId{i + 1});
-  for (NodeId id : ids) {
-    miners_.push_back(std::make_unique<pow::Miner>(id, ids, genesis, miner_config, network_));
+  for (std::size_t i = 0; i < config.miners; ++i) miner_ids_.push_back(NodeId{i + 1});
+  for (NodeId id : miner_ids_) {
+    miners_.push_back(std::make_unique<pow::Miner>(id, miner_ids_, genesis_, miner_config_,
+                                                   network_));
+    wire_miner(*miners_.back());
   }
+}
+
+void PowCluster::wire_miner(pow::Miner& miner) {
   // Every miner observes confirmations; a transaction counts once, at its
   // first confirmation anywhere (robust when single miners are crashed or
   // partitioned while a watched transaction confirms).
-  for (auto& miner : miners_) {
-    miner->set_confirmed_callback([this](const crypto::Hash256& digest, Duration latency) {
-      if (confirmed_.insert(digest).second && recorder_ != nullptr) {
-        recorder_->record(latency);
+  miner.set_confirmed_callback([this](const crypto::Hash256& digest, Duration latency) {
+    if (confirmed_.insert(digest).second && recorder_ != nullptr) {
+      recorder_->record(latency);
+    }
+  });
+  const NodeId id = miner.id();
+  miner.set_persist_callback([this, id](const pow::PowChain& chain) {
+    storage_.disk(id).save(pow::serialize_pow_chain(chain));
+  });
+}
+
+bool PowCluster::restart_node(NodeId id) {
+  for (auto& slot : miners_) {
+    if (slot->id() != id) continue;
+    network_.recover(id);
+    network_.detach(id);
+    slot.reset();
+
+    auto miner = std::make_unique<pow::Miner>(id, miner_ids_, genesis_, miner_config_, network_);
+    if (storage_.has(id) && !storage_.disk(id).empty()) {
+      const Bytes& image = storage_.disk(id).image();
+      if (auto blocks = pow::deserialize_pow_chain(BytesView(image.data(), image.size()))) {
+        miner->restore_chain(blocks.value());
+      } else {
+        log_warn(id.str() + ": pow disk image rejected (" + blocks.error() +
+                 "); restarting from genesis");
       }
-    });
+    }
+    wire_miner(*miner);
+    if (monitor_ != nullptr) {
+      // No online execution hook for PoW; the restart is still recorded so
+      // restart bookkeeping (and finish_invariants' replay) sees it.
+      monitor_->note_restart(id, miner->chain().tip_height());
+    }
+    // Gossip closes the gap: the next announced block triggers the orphan
+    // parent-fetch walk back to whatever the restored image ends at.
+    miner->start();
+    slot = std::move(miner);
+    return true;
   }
+  return false;
 }
 
 void PowCluster::start_nodes() {

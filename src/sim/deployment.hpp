@@ -39,6 +39,7 @@
 #include "sim/metrics.hpp"
 #include "sim/placement.hpp"
 #include "sim/scenario.hpp"
+#include "sim/storage.hpp"
 
 namespace gpbft::sim {
 
@@ -93,8 +94,21 @@ class Deployment {
   /// Toggles a node's Byzantine behaviour (no-op for PoW: miners model no
   /// equivocation faults; chaos profiles keep byzantine_chance at zero).
   virtual void set_fault_mode(NodeId id, pbft::FaultMode mode);
+
+  /// Crash–restart with durability: destroys the protocol object (its
+  /// scheduled timers die with its lifetime token), rebuilds it from
+  /// whatever its simulated disk yields — genesis when the image is absent
+  /// or corrupt — re-attaches it and kicks off active resync. Returns false
+  /// when `id` is not a protocol node of this deployment.
+  virtual bool restart_node(NodeId id);
+  /// Injects a disk fault into `id`'s simulated disk (see DiskFaultKind).
+  void inject_disk_fault(NodeId id, DiskFaultKind kind) { storage_.inject(id, kind); }
+  [[nodiscard]] StorageFabric& storage() { return storage_; }
+
   /// Attaches the invariant monitor to every node's execution path.
   /// PoW has no online execution hook; it is checked at finish_invariants.
+  /// Subclass overrides must call the base so restarts re-watch rebuilt
+  /// nodes and report to InvariantMonitor::note_restart.
   virtual void watch(InvariantMonitor& monitor);
   /// End-of-run checks: PoW replays every miner's confirmed prefix through
   /// the monitor (agreement/validity/duplicates over confirmed blocks).
@@ -116,10 +130,21 @@ class Deployment {
   /// Whether the workload finished; default: every client committed.
   [[nodiscard]] virtual bool workload_done(std::uint64_t per_client) const;
 
+  /// Wires a replica's persist callback to its node's simulated disk.
+  void attach_persistence(pbft::Replica& replica);
+  /// Replays `replica`'s disk image through restore_chain. An absent or
+  /// corrupt image (torn write, bit rot) leaves the replica at genesis —
+  /// the fallback path chain sync then closes.
+  void restore_from_disk(pbft::Replica& replica);
+  /// Monitor bookkeeping shared by every restart_node override.
+  void note_restarted(pbft::Replica& replica);
+
   net::Simulator sim_;
   net::Network network_;
   crypto::KeyRegistry keys_;
   Placement placement_;
+  StorageFabric storage_;
+  InvariantMonitor* monitor_{nullptr};
   std::vector<std::unique_ptr<pbft::Client>> clients_;
 };
 
@@ -141,6 +166,7 @@ class PbftCluster : public Deployment {
   [[nodiscard]] ProtocolKind kind() const override { return ProtocolKind::Pbft; }
   [[nodiscard]] std::vector<NodeId> committee() const override;
   void set_fault_mode(NodeId id, pbft::FaultMode mode) override;
+  bool restart_node(NodeId id) override;
   void watch(InvariantMonitor& monitor) override;
 
   [[nodiscard]] pbft::Replica& replica(std::size_t i) { return *replicas_.at(i); }
@@ -152,6 +178,8 @@ class PbftCluster : public Deployment {
 
  private:
   PbftClusterConfig config_;
+  ledger::Block genesis_;            // reconstruction material for restarts
+  std::vector<NodeId> member_ids_;
   std::vector<std::unique_ptr<pbft::Replica>> replicas_;
 };
 
@@ -181,6 +209,7 @@ class GpbftCluster : public Deployment {
   [[nodiscard]] std::vector<NodeId> fault_targets() const override;
   [[nodiscard]] std::uint64_t era_switches() const override { return total_era_switches(); }
   void set_fault_mode(NodeId id, pbft::FaultMode mode) override;
+  bool restart_node(NodeId id) override;
   void watch(InvariantMonitor& monitor) override;
 
   [[nodiscard]] ::gpbft::gpbft::Endorser& endorser(std::size_t i) { return *endorsers_.at(i); }
@@ -199,6 +228,8 @@ class GpbftCluster : public Deployment {
 
   GpbftClusterConfig config_;
   ::gpbft::gpbft::AreaRegistry area_;
+  ::gpbft::gpbft::GpbftConfig protocol_;  // resolved config, for restarts
+  ledger::Block genesis_;
   std::vector<std::unique_ptr<::gpbft::gpbft::Endorser>> endorsers_;
   std::vector<NodeId> roster_;
   EraId era_{0};
@@ -227,6 +258,7 @@ class DbftCluster : public Deployment {
   [[nodiscard]] ProtocolKind kind() const override { return ProtocolKind::Dbft; }
   [[nodiscard]] std::vector<NodeId> committee() const override { return roster_; }
   void set_fault_mode(NodeId id, pbft::FaultMode mode) override;
+  bool restart_node(NodeId id) override;
   void watch(InvariantMonitor& monitor) override;
 
   [[nodiscard]] dbft::Delegate& delegate(std::size_t i) { return *members_.at(i); }
@@ -239,6 +271,9 @@ class DbftCluster : public Deployment {
  private:
   DbftClusterConfig config_;
   dbft::StakeRegistry stakes_;  // no voting unless a test registers stake
+  dbft::DbftConfig dbft_config_;  // reconstruction material for restarts
+  ledger::Block genesis_;
+  std::vector<NodeId> all_members_;
   std::vector<std::unique_ptr<dbft::Delegate>> members_;
   std::vector<NodeId> roster_;
 };
@@ -273,6 +308,7 @@ class PowCluster : public Deployment {
   /// (first confirmation records the latency).
   [[nodiscard]] std::uint64_t committed_count() const override { return confirmed_.size(); }
   [[nodiscard]] double hashes_computed() const override;
+  bool restart_node(NodeId id) override;
   /// Replays every miner's confirmed prefix (blocks at least
   /// `confirmations` below that miner's tip) through the monitor.
   void finish_invariants(InvariantMonitor& monitor) override;
@@ -286,7 +322,12 @@ class PowCluster : public Deployment {
   [[nodiscard]] bool workload_done(std::uint64_t per_client) const override;
 
  private:
+  void wire_miner(pow::Miner& miner);
+
   PowClusterConfig config_;
+  pow::MinerConfig miner_config_;  // reconstruction material for restarts
+  pow::PowBlock genesis_;
+  std::vector<NodeId> miner_ids_;
   std::vector<std::unique_ptr<pow::Miner>> miners_;
   std::set<crypto::Hash256> confirmed_;  // union over miners, first wins
   LatencyRecorder* recorder_{nullptr};

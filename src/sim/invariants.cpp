@@ -1,5 +1,6 @@
 #include "sim/invariants.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "pbft/replica.hpp"
@@ -33,6 +34,7 @@ const char* violation_kind_name(Violation::Kind kind) {
     case Violation::Kind::DuplicateExecution: return "DUPLICATE-EXECUTION";
     case Violation::Kind::RosterMismatch: return "ROSTER-MISMATCH";
     case Violation::Kind::Liveness: return "LIVENESS";
+    case Violation::Kind::RestartConvergence: return "RESTART-CONVERGENCE";
   }
   return "UNKNOWN";
 }
@@ -61,6 +63,17 @@ void InvariantMonitor::note_fault(const std::string& description) {
 
 void InvariantMonitor::on_executed(NodeId node, const ledger::Block& block) {
   const Height height = block.header.height;
+  // Restart floor: the restore path replays persisted blocks *before* the
+  // monitor re-watches the node, so any live execution at or below the
+  // restored height means the node re-ran state transitions it already
+  // owned on disk. (check_block_hash is exempt: PoW replays whole chains
+  // through it at run end.)
+  if (const auto it = restarts_.find(node.value);
+      it != restarts_.end() && !faulty_.contains(node.value) && height <= it->second.floor) {
+    record(Violation::Kind::DuplicateExecution, node, height,
+           "re-executed height " + std::to_string(height) +
+               " at or below restart floor " + std::to_string(it->second.floor));
+  }
   check_block_hash(node, height, block.hash());
   for (const ledger::Transaction& tx : block.transactions) {
     check_transaction(node, height, tx);
@@ -79,6 +92,9 @@ void InvariantMonitor::check_block_hash(NodeId node, Height height, const crypto
     record(Violation::Kind::Agreement, node, height,
            "executed " + hash.short_hex() + " but canonical is " + it->second.short_hex());
   }
+
+  auto& observed = observed_height_[node.value];
+  observed = std::max(observed, height);
 }
 
 void InvariantMonitor::check_transaction(NodeId node, Height height,
@@ -118,6 +134,29 @@ void InvariantMonitor::check_bounded_liveness(std::uint64_t committed, std::uint
          std::to_string(committed) + "/" + std::to_string(expected) +
              " committed; no full recovery within " + format_time(TimePoint{grace.ns}) +
              " after faults healed at " + format_time(healed_at));
+}
+
+void InvariantMonitor::note_restart(NodeId node, Height resumed_height) {
+  // Disk amnesia: everything above the restored height is legitimately
+  // re-executed, so the duplicate-execution set starts over; the restart
+  // floor (on_executed) covers the heights the restore already replayed.
+  executed_txs_[node.value].clear();
+  Height target = 0;
+  if (!canonical_.empty()) target = canonical_.rbegin()->first;
+  restarts_[node.value] = RestartInfo{sim_.now(), resumed_height, target};
+  observed_height_[node.value] = resumed_height;
+}
+
+void InvariantMonitor::check_restart_convergence() {
+  for (const auto& [node, info] : restarts_) {
+    const Height reached = observed_height_[node];
+    if (reached >= info.target) continue;
+    record(Violation::Kind::RestartConvergence, NodeId{node}, reached,
+           "restarted at " + format_time(info.at) + " with height " +
+               std::to_string(info.floor) + " but only re-reached " +
+               std::to_string(reached) + " of the agreed prefix " +
+               std::to_string(info.target));
+  }
 }
 
 void InvariantMonitor::record(Violation::Kind kind, NodeId node, Height height,

@@ -35,7 +35,14 @@ class Replica;
 namespace gpbft::sim {
 
 struct Violation {
-  enum class Kind { Agreement, Validity, DuplicateExecution, RosterMismatch, Liveness };
+  enum class Kind {
+    Agreement,
+    Validity,
+    DuplicateExecution,
+    RosterMismatch,
+    Liveness,
+    RestartConvergence,
+  };
 
   Kind kind{Kind::Agreement};
   TimePoint at;
@@ -84,6 +91,23 @@ class InvariantMonitor {
   void check_bounded_liveness(std::uint64_t committed, std::uint64_t expected,
                               TimePoint healed_at, Duration grace);
 
+  /// Restart bookkeeping: Deployment::restart_node calls this after
+  /// rebuilding a node from disk with the height its restored chain
+  /// resumed at. The node's per-node executed set is reset — after disk
+  /// amnesia it legitimately re-executes blocks above the restored height —
+  /// but re-executing anything AT OR BELOW the restored height is a
+  /// DUPLICATE-EXECUTION violation (the restore already replayed those),
+  /// and the canonical height at restart time becomes the node's
+  /// convergence target for check_restart_convergence.
+  void note_restart(NodeId node, Height resumed_height);
+
+  /// Post-restart convergence (run end, after finish_invariants): every
+  /// restarted node must have re-reached the agreed prefix as of its
+  /// restart. Records a RESTART-CONVERGENCE violation per laggard.
+  void check_restart_convergence();
+
+  [[nodiscard]] std::uint64_t restarts_observed() const { return restarts_.size(); }
+
   [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
   [[nodiscard]] bool clean() const { return violations_.empty(); }
   [[nodiscard]] std::uint64_t blocks_checked() const { return blocks_checked_; }
@@ -102,6 +126,14 @@ class InvariantMonitor {
   std::set<crypto::Hash256> submitted_;                        // client submissions
   std::unordered_map<std::uint64_t, std::unordered_set<crypto::Hash256>> executed_txs_;
   std::unordered_set<std::uint64_t> faulty_;
+
+  struct RestartInfo {
+    TimePoint at;
+    Height floor{0};   // restored height; re-executing <= floor is a dup
+    Height target{0};  // canonical height at restart time; must be re-reached
+  };
+  std::map<std::uint64_t, RestartInfo> restarts_;  // latest restart per node
+  std::map<std::uint64_t, Height> observed_height_;  // per-node max executed height
 
   std::string fault_context_ = "no faults injected yet";
   std::uint64_t blocks_checked_{0};

@@ -314,6 +314,10 @@ const std::vector<Field>& field_table() {
     f.push_back(duration_field("chaos.horizon_ns", &ScenarioSpec::chaos, &ChaosSpec::horizon));
     f.push_back(duration_field("chaos.liveness_grace_ns", &ScenarioSpec::chaos,
                                &ChaosSpec::liveness_grace));
+    f.push_back(double_field("chaos.restart_chance", &ScenarioSpec::chaos,
+                             &ChaosSpec::restart_chance));
+    f.push_back(double_field("chaos.disk_fault_chance", &ScenarioSpec::chaos,
+                             &ChaosSpec::disk_fault_chance));
     return f;
   }();
   return fields;

@@ -109,6 +109,12 @@ struct ChaosSpec {
   std::string intensity{"none"};
   Duration horizon = Duration::seconds(40);
   Duration liveness_grace = Duration::seconds(300);
+  /// Durability chaos on top of the intensity profile: per decision step,
+  /// the chance a node crash–restarts from its simulated disk and the
+  /// chance a random disk is corrupted (torn write / bit rot / stale
+  /// snapshot). Zero (the default) disables both families.
+  double restart_chance{0.0};
+  double disk_fault_chance{0.0};
 
   friend bool operator==(const ChaosSpec&, const ChaosSpec&) = default;
 };

@@ -79,6 +79,9 @@ TEST(FaultPlan, BudgetRespectedAndEveryFaultHealed) {
         case ChaosEvent::Kind::BrownoutClear:
           for (const NodeId id : event.nodes) browned_out.erase(id.value);
           break;
+        case ChaosEvent::Kind::Restart:
+        case ChaosEvent::Kind::DiskFault:
+          break;  // durability events are instantaneous; nothing to heal
       }
       // The hard budget: concurrently crashed + Byzantine + partitioned.
       std::set<std::uint64_t> faulty = crashed;
@@ -98,6 +101,24 @@ TEST(FaultPlan, BudgetRespectedAndEveryFaultHealed) {
       EXPECT_LE(plan.all_healed_at().ns, Duration::seconds(60).ns);
     }
   }
+}
+
+TEST(FaultPlan, GeneratesRestartAndDiskFaultEvents) {
+  ChaosProfile profile = ChaosProfile::light();
+  profile.restart_chance = 0.5;
+  profile.disk_fault_chance = 0.5;
+  profile.max_faulty = 2;
+  const FaultPlan plan = FaultPlan::random(11, profile, seven_nodes(), Duration::seconds(60));
+  std::size_t restarts = 0;
+  std::size_t disk_faults = 0;
+  for (const ChaosEvent& event : plan.events()) {
+    if (event.kind == ChaosEvent::Kind::Restart) ++restarts;
+    if (event.kind == ChaosEvent::Kind::DiskFault) ++disk_faults;
+  }
+  EXPECT_GT(restarts, 0u);
+  EXPECT_GT(disk_faults, 0u);
+  EXPECT_EQ(plan.describe(),
+            FaultPlan::random(11, profile, seven_nodes(), Duration::seconds(60)).describe());
 }
 
 TEST(ChaosEvent, DescribeIsStable) {
@@ -210,6 +231,29 @@ TEST(ChaosCampaign, SummaryIsByteIdenticalAcrossRuns) {
     EXPECT_EQ(run.committed, run.expected);
     EXPECT_GT(run.blocks_checked, 0u);
   }
+}
+
+TEST(ChaosCampaign, RestartAndDiskFaultSweepIsGreenAndDeterministic) {
+  // The headline durability claim: a campaign that crash–restarts nodes from
+  // their simulated disks and corrupts those disks mid-run stays green across
+  // every protocol stack, and reruns byte-identically under the same seeds.
+  ChaosCampaignOptions options;
+  options.seeds = 2;
+  options.intensities = {"medium"};
+  options.restart_chance = 0.25;
+  options.disk_fault_chance = 0.2;
+  const ChaosCampaignResult first = run_chaos_campaign(options);
+  const ChaosCampaignResult second = run_chaos_campaign(options);
+  EXPECT_EQ(first.summary(), second.summary());
+  EXPECT_EQ(first.failed_runs(), 0u);
+  ASSERT_EQ(first.runs.size(), 8u);  // 2 seeds x {pbft, gpbft, dbft, pow}
+  std::uint64_t restarts = 0;
+  for (const ChaosRunResult& run : first.runs) {
+    EXPECT_TRUE(run.passed()) << run.protocol << " seed " << run.seed;
+    EXPECT_EQ(run.committed, run.expected) << run.protocol << " seed " << run.seed;
+    restarts += run.restarts;
+  }
+  EXPECT_GT(restarts, 0u);  // the sweep actually exercised restart recovery
 }
 
 TEST(ChaosCampaign, SingleProtocolSelection) {

@@ -1,0 +1,295 @@
+// Crash–restart durability tests: the simulated disk's fault semantics,
+// restart_node recovery on every protocol stack (PBFT / G-PBFT / dBFT /
+// PoW), the corrupt-image → genesis → chain-sync fallback, a G-PBFT
+// restart across an era switch, and seed-for-seed determinism of runs
+// that include restarts.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "sim/deployment.hpp"
+#include "sim/invariants.hpp"
+#include "sim/storage.hpp"
+
+namespace gpbft::sim {
+namespace {
+
+Bytes test_image(std::size_t n, std::uint8_t seed = 1) {
+  Bytes image(n);
+  for (std::size_t i = 0; i < n; ++i) image[i] = static_cast<std::uint8_t>(seed + i);
+  return image;
+}
+
+// --- SimDisk -------------------------------------------------------------------------
+
+TEST(SimDisk, SaveStoresTheImage) {
+  SimDisk disk(Rng{1});
+  EXPECT_TRUE(disk.empty());
+  disk.save(test_image(64));
+  EXPECT_EQ(disk.image(), test_image(64));
+  EXPECT_EQ(disk.saves(), 1u);
+  EXPECT_EQ(disk.faults_applied(), 0u);
+}
+
+TEST(SimDisk, TornWriteTruncatesTheNextSaveOnly) {
+  SimDisk disk(Rng{2});
+  disk.inject(DiskFaultKind::TornWrite);
+  const Bytes full = test_image(64);
+  disk.save(full);
+  EXPECT_LT(disk.image().size(), 64u);  // strict prefix, possibly empty
+  EXPECT_EQ(disk.image(),
+            Bytes(full.begin(),
+                  full.begin() + static_cast<std::ptrdiff_t>(disk.image().size())));
+  EXPECT_EQ(disk.faults_applied(), 1u);
+  disk.save(test_image(64));  // the fault was one-shot
+  EXPECT_EQ(disk.image(), test_image(64));
+}
+
+TEST(SimDisk, BitRotFlipsExactlyOneBitInPlace) {
+  SimDisk disk(Rng{3});
+  disk.save(test_image(64));
+  disk.inject(DiskFaultKind::BitRot);
+  const Bytes& rotten = disk.image();
+  const Bytes clean = test_image(64);
+  ASSERT_EQ(rotten.size(), clean.size());
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    std::uint8_t diff = static_cast<std::uint8_t>(rotten[i] ^ clean[i]);
+    while (diff != 0) {
+      flipped_bits += diff & 1;
+      diff = static_cast<std::uint8_t>(diff >> 1);
+    }
+  }
+  EXPECT_EQ(flipped_bits, 1);
+  EXPECT_EQ(disk.faults_applied(), 1u);
+}
+
+TEST(SimDisk, StaleSnapshotRevertsToThePreviousImage) {
+  SimDisk disk(Rng{4});
+  disk.save(test_image(32, 10));
+  disk.save(test_image(32, 99));
+  disk.inject(DiskFaultKind::StaleSnapshot);
+  EXPECT_EQ(disk.image(), test_image(32, 10));
+  EXPECT_EQ(disk.faults_applied(), 1u);
+}
+
+TEST(SimDisk, FaultsOnAnEmptyDiskAreNoops) {
+  SimDisk disk(Rng{5});
+  disk.inject(DiskFaultKind::BitRot);
+  disk.inject(DiskFaultKind::StaleSnapshot);
+  EXPECT_TRUE(disk.empty());
+  EXPECT_EQ(disk.faults_applied(), 0u);
+}
+
+TEST(StorageFabric, DisksAreCreatedOnDemandPerNode) {
+  StorageFabric fabric(7);
+  EXPECT_FALSE(fabric.has(NodeId{1}));
+  fabric.disk(NodeId{1}).save(test_image(8));
+  EXPECT_TRUE(fabric.has(NodeId{1}));
+  EXPECT_FALSE(fabric.has(NodeId{2}));
+  // Arming a fault before the node's first save also creates the disk.
+  fabric.inject(NodeId{2}, DiskFaultKind::TornWrite);
+  EXPECT_TRUE(fabric.has(NodeId{2}));
+  EXPECT_EQ(fabric.disk(NodeId{1}).image(), test_image(8));
+}
+
+// --- restart recovery per protocol ----------------------------------------------------
+
+ScenarioSpec pbft_spec() {
+  ScenarioSpec spec;
+  spec.protocol = ProtocolKind::Pbft;
+  spec.nodes = 5;
+  spec.clients = 2;
+  spec.seed = 42;
+  spec.engine.checkpoint_interval = 2;  // persist early and often
+  spec.workload.period = Duration::seconds(2);
+  spec.workload.txs_per_client = 4;
+  return spec;
+}
+
+struct MonitoredRun {
+  std::uint64_t committed{0};
+  std::uint64_t restarts{0};
+  bool done{false};
+  std::string report;
+  bool clean{false};
+};
+
+/// Runs `spec` with the monitor attached, restarting `victim` at
+/// `restart_at`, optionally corrupting its disk just before the reboot.
+MonitoredRun run_with_restart(const ScenarioSpec& spec, NodeId victim, Duration restart_at,
+                              const DiskFaultKind* corrupt = nullptr) {
+  const std::unique_ptr<Deployment> deployment = make_deployment(spec);
+  InvariantMonitor monitor(deployment->simulator());
+  deployment->watch(monitor);
+  deployment->start();
+  deployment->schedule_workload(spec.workload, nullptr,
+                                [&monitor](const ledger::Transaction& tx) {
+                                  monitor.expect_submission(tx);
+                                });
+  Deployment* raw = deployment.get();
+  const DiskFaultKind fault = corrupt != nullptr ? *corrupt : DiskFaultKind::TornWrite;
+  const bool inject = corrupt != nullptr;
+  deployment->simulator().schedule(restart_at, [raw, victim, inject, fault]() {
+    if (inject) raw->inject_disk_fault(victim, fault);
+    ASSERT_TRUE(raw->restart_node(victim));
+  });
+
+  MonitoredRun out;
+  out.done = deployment->run_until_committed(spec.workload.txs_per_client,
+                                             TimePoint{spec.deadline.ns});
+  // Let the restarted node finish resyncing the agreed prefix.
+  deployment->run_for(spec.engine.request_timeout * 3);
+  deployment->stop();
+  deployment->finish_invariants(monitor);
+  monitor.check_restart_convergence();
+  out.committed = deployment->committed_count();
+  out.restarts = monitor.restarts_observed();
+  out.report = monitor.report();
+  out.clean = monitor.clean();
+  return out;
+}
+
+TEST(Restart, PbftReplicaRecoversFromItsDisk) {
+  const MonitoredRun run = run_with_restart(pbft_spec(), NodeId{3}, Duration::seconds(6));
+  EXPECT_TRUE(run.done);
+  EXPECT_EQ(run.committed, 8u);
+  EXPECT_EQ(run.restarts, 1u);
+  EXPECT_TRUE(run.clean) << run.report;
+}
+
+TEST(Restart, CorruptDiskFallsBackToGenesisAndResyncs) {
+  // Bit rot right before the reboot: the integrity tail rejects the image,
+  // the replica restarts at genesis and chain sync closes the whole gap.
+  const DiskFaultKind rot = DiskFaultKind::BitRot;
+  const MonitoredRun run = run_with_restart(pbft_spec(), NodeId{3}, Duration::seconds(10), &rot);
+  EXPECT_TRUE(run.done);
+  EXPECT_EQ(run.committed, 8u);
+  EXPECT_TRUE(run.clean) << run.report;
+}
+
+TEST(Restart, DbftDelegateRecoversMidEpoch) {
+  ScenarioSpec spec;
+  spec.protocol = ProtocolKind::Dbft;
+  spec.nodes = 7;
+  spec.clients = 2;
+  spec.seed = 3;
+  spec.dbft.block_interval = Duration::seconds(2);
+  spec.workload.period = Duration::seconds(1);
+  spec.workload.txs_per_client = 3;
+  const MonitoredRun run = run_with_restart(spec, NodeId{5}, Duration::seconds(5));
+  EXPECT_TRUE(run.done);
+  EXPECT_EQ(run.committed, 6u);
+  EXPECT_TRUE(run.clean) << run.report;
+}
+
+TEST(Restart, PowMinerRejoinsFromItsPersistedTip) {
+  ScenarioSpec spec;
+  spec.protocol = ProtocolKind::Pow;
+  spec.nodes = 5;
+  spec.clients = 2;
+  spec.seed = 9;
+  spec.pow.block_interval = Duration::seconds(3);
+  spec.pow.confirmations = 2;
+  spec.workload.period = Duration::seconds(2);
+  spec.workload.txs_per_client = 2;
+  spec.deadline = Duration::seconds(2000);
+  const MonitoredRun run = run_with_restart(spec, NodeId{3}, Duration::seconds(12));
+  EXPECT_TRUE(run.done);
+  EXPECT_EQ(run.committed, 4u);
+  EXPECT_TRUE(run.clean) << run.report;
+}
+
+TEST(Restart, UnknownNodeIsRejected) {
+  const std::unique_ptr<Deployment> deployment = make_deployment(pbft_spec());
+  deployment->start();
+  EXPECT_FALSE(deployment->restart_node(NodeId{999}));
+  EXPECT_FALSE(deployment->restart_node(NodeId{kClientIdBase + 1}));
+  deployment->stop();
+}
+
+// --- G-PBFT restart across an era switch ----------------------------------------------
+
+TEST(Restart, GpbftEndorserRestartsAcrossEraSwitch) {
+  // Same shape as the G-PBFT parity scenario: an era switch at ~15s promotes
+  // both candidates. Restarting an endorser after the switch must re-derive
+  // the era, roster and producer order from the persisted config blocks.
+  ScenarioSpec spec;
+  spec.protocol = ProtocolKind::Gpbft;
+  spec.nodes = 6;
+  spec.clients = 2;
+  spec.seed = 7;
+  spec.committee.initial = 4;
+  spec.committee.min = 4;
+  spec.committee.max = 6;
+  spec.committee.era_period = Duration::seconds(15);
+  spec.geo.report_period = Duration::seconds(3);
+  spec.geo.window = Duration::seconds(12);
+  spec.geo.min_reports = 2;
+  spec.geo.promotion_threshold = Duration::seconds(20);
+  spec.workload.period = Duration::seconds(2);
+  spec.workload.txs_per_client = 4;
+
+  const std::unique_ptr<GpbftCluster> cluster = make_gpbft_deployment(spec);
+  InvariantMonitor monitor(cluster->simulator());
+  cluster->watch(monitor);
+  cluster->start();
+  cluster->schedule_workload(spec.workload, nullptr,
+                             [&monitor](const ledger::Transaction& tx) {
+                               monitor.expect_submission(tx);
+                             });
+  GpbftCluster* raw = cluster.get();
+  // The single era switch of this scenario lands between 30s and 35s.
+  cluster->simulator().schedule(Duration::seconds(40), [raw]() {
+    ASSERT_GE(raw->era(), 1u);  // the switch happened before the reboot
+    ASSERT_TRUE(raw->restart_node(NodeId{2}));
+  });
+  cluster->run_for(Duration::seconds(60));
+  cluster->run_for(spec.engine.request_timeout * 3);
+  cluster->stop();
+  cluster->finish_invariants(monitor);
+  monitor.check_restart_convergence();
+
+  EXPECT_GE(cluster->total_era_switches(), 1u);
+  EXPECT_EQ(cluster->committee_size(), 6u);  // both candidates promoted
+  EXPECT_EQ(monitor.restarts_observed(), 1u);
+  EXPECT_TRUE(monitor.clean()) << monitor.report();
+  // The rebooted endorser re-joined the post-switch roster view and holds
+  // the same chain as an endorser that never went down.
+  EXPECT_EQ(cluster->endorser(1).chain().height(), cluster->endorser(0).chain().height());
+  EXPECT_EQ(cluster->endorser(1).chain().tip().hash().hex(),
+            cluster->endorser(0).chain().tip().hash().hex());
+}
+
+// --- determinism ----------------------------------------------------------------------
+
+TEST(Restart, RunsWithRestartsAreSeedDeterministic) {
+  auto tip_of = [](const ScenarioSpec& spec) {
+    const std::unique_ptr<PbftCluster> cluster = make_pbft_deployment(spec);
+    cluster->start();
+    cluster->schedule_workload(spec.workload, nullptr);
+    PbftCluster* raw = cluster.get();
+    cluster->simulator().schedule(Duration::seconds(6), [raw]() {
+      (void)raw->restart_node(NodeId{2});
+    });
+    cluster->simulator().schedule(Duration::seconds(9), [raw]() {
+      raw->inject_disk_fault(NodeId{4}, DiskFaultKind::BitRot);
+      (void)raw->restart_node(NodeId{4});
+    });
+    cluster->run_until_committed(spec.workload.txs_per_client,
+                                 TimePoint{Duration::seconds(600).ns});
+    cluster->run_for(spec.engine.request_timeout * 3);
+    cluster->stop();
+    return cluster->replica(0).chain().tip().hash().hex() + "/" +
+           std::to_string(cluster->committed_count());
+  };
+  const ScenarioSpec spec = pbft_spec();
+  const std::string first = tip_of(spec);
+  const std::string second = tip_of(spec);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("/8"), std::string::npos) << first;
+}
+
+}  // namespace
+}  // namespace gpbft::sim

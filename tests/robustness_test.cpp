@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "ledger/genesis.hpp"
+#include "ledger/store.hpp"
 #include "pbft/messages.hpp"
+#include "pow/pow_store.hpp"
 #include "sim/deployment.hpp"
 #include "sim/workload.hpp"
 
@@ -64,6 +67,72 @@ TEST_P(DecoderFuzz, TruncationsOfValidMessagesError) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz, ::testing::Values(101, 202, 303, 404));
+
+// --- store-image fuzz ----------------------------------------------------------------
+//
+// The restart path feeds whatever a simulated disk yields straight into the
+// chain deserializers; a corrupt image must come back as an error, never a
+// crash and never a silently-wrong chain.
+
+ledger::Chain small_chain() {
+  ledger::GenesisConfig config;
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    config.initial_endorsers.push_back(
+        ledger::EndorserInfo{NodeId{i}, geo::GeoPoint{22.39, 114.1}});
+  }
+  ledger::Chain chain(ledger::make_genesis_block(config));
+  geo::GeoReport report;
+  report.point = geo::GeoPoint{22.39, 114.10};
+  for (std::uint64_t b = 1; b <= 3; ++b) {
+    std::vector<ledger::Transaction> txs;
+    txs.push_back(ledger::make_normal_tx(NodeId{10}, b, Bytes{1, 2}, 5, report));
+    const ledger::Block block =
+        ledger::build_block(chain.tip().header, std::move(txs), 0, 0, b,
+                            TimePoint{Duration::seconds(static_cast<std::int64_t>(b)).ns},
+                            NodeId{1 + b % 4});
+    EXPECT_TRUE(chain.append(block).ok());
+  }
+  return chain;
+}
+
+class StoreImageFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StoreImageFuzz, DeserializersSurviveArbitraryBytes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Bytes data = random_bytes(rng, 1024);
+    const BytesView view(data.data(), data.size());
+    (void)ledger::deserialize_chain(view);
+    (void)pow::deserialize_pow_chain(view);
+  }
+}
+
+TEST_P(StoreImageFuzz, MutatedImagesErrorOrDecodeTheOriginal) {
+  Rng rng(GetParam());
+  const ledger::Chain chain = small_chain();
+  const Bytes image = ledger::serialize_chain(chain);
+  for (int i = 0; i < 100; ++i) {
+    Bytes mutated = image;
+    const std::uint64_t flips = rng.uniform(1, 4);
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      mutated[rng.uniform(0, mutated.size() - 1)] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform(0, 7));
+    }
+    const auto decoded = ledger::deserialize_chain(BytesView(mutated.data(), mutated.size()));
+    // Flips at the same position may cancel out; every surviving decode must
+    // be the original chain, bit for bit.
+    if (decoded.ok()) {
+      EXPECT_EQ(decoded.value().tip().hash(), chain.tip().hash());
+      EXPECT_EQ(decoded.value().height(), chain.height());
+    }
+    // Truncations of the mutated image must never decode.
+    const auto truncated =
+        ledger::deserialize_chain(BytesView(mutated.data(), rng.uniform(0, image.size() - 1)));
+    EXPECT_FALSE(truncated.ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreImageFuzz, ::testing::Values(11, 22, 33));
 
 // --- garbage on the wire ------------------------------------------------------------
 

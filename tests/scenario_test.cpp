@@ -58,6 +58,8 @@ ScenarioSpec exercised_spec() {
   spec.chaos.intensity = "medium";
   spec.chaos.horizon = Duration::seconds(55);
   spec.chaos.liveness_grace = Duration::seconds(111);
+  spec.chaos.restart_chance = 0.125;
+  spec.chaos.disk_fault_chance = 0.0625;
   return spec;
 }
 

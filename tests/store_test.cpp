@@ -104,6 +104,32 @@ TEST(ChainStore, LoadMissingFileErrors) {
   EXPECT_FALSE(load_chain(temp_path("does_not_exist.bin")).ok());
 }
 
+TEST(ChainStore, TornWriteLeavesThePreviousFileIntact) {
+  const Chain original = build_chain(4);
+  const std::string path = temp_path("chain_torn.bin");
+  ASSERT_TRUE(save_chain(original, path).ok());
+
+  // Power loss mid-save: the next image only made it partway into the temp
+  // file and the rename never happened. The durable copy is untouched.
+  const Chain longer = build_chain(8);
+  const Bytes next = serialize_chain(longer);
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  std::fwrite(next.data(), 1, next.size() / 2, file);
+  std::fclose(file);
+
+  auto loaded = load_chain(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  EXPECT_EQ(loaded.value().tip().hash(), original.tip().hash());
+
+  // And had the torn image reached the durable name, the integrity tail
+  // rejects it at load time instead of yielding a half-written chain.
+  ASSERT_EQ(std::rename(tmp.c_str(), path.c_str()), 0);
+  EXPECT_FALSE(load_chain(path).ok());
+  std::remove(path.c_str());
+}
+
 TEST(ChainStore, RestartContinuation) {
   // Save, reload, and keep appending on the restored chain — the resumed
   // node validates new blocks against the persisted tip.

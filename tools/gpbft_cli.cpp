@@ -56,6 +56,8 @@ struct CliOptions {
   sim::ExperimentOptions experiment = sim::default_options();
   std::string intensity = "all";  // chaos: light|medium|heavy|all
   std::size_t seeds = 10;         // chaos: seeds per (protocol, intensity)
+  double restart_chance = 0.0;    // chaos: crash-restart-from-disk chance per step
+  double disk_fault_chance = 0.0; // chaos: disk corruption chance per step
   std::string scenario_path;      // run: scenario file
   bool protocol_set = false;      // chaos/run defaults when unset
   bool seed_set = false;          // run keeps the file's seed when unset
@@ -74,6 +76,8 @@ void print_usage() {
                "  --seeds N                        seeds per protocol x intensity (default 10)\n"
                "  --intensity light|medium|heavy|all  fault intensity (default all)\n"
                "  --nodes N                        committee size (default 7)\n"
+               "  --restarts P                     crash-restart-from-disk chance per step\n"
+               "  --disk-faults P                  disk corruption chance per step\n"
                "  --seed S --txs K\n"
                "run options:\n"
                "  --scenario FILE                  declarative scenario (key=value)\n"
@@ -144,6 +148,12 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       if (options.seeds == 0) options.seeds = 1;
     } else if (flag == "--intensity") {
       options.intensity = value;
+    } else if (flag == "--restarts") {
+      options.restart_chance = std::atof(value.c_str());
+      if (options.restart_chance < 0.0 || options.restart_chance > 1.0) return false;
+    } else if (flag == "--disk-faults") {
+      options.disk_fault_chance = std::atof(value.c_str());
+      if (options.disk_fault_chance < 0.0 || options.disk_fault_chance > 1.0) return false;
     } else if (flag == "--scenario") {
       options.scenario_path = value;
     } else {
@@ -176,6 +186,8 @@ int run_chaos(const CliOptions& options) {
   campaign.seeds = options.seeds;
   campaign.base_seed = options.experiment.seed;
   campaign.committee = options.nodes.empty() ? 7 : options.nodes.front();
+  campaign.restart_chance = options.restart_chance;
+  campaign.disk_fault_chance = options.disk_fault_chance;
   if (options.txs_set) campaign.txs_per_client = options.experiment.workload.txs_per_client;
   if (options.intensity != "all") campaign.intensities = {options.intensity};
   if (options.protocol != "all") {
@@ -248,22 +260,36 @@ int run_scenario(const CliOptions& options) {
 
   const std::unique_ptr<sim::Deployment> deployment = sim::make_deployment(spec);
   sim::InvariantMonitor monitor(deployment->simulator());
-  const bool chaos = spec.chaos.intensity != "none";
+  const bool durability =
+      spec.chaos.restart_chance > 0.0 || spec.chaos.disk_fault_chance > 0.0;
+  const bool chaos = spec.chaos.intensity != "none" || durability;
   sim::FaultPlan plan;
   if (chaos) {
     deployment->watch(monitor);
-    sim::ChaosProfile profile = sim::profile_for(spec.chaos.intensity);
+    // intensity "none" with durability chances still runs a plan — one whose
+    // only families are restarts and disk faults.
+    sim::ChaosProfile profile = spec.chaos.intensity == "none"
+                                    ? sim::ChaosProfile{.crash_chance = 0.0,
+                                                        .link_fault_chance = 0.0,
+                                                        .brownout_chance = 0.0}
+                                    : sim::profile_for(spec.chaos.intensity);
+    profile.restart_chance = spec.chaos.restart_chance;
+    profile.disk_fault_chance = spec.chaos.disk_fault_chance;
     const std::vector<NodeId> victims = deployment->fault_targets();
     profile.max_faulty = victims.empty() ? 0 : (victims.size() - 1) / 3;
     if (spec.protocol == sim::ProtocolKind::Pow) profile.byzantine_chance = 0.0;
     plan = sim::FaultPlan::random(spec.seed, profile, victims, spec.chaos.horizon);
-    plan.schedule(
-        deployment->simulator(), deployment->network(),
-        [&deployment, &monitor](NodeId id, pbft::FaultMode mode) {
-          deployment->set_fault_mode(id, mode);
-          monitor.set_faulty(id, mode != pbft::FaultMode::None);
-        },
-        [&monitor](const sim::ChaosEvent& event) { monitor.note_fault(event.describe()); });
+    sim::FaultPlan::ChaosHandlers handlers;
+    handlers.set_byzantine = [&deployment, &monitor](NodeId id, pbft::FaultMode mode) {
+      deployment->set_fault_mode(id, mode);
+      monitor.set_faulty(id, mode != pbft::FaultMode::None);
+    };
+    handlers.restart = [&deployment](NodeId id) { (void)deployment->restart_node(id); };
+    handlers.disk_fault = [&deployment](NodeId id, sim::DiskFaultKind kind) {
+      deployment->inject_disk_fault(id, kind);
+    };
+    handlers.hook = [&monitor](const sim::ChaosEvent& event) { monitor.note_fault(event.describe()); };
+    plan.schedule(deployment->simulator(), deployment->network(), handlers);
   }
 
   deployment->start();
@@ -281,6 +307,9 @@ int run_scenario(const CliOptions& options) {
                          spec.chaos.liveness_grace.ns};
   }
   deployment->run_until_committed(spec.workload.txs_per_client, deadline);
+  // Give restarted nodes time to finish resyncing the agreed prefix before
+  // the convergence check.
+  if (monitor.restarts_observed() > 0) deployment->run_for(spec.engine.request_timeout * 3);
   deployment->stop();
 
   sim::ExperimentResult result;
@@ -299,6 +328,7 @@ int run_scenario(const CliOptions& options) {
 
   if (chaos) {
     deployment->finish_invariants(monitor);
+    monitor.check_restart_convergence();
     monitor.check_bounded_liveness(result.committed, result.expected, plan.all_healed_at(),
                                    spec.chaos.liveness_grace);
     std::fputs(monitor.report().c_str(), stdout);
