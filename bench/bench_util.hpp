@@ -10,8 +10,8 @@
 //                      whole suite finishes in about a minute
 //   GPBFT_BENCH_JSON   when set, append one JSON record per measured point
 //                      (protocol, nodes, committee, boxplot stats, KB on
-//                      wire, seed) to the named file — deterministic given
-//                      the same build and knobs
+//                      wire, per-phase consensus means, seed) to the named
+//                      file — deterministic given the same build and knobs
 #pragma once
 
 #include <cerrno>
@@ -88,13 +88,17 @@ inline void append_json_record(const char* series, const sim::ExperimentResult& 
                "\"samples\":%zu,\"latency\":{\"min\":%.17g,\"q1\":%.17g,\"median\":%.17g,"
                "\"q3\":%.17g,\"max\":%.17g,\"mean\":%.17g},\"consensus_kb\":%.17g,"
                "\"total_kb\":%.17g,\"committed\":%llu,\"expected\":%llu,"
-               "\"era_switches\":%llu,\"hashes\":%.17g}\n",
+               "\"era_switches\":%llu,\"hashes\":%.17g,"
+               "\"phases\":{\"prepare_mean\":%.17g,\"commit_mean\":%.17g,"
+               "\"execute_mean\":%.17g,\"blocks\":%llu}}\n",
                series, static_cast<unsigned long long>(seed), r.nodes, r.committee,
                r.latency_samples.size(), r.latency.min, r.latency.q1, r.latency.median,
                r.latency.q3, r.latency.max, r.latency.mean, r.consensus_kb, r.total_kb,
                static_cast<unsigned long long>(r.committed),
                static_cast<unsigned long long>(r.expected),
-               static_cast<unsigned long long>(r.era_switches), r.hashes_computed);
+               static_cast<unsigned long long>(r.era_switches), r.hashes_computed,
+               r.phases.prepare_mean(), r.phases.commit_mean(), r.phases.execute_mean(),
+               static_cast<unsigned long long>(r.phases.blocks));
   std::fclose(out);
 }
 

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Schema check for the telemetry exporters (stdlib only).
+
+Usage: check_trace.py TRACE_JSON METRICS_JSONL
+
+Validates that
+  - TRACE_JSON is valid JSON with a non-empty "traceEvents" array, every
+    event carries the Chrome trace-event required fields (name, ph, pid,
+    tid, ts except for metadata events), phases are limited to the set the
+    recorder emits (X/i/b/e/M), async begin/end events pair up per id, and
+    thread-name metadata covers every tid that emits events;
+  - METRICS_JSONL is one JSON object per line, each with a metric "name",
+    a "node" id and a "kind" in {counter, gauge, histogram}, sorted by
+    (name, node) within each kind block the exporter writes.
+
+Exit status 0 on success; 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+TRACE_PHASES = {"X", "i", "b", "e", "M"}
+METRIC_KINDS = {"counter", "gauge", "histogram"}
+
+
+def fail(message: str) -> None:
+    print(f"check_trace: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path: str) -> None:
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            fail(f"{path}: not valid JSON: {err}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: missing or empty traceEvents array")
+    named_tids = set()
+    emitting_tids = set()
+    open_async = {}
+    for index, event in enumerate(events):
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in event:
+                fail(f"{path}: event {index} lacks required field {field!r}")
+        phase = event["ph"]
+        if phase not in TRACE_PHASES:
+            fail(f"{path}: event {index} has unexpected phase {phase!r}")
+        if phase == "M":
+            if event["name"] == "thread_name":
+                named_tids.add(event["tid"])
+            continue
+        if "ts" not in event:
+            fail(f"{path}: event {index} ({event['name']}) lacks ts")
+        emitting_tids.add(event["tid"])
+        if phase in ("b", "e"):
+            if "id" not in event:
+                fail(f"{path}: async event {index} lacks id")
+            key = (event["name"], event["id"])
+            if phase == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            elif open_async.get(key, 0) > 0:
+                open_async[key] -= 1
+            else:
+                fail(f"{path}: async end without begin for {key}")
+    unnamed = emitting_tids - named_tids
+    if unnamed:
+        fail(f"{path}: tids without thread_name metadata: {sorted(unnamed)}")
+    print(
+        f"check_trace: {path}: {len(events)} events, "
+        f"{len(emitting_tids)} timeline rows, "
+        f"{sum(open_async.values())} unclosed async spans"
+    )
+
+
+def check_metrics(path: str) -> None:
+    rows = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as err:
+                fail(f"{path}:{lineno}: not valid JSON: {err}")
+            for field in ("name", "node", "kind"):
+                if field not in row:
+                    fail(f"{path}:{lineno}: lacks required field {field!r}")
+            if row["kind"] not in METRIC_KINDS:
+                fail(f"{path}:{lineno}: unexpected kind {row['kind']!r}")
+            if row["kind"] == "histogram" and "count" not in row:
+                fail(f"{path}:{lineno}: histogram lacks count")
+            rows.append(row)
+    if not rows:
+        fail(f"{path}: no metric rows")
+    # The exporter writes each kind as one block sorted by (name, node).
+    for kind in METRIC_KINDS:
+        block = [(r["name"], r["node"]) for r in rows if r["kind"] == kind]
+        if block != sorted(block):
+            fail(f"{path}: {kind} rows are not sorted by (name, node)")
+    print(f"check_trace: {path}: {len(rows)} metric rows")
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail("usage: check_trace.py TRACE_JSON METRICS_JSONL")
+    check_trace(sys.argv[1])
+    check_metrics(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,24 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 ctest --test-dir "${BUILD_DIR}" -L tier1 -j "${JOBS}" --output-on-failure
 
+# Telemetry gate: one seeded scenario exports a Perfetto trace and a
+# metrics snapshot, twice; the artifacts must be schema-valid (when python3
+# is available) and byte-identical across the two same-seed runs.
+OBS_DIR="${BUILD_DIR}/telemetry-ci"
+mkdir -p "${OBS_DIR}"
+for run in 1 2; do
+  "${BUILD_DIR}/tools/gpbft_cli" run --scenario scenarios/telemetry_smoke.scenario \
+    --trace-out "${OBS_DIR}/trace.${run}.json" \
+    --metrics-out "${OBS_DIR}/metrics.${run}.jsonl" >/dev/null
+done
+cmp "${OBS_DIR}/trace.1.json" "${OBS_DIR}/trace.2.json"
+cmp "${OBS_DIR}/metrics.1.jsonl" "${OBS_DIR}/metrics.2.jsonl"
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/check_trace.py "${OBS_DIR}/trace.1.json" "${OBS_DIR}/metrics.1.jsonl"
+else
+  echo "ci: python3 not found; skipping telemetry schema check"
+fi
+
 # One declarative-harness bench end to end: the Fig. 3(b) harness drives
 # G-PBFT deployments through the ScenarioSpec factory on the coarse grid,
 # single run per point (~7 s).

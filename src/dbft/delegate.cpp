@@ -104,7 +104,10 @@ void Delegate::on_executed(const ledger::Block& block) {
   }
 
   // The speaker publishes the finalized block to non-delegate observers.
-  if (block.header.producer == id()) publish_block(block);
+  if (block.header.producer == id()) {
+    publish_block(block);
+    telemetry().count("dbft.blocks_published", id());
+  }
 
   if (block.header.height % config_.epoch_blocks == 0) maybe_reelect(block.header.height);
 
@@ -126,6 +129,10 @@ void Delegate::maybe_reelect(Height height) {
   delegates_ = std::move(elected);
   reconfigure_committee(delegates_);
   ++epochs_completed_;
+  telemetry().count("dbft.epochs_completed", id());
+  telemetry().instant("epoch.reelect", "dbft", id(),
+                      {{"height", std::to_string(height)},
+                       {"delegates", std::to_string(delegates_.size())}});
   log_info(id().str() + ": dbft epoch at height " + std::to_string(height) + ", " +
            std::to_string(delegates_.size()) + " delegates");
   if (roster_cb_) roster_cb_(height, delegates_);

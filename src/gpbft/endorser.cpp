@@ -83,6 +83,7 @@ void Endorser::arm_geo_timer() {
 
 void Endorser::send_geo_report() {
   if (network().is_crashed(id())) return;
+  telemetry().count("gpbft.geo_reports_sent", id());
 
   if (config_.geo_reports_on_chain) {
     // Full-fidelity mode: the report is a zero-fee transaction, so G(v, t)
@@ -170,6 +171,9 @@ void Endorser::initiate_era_switch() {
   switch_in_progress_ = true;
   switch_started_ = now();
   set_halted(true);
+  telemetry().count("gpbft.era_switches_initiated", id());
+  telemetry().instant("era_switch.halt", "gpbft", id(),
+                      {{"closing_era", std::to_string(era_)}});
 
   pbft::EraHaltMsg halt;
   halt.closing_era = era_;
@@ -189,6 +193,11 @@ void Endorser::initiate_era_switch() {
     std::vector<NodeId> candidates(known_candidates_.begin(), known_candidates_.end());
     const ElectionOutcome outcome = run_geographic_authentication(
         table_, committee(), candidates, now(), params, &enrolled_cells_);
+    telemetry().count("gpbft.elections", id());
+    telemetry().instant("election", "gpbft", id(),
+                        {{"era", std::to_string(era_)},
+                         {"promoted", std::to_string(outcome.promoted.size())},
+                         {"demoted", std::to_string(outcome.demoted.size())}});
     for (NodeId demoted : outcome.demoted) {
       log_info(id().str() + ": era " + std::to_string(era_) + " election demotes " +
                demoted.str() + " (reports in window: " +
@@ -345,9 +354,17 @@ void Endorser::apply_era_config(const ledger::EraConfig& config, Height config_h
 
   if (switch_started_ != TimePoint{}) {
     last_switch_duration_ = now() - switch_started_;
+    // The halt-to-launch pause is the era-switch overhead Table IV measures.
+    telemetry().observe("gpbft.era_switch_seconds", last_switch_duration_.to_seconds());
+    telemetry().span(switch_started_, now(), id(), "era_switch", "gpbft",
+                     {{"era", std::to_string(era_)}});
   }
   switch_in_progress_ = false;
   ++era_switches_;
+  telemetry().count("gpbft.era_switches", id());
+  telemetry().instant("era_switch.launch", "gpbft", id(),
+                      {{"era", std::to_string(era_)},
+                       {"endorsers", std::to_string(producer_order_.size())}});
 
   // The lead performs state transfer to members who were not in the old
   // committee (they have not followed the chain).
@@ -451,6 +468,7 @@ void Endorser::on_view_changed(ViewId previous, ViewId current) {
            std::to_string(current) + " in era " + std::to_string(era_) + "; penalizing " +
            missed.str());
   if (missed != id()) penalized_.insert(missed);
+  telemetry().count("gpbft.penalties_recorded", id());
   // A view change during a switch means the lead died; resume normal
   // operation under the new primary.
   if (switch_in_progress_) {

@@ -9,6 +9,39 @@ namespace gpbft::net {
 Network::Network(Simulator& sim, NetConfig config)
     : sim_(sim), config_(config), fault_rng_(sim.rng().fork(0x6661756c74ull /* "fault" */)) {}
 
+void Network::set_telemetry(obs::Telemetry& telemetry) {
+  telemetry_ = &telemetry;
+  // Cached handles point into the previous telemetry's registry.
+  tel_dropped_ = nullptr;
+  tel_duplicated_ = nullptr;
+  tel_recv_stall_ = nullptr;
+  type_telemetry_.clear();
+  node_telemetry_.clear();
+}
+
+Network::TypeTelemetry& Network::type_telemetry(MessageType type) {
+  auto [it, inserted] = type_telemetry_.try_emplace(type);
+  if (inserted) {
+    obs::Registry& reg = telemetry_->metrics();
+    const std::string name = telemetry_->message_name(type);
+    it->second.msgs = &reg.counter("net.msgs." + name);
+    it->second.bytes = &reg.counter("net.bytes." + name);
+  }
+  return it->second;
+}
+
+Network::NodeTelemetry& Network::node_telemetry(NodeId id) {
+  auto [it, inserted] = node_telemetry_.try_emplace(id.value);
+  if (inserted) {
+    obs::Registry& reg = telemetry_->metrics();
+    it->second.msgs_sent = &reg.counter("net.msgs_sent", id);
+    it->second.bytes_sent = &reg.counter("net.bytes_sent", id);
+    it->second.msgs_received = &reg.counter("net.msgs_received", id);
+    it->second.bytes_received = &reg.counter("net.bytes_received", id);
+  }
+  return it->second;
+}
+
 void Network::attach(INetNode* node) {
   nodes_[node->id()] = node;
   busy_until_.emplace(node->id(), sim_.now());
@@ -40,6 +73,14 @@ void Network::send(Envelope envelope) {
   stats_.bytes_by_type[envelope.type] += size;
   stats_.per_node[envelope.from].messages_sent += 1;
   stats_.per_node[envelope.from].bytes_sent += size;
+  if (telemetry_->enabled()) {
+    TypeTelemetry& by_type = type_telemetry(envelope.type);
+    by_type.msgs->add();
+    by_type.bytes->add(size);
+    NodeTelemetry& sender = node_telemetry(envelope.from);
+    sender.msgs_sent->add();
+    sender.bytes_sent->add(size);
+  }
 
   // Fault decisions are drawn before (and regardless of) the blocked and
   // partition checks, all from the dedicated fault stream: toggling any
@@ -60,6 +101,10 @@ void Network::send(Envelope envelope) {
   const bool blocked = blocked_links_.contains({envelope.from.value, envelope.to.value});
   if (blocked || partitioned_apart(envelope.from, envelope.to) || dropped) {
     stats_.dropped_messages += 1;
+    if (telemetry_->enabled()) {
+      if (tel_dropped_ == nullptr) tel_dropped_ = &telemetry_->metrics().counter("net.msgs_dropped");
+      tel_dropped_->add();
+    }
     return;
   }
 
@@ -75,6 +120,12 @@ void Network::send(Envelope envelope) {
 
   if (duplicated) {
     stats_.duplicated_messages += 1;
+    if (telemetry_->enabled()) {
+      if (tel_duplicated_ == nullptr) {
+        tel_duplicated_ = &telemetry_->metrics().counter("net.msgs_duplicated");
+      }
+      tel_duplicated_->add();
+    }
     // The ghost copy takes its own path through the reorder window; its
     // jitter comes from the fault stream (it only exists because of the
     // fault rule).
@@ -107,6 +158,16 @@ void Network::schedule_delivery(TimePoint arrival, const Envelope& envelope, std
     const TimePoint done = start + processing;
     busy = done;
 
+    // The receiver-stall histogram is the queueing-delay signal behind the
+    // superlinear PBFT curves: time a message waits for the serial
+    // processor beyond its arrival instant.
+    if (telemetry_->enabled()) {
+      if (tel_recv_stall_ == nullptr) {
+        tel_recv_stall_ = &telemetry_->metrics().histogram("net.recv_stall_seconds");
+      }
+      tel_recv_stall_->observe((start - sim_.now()).to_seconds());
+    }
+
     sim_.schedule_at(done, [this, envelope = std::move(envelope), size]() {
       const auto node_it = nodes_.find(envelope.to);
       if (node_it == nodes_.end() || crashed_.contains(envelope.to)) {
@@ -115,6 +176,11 @@ void Network::schedule_delivery(TimePoint arrival, const Envelope& envelope, std
       }
       stats_.per_node[envelope.to].messages_received += 1;
       stats_.per_node[envelope.to].bytes_received += size;
+      if (telemetry_->enabled()) {
+        NodeTelemetry& receiver = node_telemetry(envelope.to);
+        receiver.msgs_received->add();
+        receiver.bytes_received->add(size);
+      }
       node_it->second->handle(envelope);
     });
   });

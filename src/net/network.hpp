@@ -36,6 +36,7 @@
 
 #include "net/message.hpp"
 #include "net/simulator.hpp"
+#include "obs/telemetry.hpp"
 
 namespace gpbft::net {
 
@@ -159,6 +160,14 @@ class Network {
   [[nodiscard]] const NetStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
+  /// Telemetry sink shared by every layer that holds a Network reference
+  /// (protocol nodes reach the deployment's registry through here without
+  /// any constructor changes). Defaults to the process-wide disabled
+  /// instance, so bare-Network tests pay one branch per message and
+  /// nothing else. The telemetry must outlive the network.
+  void set_telemetry(obs::Telemetry& telemetry);
+  [[nodiscard]] obs::Telemetry& telemetry() { return *telemetry_; }
+
   [[nodiscard]] Simulator& simulator() { return sim_; }
   [[nodiscard]] const NetConfig& config() const { return config_; }
   void set_config(const NetConfig& config) { config_ = config; }
@@ -166,6 +175,21 @@ class Network {
  private:
   [[nodiscard]] bool partitioned_apart(NodeId a, NodeId b) const;
   void schedule_delivery(TimePoint arrival, const Envelope& envelope, std::size_t size);
+
+  /// Cached registry handles so the per-message hot path resolves each
+  /// metric name once (references into the registry's maps are stable).
+  struct TypeTelemetry {
+    obs::Counter* msgs{nullptr};
+    obs::Counter* bytes{nullptr};
+  };
+  struct NodeTelemetry {
+    obs::Counter* msgs_sent{nullptr};
+    obs::Counter* bytes_sent{nullptr};
+    obs::Counter* msgs_received{nullptr};
+    obs::Counter* bytes_received{nullptr};
+  };
+  [[nodiscard]] TypeTelemetry& type_telemetry(MessageType type);
+  [[nodiscard]] NodeTelemetry& node_telemetry(NodeId id);
 
   Simulator& sim_;
   NetConfig config_;
@@ -180,6 +204,13 @@ class Network {
   std::set<std::pair<std::uint64_t, std::uint64_t>> blocked_links_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, LinkFault> link_faults_;
   NetStats stats_;
+
+  obs::Telemetry* telemetry_{&obs::Telemetry::noop()};
+  obs::Counter* tel_dropped_{nullptr};
+  obs::Counter* tel_duplicated_{nullptr};
+  obs::Histogram* tel_recv_stall_{nullptr};
+  std::map<MessageType, TypeTelemetry> type_telemetry_;
+  std::unordered_map<std::uint64_t, NodeTelemetry> node_telemetry_;
 };
 
 }  // namespace gpbft::net

@@ -14,6 +14,7 @@ void Simulator::schedule(Duration delay, std::function<void()> fn) {
 void Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
   if (when < now_) when = now_;
   queue_.push(Event{when, next_seq_++, std::move(fn)});
+  if (queue_.size() > max_queue_depth_) max_queue_depth_ = queue_.size();
 }
 
 bool Simulator::step() {

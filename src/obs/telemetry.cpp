@@ -1,0 +1,40 @@
+#include "obs/telemetry.hpp"
+
+#include <cstdio>
+
+namespace gpbft::obs {
+
+namespace {
+struct NoopHolder {
+  Telemetry telemetry;
+  NoopHolder() { telemetry.set_enabled(false); }
+};
+}  // namespace
+
+Telemetry& Telemetry::noop() {
+  static NoopHolder holder;
+  return holder.telemetry;
+}
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (written != content.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace
+
+bool Telemetry::write_trace(const std::string& path) const {
+  return write_file(path, trace_.to_perfetto_json());
+}
+
+bool Telemetry::write_metrics_jsonl(const std::string& path) const {
+  return write_file(path, metrics_.to_jsonl());
+}
+
+}  // namespace gpbft::obs

@@ -1,0 +1,169 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace gpbft::obs {
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Renders integral nanoseconds as microseconds with exactly three decimals
+/// ("1234.567"): no floating point, so the bytes never vary.
+void append_us(std::string& out, std::int64_t ns) {
+  if (ns < 0) {
+    out += '-';
+    ns = -ns;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld", static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out += buf;
+}
+
+void append_args(std::string& out, const TraceRecorder::Args& args) {
+  out += ",\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    append_json_escaped(out, args[i].first);
+    out += "\":\"";
+    append_json_escaped(out, args[i].second);
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+void TraceRecorder::push(TraceEvent event) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::complete_span(TimePoint begin, TimePoint end, NodeId node, std::string name,
+                                  std::string category, Args args) {
+  TraceEvent e;
+  e.ts_ns = begin.ns;
+  e.dur_ns = end.ns - begin.ns;
+  if (e.dur_ns < 0) e.dur_ns = 0;
+  e.phase = 'X';
+  e.tid = node.value;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceRecorder::instant(TimePoint at, NodeId node, std::string name, std::string category,
+                            Args args) {
+  TraceEvent e;
+  e.ts_ns = at.ns;
+  e.phase = 'i';
+  e.tid = node.value;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceRecorder::async_begin(std::uint64_t id, TimePoint at, NodeId node, std::string name,
+                                std::string category, Args args) {
+  TraceEvent e;
+  e.ts_ns = at.ns;
+  e.phase = 'b';
+  e.tid = node.value;
+  e.async_id = id;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceRecorder::async_end(std::uint64_t id, TimePoint at, NodeId node, std::string name,
+                              std::string category, Args args) {
+  TraceEvent e;
+  e.ts_ns = at.ns;
+  e.phase = 'e';
+  e.tid = node.value;
+  e.async_id = id;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.args = std::move(args);
+  push(std::move(e));
+}
+
+void TraceRecorder::set_thread_name(NodeId node, std::string name) {
+  thread_names_[node.value] = std::move(name);
+}
+
+std::string TraceRecorder::to_perfetto_json() const {
+  std::string out;
+  out.reserve(128 + events_.size() * 96);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  // Thread-name metadata first so viewers label rows before any event.
+  for (const auto& [tid, name] : thread_names_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    append_json_escaped(out, name);
+    out += "\"}}";
+  }
+  for (const auto& e : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"";
+    out += e.phase;
+    out += "\",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    out += ",\"ts\":";
+    append_us(out, e.ts_ns);
+    if (e.phase == 'X') {
+      out += ",\"dur\":";
+      append_us(out, e.dur_ns);
+    }
+    if (e.phase == 'b' || e.phase == 'e') {
+      out += ",\"id\":\"" + std::to_string(e.async_id) + "\"";
+    }
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    out += ",\"name\":\"";
+    append_json_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    append_json_escaped(out, e.category.empty() ? std::string("event") : e.category);
+    out += '"';
+    append_args(out, e.args);
+    out += '}';
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":\"" +
+         std::to_string(dropped_) + "\"}}\n";
+  return out;
+}
+
+void TraceRecorder::clear() {
+  events_.clear();
+  thread_names_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace gpbft::obs

@@ -1,0 +1,83 @@
+// Causal trace recorder with Chrome/Perfetto JSON export.
+//
+// Records span and instant events stamped with simulated time so a seeded
+// run becomes an inspectable artifact: a client request can be followed
+// from submit through pre-prepare / prepare / commit / execute / reply,
+// with chaos-engine fault injections and invariant-monitor verdicts in the
+// same stream. Events carry the emitting node as the trace `tid`, so a
+// Perfetto timeline shows one row per node.
+//
+// Export is the Chrome trace-event JSON format (the `traceEvents` array):
+//   ph "X"  complete span (ts + dur)
+//   ph "i"  instant event
+//   ph "b"/"e"  async span begin/end, correlated by `id` (request lifelines
+//               that hop between nodes)
+//   ph "M"  metadata (thread names)
+// Timestamps are microseconds; we render them from integral simulated
+// nanoseconds as `<us>.<ns-remainder>` with exactly three decimals, so the
+// exported bytes are identical across same-seed runs (no double rounding).
+//
+// The recorder is bounded: past `capacity()` events it counts drops instead
+// of growing without limit, and the drop count is exported as metadata.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/types.hpp"
+
+namespace gpbft::obs {
+
+struct TraceEvent {
+  std::int64_t ts_ns{0};
+  std::int64_t dur_ns{0};            // complete spans only
+  char phase{'i'};                   // 'X', 'i', 'b', 'e'
+  std::uint64_t tid{0};              // emitting node id
+  std::uint64_t async_id{0};         // 'b'/'e' correlation id
+  std::string name;
+  std::string category;
+  std::vector<std::pair<std::string, std::string>> args;  // rendered as strings
+};
+
+class TraceRecorder {
+ public:
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  void complete_span(TimePoint begin, TimePoint end, NodeId node, std::string name,
+                     std::string category, Args args = {});
+  void instant(TimePoint at, NodeId node, std::string name, std::string category, Args args = {});
+  void async_begin(std::uint64_t id, TimePoint at, NodeId node, std::string name,
+                   std::string category, Args args = {});
+  void async_end(std::uint64_t id, TimePoint at, NodeId node, std::string name,
+                 std::string category, Args args = {});
+
+  /// Display name for a node's timeline row ("replica-3", "client-10001").
+  void set_thread_name(NodeId node, std::string name);
+
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+
+  /// Chrome/Perfetto trace JSON: {"traceEvents":[...]}; deterministic bytes.
+  [[nodiscard]] std::string to_perfetto_json() const;
+
+  void clear();
+
+ private:
+  void push(TraceEvent event);
+
+  std::size_t capacity_{1u << 20};
+  std::uint64_t dropped_{0};
+  std::vector<TraceEvent> events_;
+  std::map<std::uint64_t, std::string> thread_names_;
+};
+
+}  // namespace gpbft::obs

@@ -5,6 +5,16 @@
 
 namespace gpbft::pbft {
 
+namespace {
+/// Async-span correlation id for a request lifeline: the first 8 bytes of
+/// the transaction digest (stable across nodes, unique per transaction).
+std::uint64_t request_trace_id(const crypto::Hash256& digest) {
+  std::uint64_t id = 0;
+  for (std::size_t i = 0; i < 8; ++i) id = (id << 8) | digest.bytes[i];
+  return id;
+}
+}  // namespace
+
 Client::Client(NodeId id, std::vector<NodeId> committee, net::Network& network,
                const crypto::KeyRegistry& keys, bool compute_macs)
     : id_(id),
@@ -47,6 +57,10 @@ void Client::on_retry_tick() {
       ++pending.attempts;
       pending.last_sent_at = now;
       pending.next_retry_at = now + backoff_delay(pending.attempts);
+      network_.telemetry().count("client.retries", id_);
+      network_.telemetry().instant("request.retry", "client", id_,
+                                   {{"tx", digest.short_hex()},
+                                    {"attempt", std::to_string(pending.attempts)}});
       send_request(pending.transaction);
     }
   }
@@ -83,6 +97,9 @@ void Client::submit(const ledger::Transaction& tx) {
   if (inserted) {
     it->second.submitted_at = network_.simulator().now();
     it->second.transaction = tx;
+    network_.telemetry().count("client.submitted", id_);
+    network_.telemetry().async_begin(request_trace_id(digest), id_, "request", "client",
+                                     {{"tx", digest.short_hex()}});
   }
   it->second.last_sent_at = network_.simulator().now();
   it->second.next_retry_at = it->second.last_sent_at + backoff_delay(it->second.attempts);
@@ -112,6 +129,11 @@ void Client::handle(const net::Envelope& envelope) {
       ++committed_count_;
       const crypto::Hash256 digest = reply.value().tx_digest;
       outstanding_.erase(it);
+      obs::Telemetry& tel = network_.telemetry();
+      tel.count("client.committed", id_);
+      tel.observe("client.request_seconds", latency.to_seconds(), id_);
+      tel.async_end(request_trace_id(digest), id_, "request", "client",
+                    {{"height", std::to_string(height)}});
       if (commit_cb_) commit_cb_(digest, height, latency);
       return;
     }

@@ -50,7 +50,9 @@ void Replica::schedule_protected(Duration delay, std::function<void()> fn) {
 }
 
 void Replica::persist_now() {
-  if (persist_cb_) persist_cb_(chain_);
+  if (!persist_cb_) return;
+  persist_cb_(chain_);
+  telemetry().count("pbft.persists", id_);
 }
 
 Bytes Replica::open_or_drop(const net::Envelope& envelope) {
@@ -166,6 +168,7 @@ Result<void> Replica::adopt_chain_suffix(const std::vector<ledger::Block>& block
     on_executed(block);
     if (executed_cb_) executed_cb_(block);
     adopted_any = true;
+    telemetry().count("pbft.blocks_adopted", id_);
   }
   if (adopted_any) persist_now();  // sync progress is a durability point
   return {};
@@ -249,6 +252,7 @@ void Replica::request_sync_from(NodeId peer) {
 
 void Replica::send_sync_request(NodeId peer) {
   last_sync_request_ = now();
+  telemetry().count("pbft.sync_requests", id_);
   SyncRequest request;
   request.from_height = chain_.height() + 1;
   request.requester = id_;
@@ -281,6 +285,7 @@ void Replica::resync_tick() {
 
 void Replica::on_sync_request(const SyncRequest& msg) {
   if (msg.from_height > chain_.height()) return;  // nothing to offer
+  telemetry().count("pbft.sync_responses_served", id_);
   SyncResponse response;
   response.responder = id_;
   const Height last = std::min(chain_.height(), msg.from_height + kMaxSyncBlocks - 1);
@@ -350,7 +355,13 @@ bool Replica::propose_batch(std::vector<ledger::Transaction> batch) {
   instance.digest = msg.digest;
   instance.block = msg.block;
   instance.preprepared = true;
+  instance.preprepared_at = now();
   if (config_.two_phase) instance.prepare_votes[msg.digest].insert(id_);  // speaker's vote
+
+  telemetry().count("pbft.batches_proposed", id_);
+  telemetry().instant("propose", "pbft", id_,
+                      {{"seq", std::to_string(seq)},
+                       {"txs", std::to_string(instance.block->transactions.size())}});
 
   const Bytes body = msg.encode();
   broadcast_committee(msg_type::kPrePrepare, BytesView(body.data(), body.size()));
@@ -401,7 +412,9 @@ void Replica::on_preprepare(NodeId from, const PrePrepare& msg) {
   instance.digest = msg.digest;
   instance.block = msg.block;
   instance.preprepared = true;
+  instance.preprepared_at = now();
   if (config_.two_phase) instance.prepare_votes[msg.digest].insert(from);  // speaker's vote
+  telemetry().count("pbft.preprepares_accepted", id_);
 
   // Track request arrival for timeout purposes (backup may not have seen
   // the client request directly).
@@ -469,6 +482,10 @@ void Replica::try_prepare(SeqNum seq) {
     if (votes >= 2 * f + 1) {
       instance.prepared = true;
       instance.committed = true;
+      instance.prepared_at = now();
+      instance.committed_at = instance.prepared_at;
+      telemetry().count("pbft.prepared", id_);
+      telemetry().count("pbft.committed", id_);
       try_execute();
     }
     return;
@@ -477,6 +494,8 @@ void Replica::try_prepare(SeqNum seq) {
   // prepared == pre-prepare + 2f matching prepares from distinct replicas.
   if (votes >= 2 * f) {
     instance.prepared = true;
+    instance.prepared_at = now();
+    telemetry().count("pbft.prepared", id_);
     // Record the durable P-set entry (see Instance docs).
     instance.has_prepared = true;
     instance.prepared_view = instance.view;
@@ -523,6 +542,8 @@ void Replica::try_commit(SeqNum seq) {
   const std::size_t votes = votes_it == instance.commit_votes.end() ? 0 : votes_it->second.size();
   if (votes >= 2 * f + 1) {
     instance.committed = true;
+    instance.committed_at = now();
+    telemetry().count("pbft.committed", id_);
     try_execute();
   }
 }
@@ -543,6 +564,33 @@ void Replica::try_execute() {
     state_.apply_block(block, committee_);
     instance.executed = true;
     ++executed_blocks_;
+
+    // Per-phase attribution: how long this replica spent gathering each
+    // certificate for the block it just executed. Blocks adopted via chain
+    // sync never ran the three phases here, so the stamps gate on
+    // `preprepared` (set only by the live protocol path).
+    obs::Telemetry& tel = telemetry();
+    if (tel.enabled()) {
+      tel.count("pbft.blocks_executed", id_);
+      if (instance.preprepared && instance.preprepared_at.ns != 0) {
+        const TimePoint executed_at = now();
+        tel.observe("pbft.phase.prepare_seconds",
+                    (instance.prepared_at - instance.preprepared_at).to_seconds());
+        tel.observe("pbft.phase.commit_seconds",
+                    (instance.committed_at - instance.prepared_at).to_seconds());
+        tel.observe("pbft.phase.execute_seconds",
+                    (executed_at - instance.committed_at).to_seconds());
+        if (tel.trace_enabled()) {
+          const auto height_arg = std::to_string(block.header.height);
+          tel.span(instance.preprepared_at, instance.prepared_at, id_, "phase.prepare", "pbft",
+                   {{"height", height_arg}});
+          tel.span(instance.prepared_at, instance.committed_at, id_, "phase.commit", "pbft",
+                   {{"height", height_arg}});
+          tel.span(instance.committed_at, executed_at, id_, "phase.execute", "pbft",
+                   {{"height", height_arg}, {"txs", std::to_string(block.transactions.size())}});
+        }
+      }
+    }
 
     for (const ledger::Transaction& tx : block.transactions) {
       const crypto::Hash256 digest = tx.digest();
@@ -605,6 +653,8 @@ void Replica::on_checkpoint(NodeId from, const CheckpointMsg& msg) {
   stable_seq_ = msg.seq;
   log_.erase(log_.begin(), log_.upper_bound(stable_seq_));
   checkpoint_votes_.erase(checkpoint_votes_.begin(), checkpoint_votes_.upper_bound(stable_seq_));
+  telemetry().count("pbft.checkpoints_stable", id_);
+  telemetry().instant("checkpoint.stable", "pbft", id_, {{"seq", std::to_string(stable_seq_)}});
   persist_now();
 }
 
@@ -639,6 +689,9 @@ void Replica::initiate_view_change() {
   pending_view_ = in_view_change_ ? pending_view_ + 1 : view_ + 1;
   in_view_change_ = true;
   view_change_started_ = now();
+  telemetry().count("pbft.view_changes_started", id_);
+  telemetry().instant("view_change.start", "pbft", id_,
+                      {{"pending_view", std::to_string(pending_view_)}});
 
   ViewChangeMsg msg = build_view_change(pending_view_);
   const Bytes body = msg.encode();
@@ -732,6 +785,8 @@ void Replica::enter_new_view(ViewId view, const std::vector<PrePrepare>& repropo
   in_view_change_ = false;
   view_changes_.erase(view_changes_.begin(), view_changes_.upper_bound(view));
   ++completed_view_changes_;
+  telemetry().count("pbft.view_changes_completed", id_);
+  telemetry().instant("view_change.complete", "pbft", id_, {{"view", std::to_string(view_)}});
 
   // Reset per-view state on uncommitted instances: votes and sent flags are
   // scoped to a view, so they must not carry over — but the durable P-set
@@ -756,6 +811,9 @@ void Replica::enter_new_view(ViewId view, const std::vector<PrePrepare>& repropo
     instance.commit_votes.clear();
     instance.block.reset();
     instance.digest = crypto::Hash256{};
+    instance.preprepared_at = TimePoint{};
+    instance.prepared_at = TimePoint{};
+    instance.committed_at = TimePoint{};
   }
 
   // Give every pending request a fresh timeout under the new primary.

@@ -150,6 +150,9 @@ class Replica : public net::INetNode {
 
   [[nodiscard]] TimePoint now() const { return network_.simulator().now(); }
   [[nodiscard]] net::Network& network() { return network_; }
+  /// The deployment's telemetry sink (metrics always-on, tracing opt-in);
+  /// the network's default is the process-wide disabled instance.
+  [[nodiscard]] obs::Telemetry& telemetry() { return network_.telemetry(); }
   [[nodiscard]] const crypto::KeyRegistry& keys() const { return keys_; }
   [[nodiscard]] const PbftConfig& config() const { return config_; }
   [[nodiscard]] ledger::Mempool& mempool() { return mempool_; }
@@ -176,6 +179,14 @@ class Replica : public net::INetNode {
     bool executed{false};
     bool prepare_sent{false};
     bool commit_sent{false};
+
+    // Phase timestamps (simulated clock) for telemetry: when this replica
+    // accepted the pre-prepare, formed its prepare certificate, and formed
+    // its commit certificate. Valid only while `preprepared` is set in the
+    // current view (reset with the other per-view state).
+    TimePoint preprepared_at{};
+    TimePoint prepared_at{};
+    TimePoint committed_at{};
     // Votes are keyed by digest and scoped to the current view (cleared at
     // view entry; messages from other views are stashed or dropped). A
     // certificate is therefore always "2f(+1) same-view same-digest votes",

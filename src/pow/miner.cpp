@@ -48,7 +48,9 @@ void Miner::arm_mining() {
 }
 
 void Miner::maybe_persist() {
-  if (persist_cb_) persist_cb_(chain_);
+  if (!persist_cb_) return;
+  persist_cb_(chain_);
+  network_.telemetry().count("pow.persists", id_);
 }
 
 void Miner::restore_chain(const std::vector<PowBlock>& blocks) {
@@ -84,6 +86,10 @@ void Miner::on_block_found(std::uint64_t attempt) {
   block = mine_block(std::move(block), config_.proof_difficulty, attempt);
 
   ++blocks_mined_;
+  network_.telemetry().count("pow.blocks_mined", id_);
+  network_.telemetry().instant("block.mined", "pow", id_,
+                               {{"height", std::to_string(block.header.height)},
+                                {"txs", std::to_string(block.transactions.size())}});
   if (auto added = chain_.add_block(block); !added) {
     // Should not happen for a self-built block on the local tip.
     log_warn(id_.str() + ": own block rejected: " + added.error());
@@ -193,6 +199,7 @@ void Miner::check_confirmations() {
     const auto depth = chain_.confirmation_depth(it->first);
     if (depth.has_value() && *depth >= config_.confirmation_depth) {
       const Duration latency = network_.simulator().now() - it->second;
+      network_.telemetry().count("pow.txs_confirmed", id_);
       if (confirmed_cb_) confirmed_cb_(it->first, latency);
       it = watched_.erase(it);
     } else {

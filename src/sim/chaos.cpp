@@ -28,6 +28,24 @@ std::string nodes_str(const std::vector<NodeId>& nodes) {
   return out;
 }
 
+const char* chaos_kind_name(ChaosEvent::Kind kind) {
+  switch (kind) {
+    case ChaosEvent::Kind::Crash: return "crash";
+    case ChaosEvent::Kind::Recover: return "recover";
+    case ChaosEvent::Kind::Partition: return "partition";
+    case ChaosEvent::Kind::Heal: return "heal";
+    case ChaosEvent::Kind::LinkFault: return "link_fault";
+    case ChaosEvent::Kind::LinkClear: return "link_clear";
+    case ChaosEvent::Kind::Brownout: return "brownout";
+    case ChaosEvent::Kind::BrownoutClear: return "brownout_clear";
+    case ChaosEvent::Kind::Byzantine: return "byzantine";
+    case ChaosEvent::Kind::ByzantineHeal: return "byzantine_heal";
+    case ChaosEvent::Kind::Restart: return "restart";
+    case ChaosEvent::Kind::DiskFault: return "disk_fault";
+  }
+  return "unknown";
+}
+
 const char* fault_mode_name(pbft::FaultMode mode) {
   switch (mode) {
     case pbft::FaultMode::None: return "none";
@@ -374,6 +392,13 @@ void FaultPlan::schedule(net::Simulator& sim, net::Network& network,
           if (handlers.disk_fault) handlers.disk_fault(event.nodes.at(0), event.disk);
           break;
       }
+      // Fault injections land in the same telemetry stream the protocols
+      // write to, so a trace shows cause (chaos) next to effect (phases).
+      obs::Telemetry& tel = network.telemetry();
+      tel.count(std::string("chaos.") + chaos_kind_name(event.kind));
+      tel.instant(std::string("chaos.") + chaos_kind_name(event.kind), "chaos",
+                  event.nodes.empty() ? NodeId{0} : event.nodes.front(),
+                  {{"detail", event.describe()}});
       if (handlers.hook) handlers.hook(event);
     });
   }

@@ -1,6 +1,7 @@
 #include "sim/deployment.hpp"
 
 #include <algorithm>
+#include <string_view>
 
 #include "common/logging.hpp"
 #include "ledger/store.hpp"
@@ -10,6 +11,19 @@
 #include "sim/workload.hpp"
 
 namespace gpbft::sim {
+
+namespace {
+
+/// Same correlation rule as the PBFT client's request lifeline: the first
+/// 8 bytes of the transaction digest, so PoW submit/confirm async spans pair
+/// up with the ones other stacks emit for identical transactions.
+std::uint64_t request_trace_id(const crypto::Hash256& digest) {
+  std::uint64_t id = 0;
+  for (std::size_t i = 0; i < 8; ++i) id = (id << 8) | digest.bytes[i];
+  return id;
+}
+
+}  // namespace
 
 // --- Deployment base -----------------------------------------------------------------
 
@@ -21,7 +35,68 @@ Deployment::Deployment(std::uint64_t seed, const net::NetConfig& net,
       placement_(placement),
       // Disk-fault randomness gets its own stream, decorrelated from the
       // simulator, key and network-fault streams.
-      storage_(seed ^ 0x6469736b'5f666c74ull) {}
+      storage_(seed ^ 0x6469736b'5f666c74ull) {
+  telemetry_.set_clock([this]() { return sim_.now(); });
+  telemetry_.set_message_namer([](std::uint32_t type) -> std::string {
+    switch (type) {
+      case pow::kPowBlock: return "POW-BLOCK";
+      case dbft::kPublishedBlock: return "PUBLISHED-BLOCK";
+      case pow::kPowBlockRequest: return "POW-BLOCK-REQUEST";
+      default: break;
+    }
+    const char* name = pbft::message_type_name(type);
+    if (std::string_view(name) == "UNKNOWN") return "type-" + std::to_string(type);
+    return name;
+  });
+  telemetry_.set_node_namer([](NodeId id) {
+    if (id.value == 0) return std::string("deployment");
+    if (id.value > kClientIdBase) {
+      return "client-" + std::to_string(id.value - kClientIdBase);
+    }
+    return "node-" + std::to_string(id.value);
+  });
+  network_.set_telemetry(telemetry_);
+}
+
+Deployment::~Deployment() {
+  // The last simulated event's timestamp must not leak onto log lines the
+  // harness writes after the deployment is gone.
+  Logger::instance().clear_sim_time();
+}
+
+void Deployment::inject_disk_fault(NodeId id, DiskFaultKind kind) {
+  storage_.inject(id, kind);
+  telemetry_.count("disk.faults_injected", id);
+  telemetry_.instant("disk.fault", "chaos", id, {{"kind", disk_fault_name(kind)}});
+}
+
+void Deployment::finalize_telemetry() {
+  if (!telemetry_.enabled()) return;
+  obs::Registry& reg = telemetry_.metrics();
+  reg.gauge("sim.end_seconds").set(sim_.now().to_seconds());
+  reg.gauge("sim.events_processed").set(static_cast<double>(sim_.events_processed()));
+  reg.gauge("sim.max_queue_depth").set(static_cast<double>(sim_.max_queue_depth()));
+  const std::vector<NodeId> roster = committee();
+  reg.gauge("net.committee_size").set(static_cast<double>(roster.size()));
+  // Protocol-specific roll-ups reuse the uniform virtual accessors; zero
+  // means "not applicable", so the series is only materialized when real.
+  if (const double hashes = hashes_computed(); hashes > 0) {
+    reg.gauge("pow.hashes_computed").set(hashes);
+  }
+  if (const std::uint64_t eras = era_switches(); eras > 0) {
+    reg.gauge("gpbft.total_era_switches").set(static_cast<double>(eras));
+  }
+  if (telemetry_.trace_enabled()) {
+    for (NodeId id : roster) telemetry_.name_node(id, telemetry_.node_name(id));
+    for (const auto& client : clients_) {
+      telemetry_.name_node(client->id(), telemetry_.node_name(client->id()));
+    }
+    // Candidates and other off-committee emitters get a row label too.
+    for (const obs::TraceEvent& event : telemetry_.trace().events()) {
+      telemetry_.name_node(NodeId{event.tid}, telemetry_.node_name(NodeId{event.tid}));
+    }
+  }
+}
 
 void Deployment::start() {
   start_nodes();
@@ -107,12 +182,20 @@ void Deployment::restore_from_disk(pbft::Replica& replica) {
 }
 
 void Deployment::note_restarted(pbft::Replica& replica) {
+  telemetry_.count("node.restarts", replica.id());
+  telemetry_.instant("restart", "chaos", replica.id(),
+                     {{"height", std::to_string(replica.chain().height())}});
   if (monitor_ == nullptr) return;
   monitor_->watch(replica);
   monitor_->note_restart(replica.id(), replica.chain().height());
 }
 
-void Deployment::watch(InvariantMonitor& monitor) { monitor_ = &monitor; }
+void Deployment::watch(InvariantMonitor& monitor) {
+  monitor_ = &monitor;
+  // The monitor's tallies and violation events join this deployment's
+  // registry/trace, so exports carry the invariant verdicts too.
+  monitor.set_telemetry(telemetry_);
+}
 
 void Deployment::finish_invariants(InvariantMonitor& monitor) { (void)monitor; }
 
@@ -405,10 +488,15 @@ struct PowDriver {
   void step(const std::shared_ptr<PowDriver>& self) {
     if (remaining == 0) return;
     --remaining;
+    const NodeId client_id{kClientIdBase + client_index + 1};
     const ledger::Transaction tx =
-        make_workload_tx(NodeId{kClientIdBase + client_index + 1}, next_request++, location,
-                         sim->now(), payload_bytes, fee, client_index);
+        make_workload_tx(client_id, next_request++, location, sim->now(), payload_bytes, fee,
+                         client_index);
     if (on_submit) on_submit(tx);
+    const crypto::Hash256 digest = tx.digest();
+    network->telemetry().count("client.submitted", client_id);
+    network->telemetry().async_begin(request_trace_id(digest), client_id, "request", "client",
+                                     {{"tx", digest.short_hex()}});
     const Bytes encoded = tx.encode();
     for (const auto& miner : *miners) {
       net::Envelope envelope;
@@ -448,9 +536,13 @@ void PowCluster::wire_miner(pow::Miner& miner) {
   // Every miner observes confirmations; a transaction counts once, at its
   // first confirmation anywhere (robust when single miners are crashed or
   // partitioned while a watched transaction confirms).
-  miner.set_confirmed_callback([this](const crypto::Hash256& digest, Duration latency) {
-    if (confirmed_.insert(digest).second && recorder_ != nullptr) {
-      recorder_->record(latency);
+  const NodeId observer = miner.id();
+  miner.set_confirmed_callback([this, observer](const crypto::Hash256& digest, Duration latency) {
+    if (confirmed_.insert(digest).second) {
+      if (recorder_ != nullptr) recorder_->record(latency);
+      telemetry_.observe("pow.confirm_seconds", latency.to_seconds());
+      telemetry_.async_end(request_trace_id(digest), observer, "request", "client",
+                           {{"depth", std::to_string(config_.confirmations)}});
     }
   });
   const NodeId id = miner.id();
@@ -477,6 +569,9 @@ bool PowCluster::restart_node(NodeId id) {
       }
     }
     wire_miner(*miner);
+    telemetry_.count("node.restarts", id);
+    telemetry_.instant("restart", "chaos", id,
+                       {{"height", std::to_string(miner->chain().tip_height())}});
     if (monitor_ != nullptr) {
       // No online execution hook for PoW; the restart is still recorded so
       // restart bookkeeping (and finish_invariants' replay) sees it.

@@ -53,7 +53,10 @@ class Deployment {
  public:
   using SubmitHook = std::function<void(const ledger::Transaction&)>;
 
-  virtual ~Deployment() = default;
+  /// Clears the Logger's sim-time prefix: a harness that outlives its
+  /// deployment must not stamp later wall-clock log lines with the dead
+  /// simulation's final timestamp.
+  virtual ~Deployment();
 
   Deployment(const Deployment&) = delete;
   Deployment& operator=(const Deployment&) = delete;
@@ -102,8 +105,16 @@ class Deployment {
   /// when `id` is not a protocol node of this deployment.
   virtual bool restart_node(NodeId id);
   /// Injects a disk fault into `id`'s simulated disk (see DiskFaultKind).
-  void inject_disk_fault(NodeId id, DiskFaultKind kind) { storage_.inject(id, kind); }
+  void inject_disk_fault(NodeId id, DiskFaultKind kind);
   [[nodiscard]] StorageFabric& storage() { return storage_; }
+
+  /// The deployment-owned telemetry sink. Metrics are on by default; call
+  /// `telemetry().set_trace_enabled(true)` before start() to also record
+  /// causal traces, and finalize_telemetry() before exporting.
+  [[nodiscard]] obs::Telemetry& telemetry() { return telemetry_; }
+  /// Copies end-of-run gauges (simulator queue high-water mark, events
+  /// processed, committee size) into the registry and labels trace rows.
+  void finalize_telemetry();
 
   /// Attaches the invariant monitor to every node's execution path.
   /// PoW has no online execution hook; it is checked at finish_invariants.
@@ -139,6 +150,7 @@ class Deployment {
   /// Monitor bookkeeping shared by every restart_node override.
   void note_restarted(pbft::Replica& replica);
 
+  obs::Telemetry telemetry_;  // before network_: the network holds a pointer
   net::Simulator sim_;
   net::Network network_;
   crypto::KeyRegistry keys_;

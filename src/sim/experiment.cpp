@@ -66,6 +66,21 @@ ScenarioSpec scenario_for(ProtocolKind protocol, std::size_t nodes, std::size_t 
   return spec;
 }
 
+/// Reads the per-phase histograms the replicas populated back out of the
+/// deployment's registry (sums in seconds; zero family -> empty breakdown).
+PhaseBreakdown phase_breakdown(Deployment& deployment) {
+  PhaseBreakdown phases;
+  const obs::Registry& reg = deployment.telemetry().metrics();
+  const obs::Histogram prepare = reg.histogram_total("pbft.phase.prepare_seconds");
+  const obs::Histogram commit = reg.histogram_total("pbft.phase.commit_seconds");
+  const obs::Histogram execute = reg.histogram_total("pbft.phase.execute_seconds");
+  phases.prepare_s = prepare.sum;
+  phases.commit_s = commit.sum;
+  phases.execute_s = execute.sum;
+  phases.blocks = execute.count;
+  return phases;
+}
+
 ExperimentResult finish_result(std::size_t nodes, std::size_t committee,
                                const LatencyRecorder& recorder, const net::NetStats& stats,
                                std::uint64_t committed, std::uint64_t expected,
@@ -107,11 +122,13 @@ ExperimentResult run_latency(ProtocolKind protocol, std::size_t nodes,
   deployment->run_until_committed(spec.workload.txs_per_client, deadline);
   deployment->stop();
 
+  deployment->finalize_telemetry();
   ExperimentResult result = finish_result(
       nodes, deployment->committee_size(), recorder, deployment->stats(),
       deployment->committed_count(), spec.workload.txs_per_client * nodes,
       deployment->simulator().now().to_seconds(), deployment->era_switches());
   result.hashes_computed = deployment->hashes_computed();
+  result.phases = phase_breakdown(*deployment);
   return result;
 }
 
@@ -156,10 +173,14 @@ ExperimentResult run_single_tx(Cluster& cluster, std::size_t nodes,
   const TimePoint deadline{options.hard_deadline.ns};
   cluster.run_until_committed(1, deadline);
   cluster.stop();
+  cluster.finalize_telemetry();
 
-  return finish_result(nodes, cluster.committee_size(), recorder, cluster.stats(),
-                       cluster.client(0).committed_count(), 1,
-                       cluster.simulator().now().to_seconds(), cluster.era_switches());
+  ExperimentResult result =
+      finish_result(nodes, cluster.committee_size(), recorder, cluster.stats(),
+                    cluster.client(0).committed_count(), 1,
+                    cluster.simulator().now().to_seconds(), cluster.era_switches());
+  result.phases = phase_breakdown(cluster);
+  return result;
 }
 
 }  // namespace

@@ -58,6 +58,26 @@ struct ExperimentOptions {
 /// Calibrated defaults shared by every bench (single source of truth).
 [[nodiscard]] ExperimentOptions default_options();
 
+/// Per-phase consensus time, read back from the telemetry registry's
+/// pbft.phase.* histograms (summed seconds over all executed blocks on all
+/// replicas, so means weight every block equally when runs are merged).
+struct PhaseBreakdown {
+  double prepare_s{0};   // pre-prepare accepted -> prepared
+  double commit_s{0};    // prepared -> committed
+  double execute_s{0};   // committed -> executed
+  std::uint64_t blocks{0};  // block executions observed (all replicas)
+
+  [[nodiscard]] double prepare_mean() const {
+    return blocks == 0 ? 0.0 : prepare_s / static_cast<double>(blocks);
+  }
+  [[nodiscard]] double commit_mean() const {
+    return blocks == 0 ? 0.0 : commit_s / static_cast<double>(blocks);
+  }
+  [[nodiscard]] double execute_mean() const {
+    return blocks == 0 ? 0.0 : execute_s / static_cast<double>(blocks);
+  }
+};
+
 struct ExperimentResult {
   std::size_t nodes{0};
   std::size_t committee{0};
@@ -70,6 +90,7 @@ struct ExperimentResult {
   double sim_seconds{0};             // simulated time consumed
   std::uint64_t era_switches{0};     // G-PBFT only
   double hashes_computed{0};         // PoW only: total network hash work
+  PhaseBreakdown phases;             // PBFT-engine protocols; empty for PoW
 };
 
 /// Consensus-traffic bytes from network stats (KB).
@@ -131,6 +152,10 @@ template <typename Runner>
     merged.total_kb += result.total_kb;
     merged.sim_seconds += result.sim_seconds;
     merged.hashes_computed += result.hashes_computed;
+    merged.phases.prepare_s += result.phases.prepare_s;
+    merged.phases.commit_s += result.phases.commit_s;
+    merged.phases.execute_s += result.phases.execute_s;
+    merged.phases.blocks += result.phases.blocks;
   }
   merged.consensus_kb /= static_cast<double>(runs);
   merged.total_kb /= static_cast<double>(runs);

@@ -39,6 +39,25 @@ const char* violation_kind_name(Violation::Kind kind) {
   return "UNKNOWN";
 }
 
+void InvariantMonitor::bind_counters() {
+  obs::Registry& reg = telemetry_->metrics();
+  blocks_counter_ = &reg.counter("invariant.blocks_checked");
+  txs_counter_ = &reg.counter("invariant.txs_checked");
+  violations_counter_ = &reg.counter("invariant.violations");
+}
+
+void InvariantMonitor::set_telemetry(obs::Telemetry& telemetry) {
+  if (telemetry_ == &telemetry) return;
+  const std::uint64_t blocks = blocks_counter_->value;
+  const std::uint64_t txs = txs_counter_->value;
+  const std::uint64_t violations = violations_counter_->value;
+  telemetry_ = &telemetry;
+  bind_counters();
+  blocks_counter_->add(blocks);
+  txs_counter_->add(txs);
+  violations_counter_->add(violations);
+}
+
 void InvariantMonitor::watch(pbft::Replica& replica) {
   const NodeId id = replica.id();
   replica.set_executed_callback(
@@ -84,7 +103,7 @@ void InvariantMonitor::check_block_hash(NodeId node, Height height, const crypto
   // A Byzantine node may execute anything; only honest replicas are held to
   // the invariants.
   if (faulty_.contains(node.value)) return;
-  blocks_checked_ += 1;
+  blocks_counter_->add();
 
   // AGREEMENT: first honest executor of a height fixes the canonical block.
   const auto [it, inserted] = canonical_.emplace(height, hash);
@@ -100,7 +119,7 @@ void InvariantMonitor::check_block_hash(NodeId node, Height height, const crypto
 void InvariantMonitor::check_transaction(NodeId node, Height height,
                                          const ledger::Transaction& tx) {
   if (faulty_.contains(node.value)) return;
-  txs_checked_ += 1;
+  txs_counter_->add();
   const crypto::Hash256 digest = tx.digest();
 
   // VALIDITY: client-submitted transactions must come from the registered
@@ -162,12 +181,17 @@ void InvariantMonitor::check_restart_convergence() {
 void InvariantMonitor::record(Violation::Kind kind, NodeId node, Height height,
                               std::string detail) {
   detail += " (last fault: " + fault_context_ + ")";
+  violations_counter_->add();
+  // Verdicts land in the same trace stream as protocol phases and chaos
+  // injections, so a violation shows up next to what caused it.
+  telemetry_->instant("invariant.violation", "invariant", node,
+                      {{"kind", violation_kind_name(kind)}, {"detail", detail}});
   violations_.push_back(Violation{kind, sim_.now(), node, height, std::move(detail)});
 }
 
 std::string InvariantMonitor::report() const {
-  std::string out = "checked " + std::to_string(blocks_checked_) + " block executions, " +
-                    std::to_string(txs_checked_) + " transactions; " +
+  std::string out = "checked " + std::to_string(blocks_checked()) + " block executions, " +
+                    std::to_string(transactions_checked()) + " transactions; " +
                     std::to_string(violations_.size()) + " violation(s)\n";
   for (const Violation& violation : violations_) {
     out += "  [t=" + format_time(violation.at) + "] " +

@@ -27,6 +27,7 @@
 
 #include "ledger/block.hpp"
 #include "net/simulator.hpp"
+#include "obs/telemetry.hpp"
 
 namespace gpbft::pbft {
 class Replica;
@@ -55,10 +56,18 @@ struct Violation {
 
 class InvariantMonitor {
  public:
-  explicit InvariantMonitor(net::Simulator& sim) : sim_(sim) {}
+  explicit InvariantMonitor(net::Simulator& sim) : sim_(sim) { bind_counters(); }
 
   InvariantMonitor(const InvariantMonitor&) = delete;
   InvariantMonitor& operator=(const InvariantMonitor&) = delete;
+
+  /// Routes the monitor's tallies (blocks/transactions checked, violations)
+  /// into `telemetry`'s registry — the single source of truth the exporters
+  /// snapshot — and its violation events into the trace stream. Standalone
+  /// monitors keep an owned fallback registry so the accessors always work;
+  /// Deployment::watch rebinds to the deployment's telemetry. Tallies
+  /// accumulated before rebinding are carried over.
+  void set_telemetry(obs::Telemetry& telemetry);
 
   /// Hooks one replica's executed-block callback. The monitor must outlive
   /// the replica (or the replica must stop executing first). Deployments
@@ -110,16 +119,24 @@ class InvariantMonitor {
 
   [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
   [[nodiscard]] bool clean() const { return violations_.empty(); }
-  [[nodiscard]] std::uint64_t blocks_checked() const { return blocks_checked_; }
-  [[nodiscard]] std::uint64_t transactions_checked() const { return txs_checked_; }
+  // Tallies live in the telemetry registry (metric family "invariant.*");
+  // the accessors read the registry counters, not private shadow counts.
+  [[nodiscard]] std::uint64_t blocks_checked() const { return blocks_counter_->value; }
+  [[nodiscard]] std::uint64_t transactions_checked() const { return txs_counter_->value; }
 
   /// Deterministic text report (identical runs produce identical bytes).
   [[nodiscard]] std::string report() const;
 
  private:
   void record(Violation::Kind kind, NodeId node, Height height, std::string detail);
+  void bind_counters();
 
   net::Simulator& sim_;
+  obs::Telemetry own_telemetry_;  // fallback registry for standalone monitors
+  obs::Telemetry* telemetry_{&own_telemetry_};
+  obs::Counter* blocks_counter_{nullptr};
+  obs::Counter* txs_counter_{nullptr};
+  obs::Counter* violations_counter_{nullptr};
 
   std::map<Height, crypto::Hash256> canonical_;                // height -> agreed hash
   std::map<EraId, ledger::EraConfig> canonical_config_;        // era -> agreed roster
@@ -136,8 +153,6 @@ class InvariantMonitor {
   std::map<std::uint64_t, Height> observed_height_;  // per-node max executed height
 
   std::string fault_context_ = "no faults injected yet";
-  std::uint64_t blocks_checked_{0};
-  std::uint64_t txs_checked_{0};
   std::vector<Violation> violations_;
 };
 

@@ -10,6 +10,9 @@ namespace {
 double percentile_sorted(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   if (sorted.size() == 1) return sorted.front();
+  // Clamp p into [0, 100]: a negative rank cast to size_t or a rank past
+  // the last element would otherwise index out of bounds.
+  p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);

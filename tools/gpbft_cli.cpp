@@ -7,7 +7,8 @@
 //   gpbft_cli cost    --protocol pbft  --nodes 130
 //   gpbft_cli sweep   --protocol gpbft --nodes 4,40,130,202 --runs 3 --csv
 //   gpbft_cli chaos   --seeds 20 --intensity all
-//   gpbft_cli run     --scenario deployment.scenario
+//   gpbft_cli run     --scenario deployment.scenario --trace-out t.json
+//   gpbft_cli report  --scenario deployment.scenario
 //
 // Commands:
 //   latency  constant-frequency workload; per-transaction commit latency
@@ -21,6 +22,11 @@
 //            (key=value; see sim/scenario.hpp). When the scenario's chaos
 //            intensity is not "none", a seeded fault plan is injected and
 //            the invariant report printed (non-zero exit on violations).
+//            --metrics-out writes the telemetry registry as JSONL;
+//            --trace-out enables causal tracing and writes a Chrome/
+//            Perfetto trace.json (both byte-identical for identical seeds).
+//   report   like run, but also pretty-prints the telemetry rollup
+//            (per-family counter totals, histogram means) after the run.
 //
 // Common options (defaults = the calibrated values of DESIGN.md §4):
 //   --protocol pbft|gpbft|dbft|pow   --nodes N[,N...]   --seed S
@@ -59,6 +65,8 @@ struct CliOptions {
   double restart_chance = 0.0;    // chaos: crash-restart-from-disk chance per step
   double disk_fault_chance = 0.0; // chaos: disk corruption chance per step
   std::string scenario_path;      // run: scenario file
+  std::string trace_out;          // run/report: Perfetto trace destination
+  std::string metrics_out;        // run/report: metrics JSONL destination
   bool protocol_set = false;      // chaos/run defaults when unset
   bool seed_set = false;          // run keeps the file's seed when unset
   bool txs_set = false;           // chaos keeps its own default when unset
@@ -66,7 +74,7 @@ struct CliOptions {
 
 void print_usage() {
   std::fprintf(stderr,
-               "usage: gpbft_cli <latency|cost|sweep|chaos|run> [options]\n"
+               "usage: gpbft_cli <latency|cost|sweep|chaos|run|report> [options]\n"
                "  --protocol pbft|gpbft|dbft|pow   consensus to run (default gpbft)\n"
                "  --nodes N[,N...]                 network sizes (default 40)\n"
                "  --seed S --txs K --period SEC --rate S --batch B\n"
@@ -79,9 +87,11 @@ void print_usage() {
                "  --restarts P                     crash-restart-from-disk chance per step\n"
                "  --disk-faults P                  disk corruption chance per step\n"
                "  --seed S --txs K\n"
-               "run options:\n"
+               "run/report options:\n"
                "  --scenario FILE                  declarative scenario (key=value)\n"
-               "  --protocol P --seed S            override the file's values\n");
+               "  --protocol P --seed S            override the file's values\n"
+               "  --trace-out FILE                 enable tracing, write Perfetto trace.json\n"
+               "  --metrics-out FILE               write the metrics registry as JSONL\n");
 }
 
 std::vector<std::size_t> parse_node_list(const std::string& arg) {
@@ -103,7 +113,7 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
   if (argc < 2) return false;
   options.command = argv[1];
   if (options.command != "latency" && options.command != "cost" && options.command != "sweep" &&
-      options.command != "chaos" && options.command != "run") {
+      options.command != "chaos" && options.command != "run" && options.command != "report") {
     return false;
   }
 
@@ -156,6 +166,10 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       if (options.disk_fault_chance < 0.0 || options.disk_fault_chance > 1.0) return false;
     } else if (flag == "--scenario") {
       options.scenario_path = value;
+    } else if (flag == "--trace-out") {
+      options.trace_out = value;
+    } else if (flag == "--metrics-out") {
+      options.metrics_out = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -172,7 +186,7 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
     }
     return true;
   }
-  if (options.command == "run") {
+  if (options.command == "run" || options.command == "report") {
     if (options.scenario_path.empty()) return false;
     if (options.protocol_set && !sim::protocol_from_name(options.protocol).ok()) return false;
     return true;
@@ -259,6 +273,7 @@ int run_scenario(const CliOptions& options) {
   if (options.seed_set) spec.seed = options.experiment.seed;
 
   const std::unique_ptr<sim::Deployment> deployment = sim::make_deployment(spec);
+  if (!options.trace_out.empty()) deployment->telemetry().set_trace_enabled(true);
   sim::InvariantMonitor monitor(deployment->simulator());
   const bool durability =
       spec.chaos.restart_chance > 0.0 || spec.chaos.disk_fault_chance > 0.0;
@@ -323,14 +338,32 @@ int run_scenario(const CliOptions& options) {
   result.total_kb = deployment->stats().total_kilobytes();
   result.era_switches = deployment->era_switches();
   result.hashes_computed = deployment->hashes_computed();
-  if (options.csv) print_csv_header();
-  print_result(sim::protocol_name(spec.protocol), options.csv, result);
-
+  // Invariant verdicts land in the registry/trace, so run the end-of-run
+  // checks before the exports are snapshotted.
   if (chaos) {
     deployment->finish_invariants(monitor);
     monitor.check_restart_convergence();
     monitor.check_bounded_liveness(result.committed, result.expected, plan.all_healed_at(),
                                    spec.chaos.liveness_grace);
+  }
+  deployment->finalize_telemetry();
+
+  if (options.csv) print_csv_header();
+  print_result(sim::protocol_name(spec.protocol), options.csv, result);
+  if (options.command == "report") {
+    std::fputs(deployment->telemetry().metrics().summary().c_str(), stdout);
+  }
+  if (!options.trace_out.empty() && !deployment->telemetry().write_trace(options.trace_out)) {
+    std::fprintf(stderr, "cannot write trace to %s\n", options.trace_out.c_str());
+    return 2;
+  }
+  if (!options.metrics_out.empty() &&
+      !deployment->telemetry().write_metrics_jsonl(options.metrics_out)) {
+    std::fprintf(stderr, "cannot write metrics to %s\n", options.metrics_out.c_str());
+    return 2;
+  }
+
+  if (chaos) {
     std::fputs(monitor.report().c_str(), stdout);
     return monitor.clean() ? 0 : 1;
   }
@@ -347,7 +380,7 @@ int main(int argc, char** argv) {
   }
 
   if (options.command == "chaos") return run_chaos(options);
-  if (options.command == "run") return run_scenario(options);
+  if (options.command == "run" || options.command == "report") return run_scenario(options);
 
   if (options.csv) print_csv_header();
 
