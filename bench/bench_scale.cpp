@@ -1,0 +1,187 @@
+// Message-plane scale harness: PBFT vs G-PBFT at paper scale.
+//
+// The paper's headline claim is that G-PBFT keeps working at 202 nodes
+// where flat PBFT drowns in its own traffic (Figs. 3-4). Reproducing that
+// regime stresses the *simulator* as much as the protocol: a 202-node PBFT
+// sweep pushes tens of millions of scheduled events through net::Network,
+// so the message-plane hot path bounds how far the roster can grow. This
+// harness measures that bound directly:
+//
+//   * wall-clock events/sec of the discrete-event core under the Fig. 3
+//     workload at n in {20, 100, 202} for PBFT and G-PBFT;
+//   * golden chain hashes per point, so hot-path rewrites must prove
+//     behaviour parity (byte-identical consensus outcome) before any
+//     speedup counts.
+//
+// Usage: bench_scale [--smoke]
+//   --smoke   n = 20 only (both protocols): the CI perf-smoke leg. Fails
+//             (exit 1) only on golden-hash mismatch — events/sec is
+//             reported, never gated (machines differ; regressions are
+//             judged against BENCH_scale.json trends instead).
+//
+// Environment (see docs/performance.md and EXPERIMENTS.md):
+//   GPBFT_BENCH_JSON        per-point ExperimentResult records (bench_util)
+//   GPBFT_BENCH_SCALE_JSON  append one events/sec record per point; the
+//                           repo keeps its trajectory in BENCH_scale.json
+//   GPBFT_BENCH_SCALE_LABEL build tag stamped into those records ("dev")
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/experiment.hpp"
+
+namespace gpbft::bench {
+namespace {
+
+struct ScalePoint {
+  sim::ProtocolKind protocol;
+  std::size_t nodes;
+  /// Tip hash of node 1's chain after the run (seed 1, default
+  /// calibration). Recorded from the pre-refactor message plane; any
+  /// hot-path change must reproduce these bytes exactly.
+  const char* golden_tip;
+};
+
+constexpr ScalePoint kPoints[] = {
+    {sim::ProtocolKind::Pbft, 20, "a8dcd8aec20a0a27730cf9c380c933c1b38ddb3d62772c8bdebc205adccb49fe"},
+    {sim::ProtocolKind::Gpbft, 20, "b3e1157c5119e17d83cbb2d8479dd4e71fd79944e30a860f7b406baf56b0a8ef"},
+    {sim::ProtocolKind::Pbft, 100, "e6e54b49f7ed7a2e3988be5d1de7044d16c055ef9c20bab51632d748cc374d59"},
+    {sim::ProtocolKind::Gpbft, 100, "06f9c254a1cfa9134ae6d5570bc4ef6f0db64d3e88930077ee5b8e7c2f0e3414"},
+    {sim::ProtocolKind::Pbft, 202, "30869784007ce186a1d614ad3bcdb11649e95e5c712f6ee18698ce08a598ec55"},
+    {sim::ProtocolKind::Gpbft, 202, "a4e27b6b37cb50e98ab18d27a99223edd2dc7cb0bc7397339c29ad9932b74439"},
+};
+
+struct ScaleResult {
+  sim::ExperimentResult experiment;
+  std::string tip_hex;
+  std::uint64_t sim_events{0};
+  std::uint64_t wire_messages{0};
+  double wall_seconds{0};
+
+  [[nodiscard]] double events_per_sec() const {
+    return wall_seconds <= 0 ? 0.0 : static_cast<double>(sim_events) / wall_seconds;
+  }
+};
+
+/// One seeded latency run (the Fig. 3 workload) through the deployment
+/// factory, timed on the host clock. Mirrors sim::run_latency but keeps the
+/// deployment in scope so the chain tip and simulator counters are
+/// readable afterwards.
+ScaleResult run_point(const ScalePoint& point) {
+  const sim::ExperimentOptions options = sim::default_options();
+  const sim::ScenarioSpec spec = sim::latency_scenario(point.protocol, point.nodes, options);
+  const std::unique_ptr<sim::Deployment> deployment = sim::make_deployment(spec);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  deployment->start();
+  sim::LatencyRecorder recorder;
+  deployment->schedule_workload(spec.workload, &recorder);
+  const bool done = deployment->run_until_committed(spec.workload.txs_per_client,
+                                                    TimePoint{options.hard_deadline.ns});
+  deployment->stop();
+  deployment->simulator().run();  // drain in-flight deliveries deterministically
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  ScaleResult result;
+  result.experiment.nodes = point.nodes;
+  result.experiment.committee = deployment->committee_size();
+  result.experiment.latency_samples = recorder.samples();
+  result.experiment.latency = recorder.boxplot();
+  result.experiment.committed = deployment->committed_count();
+  result.experiment.expected =
+      done ? result.experiment.committed : spec.workload.txs_per_client * spec.clients;
+  result.experiment.consensus_kb = sim::consensus_kilobytes(deployment->stats());
+  result.experiment.total_kb = deployment->stats().total_kilobytes();
+  result.experiment.sim_seconds = deployment->simulator().now().to_seconds();
+  result.experiment.era_switches = deployment->era_switches();
+  result.sim_events = deployment->simulator().events_processed();
+  result.wire_messages = deployment->stats().total_messages;
+  result.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(wall_end - wall_start).count();
+
+  if (auto* pbft = dynamic_cast<sim::PbftCluster*>(deployment.get())) {
+    result.tip_hex = pbft->replica(0).chain().tip().hash().hex();
+  } else if (auto* gpbft = dynamic_cast<sim::GpbftCluster*>(deployment.get())) {
+    result.tip_hex = gpbft->endorser(0).chain().tip().hash().hex();
+  }
+  return result;
+}
+
+void append_scale_record(const char* series, const ScaleResult& r) {
+  const char* path = std::getenv("GPBFT_BENCH_SCALE_JSON");
+  if (path == nullptr || path[0] == '\0') return;
+  const char* label = std::getenv("GPBFT_BENCH_SCALE_LABEL");
+  if (label == nullptr || label[0] == '\0') label = "dev";
+  std::FILE* out = std::fopen(path, "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "GPBFT_BENCH_SCALE_JSON: cannot open %s\n", path);
+    return;
+  }
+  std::fprintf(out,
+               "{\"bench\":\"bench_scale\",\"build\":\"%s\",\"series\":\"%s\","
+               "\"nodes\":%zu,\"committee\":%zu,\"committed\":%llu,"
+               "\"sim_seconds\":%.17g,\"sim_events\":%llu,\"wire_messages\":%llu,"
+               "\"wall_seconds\":%.3f,\"events_per_sec\":%.0f,\"tip\":\"%s\"}\n",
+               label, series, r.experiment.nodes, r.experiment.committee,
+               static_cast<unsigned long long>(r.experiment.committed), r.experiment.sim_seconds,
+               static_cast<unsigned long long>(r.sim_events),
+               static_cast<unsigned long long>(r.wire_messages), r.wall_seconds,
+               r.events_per_sec(), r.tip_hex.c_str());
+  std::fclose(out);
+}
+
+int run(bool smoke) {
+  std::printf("bench_scale: message-plane throughput, Fig. 3 workload (seed 1)%s\n",
+              smoke ? " [smoke]" : "");
+  std::printf("%6s %6s %6s %10s %12s %9s %12s  %s\n", "proto", "nodes", "cmte", "committed",
+              "sim events", "wall(s)", "events/sec", "tip");
+  int failures = 0;
+  for (const ScalePoint& point : kPoints) {
+    if (smoke && point.nodes != 20) continue;
+    const ScaleResult r = run_point(point);
+    const char* proto = sim::protocol_name(point.protocol);
+    std::printf("%6s %6zu %6zu %7llu/%-3llu %12llu %9.2f %12.0f  %s\n", proto, point.nodes,
+                r.experiment.committee, static_cast<unsigned long long>(r.experiment.committed),
+                static_cast<unsigned long long>(r.experiment.expected),
+                static_cast<unsigned long long>(r.sim_events), r.wall_seconds, r.events_per_sec(),
+                r.tip_hex.c_str());
+    const std::string series = std::string("scale.") + proto;
+    append_json_record(series.c_str(), r.experiment, 1);
+    append_scale_record(series.c_str(), r);
+    if (r.tip_hex != point.golden_tip) {
+      std::fprintf(stderr,
+                   "bench_scale: GOLDEN HASH MISMATCH for %s n=%zu\n  expected %s\n  actual   %s\n",
+                   proto, point.nodes, point.golden_tip, r.tip_hex.c_str());
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "bench_scale: %d golden-hash mismatch(es) — the message plane changed "
+                 "observable behaviour (see docs/performance.md)\n",
+                 failures);
+    return 1;
+  }
+  std::printf("bench_scale: golden hashes OK\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gpbft::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: bench_scale [--smoke]\n");
+      return 2;
+    }
+  }
+  return gpbft::bench::run(smoke);
+}

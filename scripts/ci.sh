@@ -47,6 +47,14 @@ fi
 # single run per point (~7 s).
 GPBFT_BENCH_QUICK=1 GPBFT_BENCH_RUNS=1 "${BUILD_DIR}/bench/fig3b_gpbft_latency"
 
+# Perf smoke: the message-plane scaling harness at its smallest point
+# (n=20, both protocols, ~1 s). Throughput numbers are informational —
+# machine-dependent, so never a gate — but the harness exits nonzero if a
+# seeded run's chain tip drifts from its golden hash, and THAT gates: a
+# perf-motivated change to net/sim must not change observable behaviour.
+# See docs/performance.md.
+"${BUILD_DIR}/bench/bench_scale" --smoke
+
 # Opt-in sanitizer leg: a full ASan/UBSan build + test sweep in its own
 # build directory. Kept off the default path so the fast gate stays fast.
 if [[ "${GPBFT_CI_SANITIZE:-0}" == "1" ]]; then

@@ -140,13 +140,16 @@ void Delegate::maybe_reelect(Height height) {
 
 void Delegate::publish_block(const ledger::Block& block) {
   const Bytes encoded = block.encode();
+  std::vector<NodeId> targets;
+  targets.reserve(observers_.size());
   for (NodeId observer : observers_) {
     if (observer == id()) continue;
     if (std::find(delegates_.begin(), delegates_.end(), observer) != delegates_.end()) {
       continue;  // delegates executed it themselves
     }
-    send_to(observer, kPublishedBlock, BytesView(encoded.data(), encoded.size()));
+    targets.push_back(observer);
   }
+  send_to_each(targets, kPublishedBlock, BytesView(encoded.data(), encoded.size()));
 }
 
 void Delegate::handle_extra(const net::Envelope& envelope) {

@@ -99,10 +99,7 @@ void Endorser::send_geo_report() {
     const Bytes body = request.encode();
     const std::vector<NodeId>& targets =
         role_ == Role::Active ? committee() : known_committee_;
-    for (NodeId peer : targets) {
-      if (peer == id()) continue;
-      send_to(peer, pbft::msg_type::kClientRequest, BytesView(body.data(), body.size()));
-    }
+    send_to_each(targets, pbft::msg_type::kClientRequest, BytesView(body.data(), body.size()));
     if (role_ == Role::Active) accept_request(tx);
     return;
   }
@@ -116,10 +113,7 @@ void Endorser::send_geo_report() {
 
   const std::vector<NodeId>& targets =
       role_ == Role::Active ? committee() : known_committee_;
-  for (NodeId peer : targets) {
-    if (peer == id()) continue;
-    send_to(peer, pbft::msg_type::kGeoReport, BytesView(body.data(), body.size()));
-  }
+  send_to_each(targets, pbft::msg_type::kGeoReport, BytesView(body.data(), body.size()));
   // Record the self-report locally (an endorser supervises itself too).
   if (role_ == Role::Active) process_geo_report(id(), msg);
 }

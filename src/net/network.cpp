@@ -15,41 +15,54 @@ void Network::set_telemetry(obs::Telemetry& telemetry) {
   tel_dropped_ = nullptr;
   tel_duplicated_ = nullptr;
   tel_recv_stall_ = nullptr;
-  type_telemetry_.clear();
-  node_telemetry_.clear();
+  type_handles_.clear();
+  node_handles_.clear();
 }
 
-Network::TypeTelemetry& Network::type_telemetry(MessageType type) {
-  auto [it, inserted] = type_telemetry_.try_emplace(type);
-  if (inserted) {
-    obs::Registry& reg = telemetry_->metrics();
-    const std::string name = telemetry_->message_name(type);
-    it->second.msgs = &reg.counter("net.msgs." + name);
-    it->second.bytes = &reg.counter("net.bytes." + name);
-  }
-  return it->second;
+void Network::reset_stats() {
+  stats_.reset();
+  // The stat pointers in the handle caches aimed into the maps the reset
+  // just destroyed; the telemetry rows survive but re-resolve cheaply.
+  type_handles_.clear();
+  node_handles_.clear();
 }
 
-Network::NodeTelemetry& Network::node_telemetry(NodeId id) {
-  auto [it, inserted] = node_telemetry_.try_emplace(id.value);
-  if (inserted) {
-    obs::Registry& reg = telemetry_->metrics();
-    it->second.msgs_sent = &reg.counter("net.msgs_sent", id);
-    it->second.bytes_sent = &reg.counter("net.bytes_sent", id);
-    it->second.msgs_received = &reg.counter("net.msgs_received", id);
-    it->second.bytes_received = &reg.counter("net.bytes_received", id);
-  }
-  return it->second;
+Network::TypeHandles& Network::type_handles(MessageType type) {
+  // Message types are small consecutive constants (pbft::msg_type, PoW and
+  // dBFT gossip kinds), so a dense vector replaces the ordered-map lookup
+  // the old per-send accounting paid twice per message.
+  if (type >= type_handles_.size()) type_handles_.resize(static_cast<std::size_t>(type) + 1);
+  TypeHandles& handles = type_handles_[type];
+  if (handles.stat_bytes == nullptr) handles.stat_bytes = &stats_.bytes_by_type[type];
+  return handles;
+}
+
+Network::NodeHandles& Network::node_handles(NodeId id) {
+  NodeHandles& handles = node_handles_[id.value];
+  if (handles.traffic == nullptr) handles.traffic = &stats_.per_node[id];
+  return handles;
+}
+
+void Network::resolve_node_telemetry(NodeHandles& handles, NodeId id) {
+  obs::Registry& reg = telemetry_->metrics();
+  handles.msgs_sent = &reg.counter("net.msgs_sent", id);
+  handles.bytes_sent = &reg.counter("net.bytes_sent", id);
+  handles.msgs_received = &reg.counter("net.msgs_received", id);
+  handles.bytes_received = &reg.counter("net.bytes_received", id);
 }
 
 void Network::attach(INetNode* node) {
   nodes_[node->id()] = node;
-  busy_until_.emplace(node->id(), sim_.now());
+  // Unconditional: an id that was crashed/detached mid-queue and re-attached
+  // (Deployment::restart_node) starts idle — reboot wipes the backlog.
+  busy_until_[node->id()] = sim_.now();
 }
 
 void Network::detach(NodeId id) {
   nodes_.erase(id);
   busy_until_.erase(id);
+  rate_overrides_.erase(id);
+  brownouts_.erase(id);
 }
 
 bool Network::partitioned_apart(NodeId a, NodeId b) const {
@@ -61,6 +74,14 @@ bool Network::partitioned_apart(NodeId a, NodeId b) const {
   return group_of(a) != group_of(b);
 }
 
+void Network::note_dropped() {
+  stats_.dropped_messages += 1;
+  if (telemetry_->enabled()) {
+    if (tel_dropped_ == nullptr) tel_dropped_ = &telemetry_->metrics().counter("net.msgs_dropped");
+    tel_dropped_->add();
+  }
+}
+
 void Network::send(Envelope envelope) {
   const std::size_t size = envelope.wire_size();
 
@@ -70,14 +91,21 @@ void Network::send(Envelope envelope) {
 
   stats_.total_messages += 1;
   stats_.total_bytes += size;
-  stats_.bytes_by_type[envelope.type] += size;
-  stats_.per_node[envelope.from].messages_sent += 1;
-  stats_.per_node[envelope.from].bytes_sent += size;
+  TypeHandles& by_type = type_handles(envelope.type);
+  *by_type.stat_bytes += size;
+  NodeHandles& sender = node_handles(envelope.from);
+  sender.traffic->messages_sent += 1;
+  sender.traffic->bytes_sent += size;
   if (telemetry_->enabled()) {
-    TypeTelemetry& by_type = type_telemetry(envelope.type);
+    if (by_type.msgs == nullptr) {
+      obs::Registry& reg = telemetry_->metrics();
+      const std::string name = telemetry_->message_name(envelope.type);
+      by_type.msgs = &reg.counter("net.msgs." + name);
+      by_type.bytes = &reg.counter("net.bytes." + name);
+    }
     by_type.msgs->add();
     by_type.bytes->add(size);
-    NodeTelemetry& sender = node_telemetry(envelope.from);
+    if (sender.msgs_sent == nullptr) resolve_node_telemetry(sender, envelope.from);
     sender.msgs_sent->add();
     sender.bytes_sent->add(size);
   }
@@ -100,11 +128,7 @@ void Network::send(Envelope envelope) {
 
   const bool blocked = blocked_links_.contains({envelope.from.value, envelope.to.value});
   if (blocked || partitioned_apart(envelope.from, envelope.to) || dropped) {
-    stats_.dropped_messages += 1;
-    if (telemetry_->enabled()) {
-      if (tel_dropped_ == nullptr) tel_dropped_ = &telemetry_->metrics().counter("net.msgs_dropped");
-      tel_dropped_->add();
-    }
+    note_dropped();
     return;
   }
 
@@ -128,7 +152,7 @@ void Network::send(Envelope envelope) {
     }
     // The ghost copy takes its own path through the reorder window; its
     // jitter comes from the fault stream (it only exists because of the
-    // fault rule).
+    // fault rule). It shares the payload buffer with the original.
     const Duration ghost_jitter =
         config_.jitter.ns > 0
             ? Duration{static_cast<std::int64_t>(
@@ -139,51 +163,79 @@ void Network::send(Envelope envelope) {
   schedule_delivery(departure + jitter + first_reorder, std::move(envelope), size);
 }
 
-void Network::schedule_delivery(TimePoint arrival, const Envelope& envelope, std::size_t size) {
-  sim_.schedule_at(arrival, [this, envelope, size]() mutable {
-    const auto it = nodes_.find(envelope.to);
-    if (it == nodes_.end() || crashed_.contains(envelope.to)) {
-      stats_.dropped_messages += 1;
-      return;
-    }
-
-    // Receiver-side queueing: the node is a serial processor handling
-    // messages at its rate (the paper's `s`, §IV-B; per-node overrides for
-    // heterogeneous fleets, brownouts for time-varying degradation).
-    const Duration processing = Duration::from_seconds(
-        1.0 / processing_rate_of(envelope.to) +
-        static_cast<double>(size) * config_.processing_secs_per_byte);
-    TimePoint& busy = busy_until_[envelope.to];
-    const TimePoint start = std::max(sim_.now(), busy);
-    const TimePoint done = start + processing;
-    busy = done;
-
-    // The receiver-stall histogram is the queueing-delay signal behind the
-    // superlinear PBFT curves: time a message waits for the serial
-    // processor beyond its arrival instant.
-    if (telemetry_->enabled()) {
-      if (tel_recv_stall_ == nullptr) {
-        tel_recv_stall_ = &telemetry_->metrics().histogram("net.recv_stall_seconds");
-      }
-      tel_recv_stall_->observe((start - sim_.now()).to_seconds());
-    }
-
-    sim_.schedule_at(done, [this, envelope = std::move(envelope), size]() {
-      const auto node_it = nodes_.find(envelope.to);
-      if (node_it == nodes_.end() || crashed_.contains(envelope.to)) {
-        stats_.dropped_messages += 1;
-        return;
-      }
-      stats_.per_node[envelope.to].messages_received += 1;
-      stats_.per_node[envelope.to].bytes_received += size;
-      if (telemetry_->enabled()) {
-        NodeTelemetry& receiver = node_telemetry(envelope.to);
-        receiver.msgs_received->add();
-        receiver.bytes_received->add(size);
-      }
-      node_it->second->handle(envelope);
-    });
+void Network::schedule_delivery(TimePoint arrival, Envelope envelope, std::size_t size) {
+  // One scheduled event per delivery carries the envelope (the payload is a
+  // refcount bump, not a copy). The processing-done event it chains to
+  // captures only (this, receiver) — 16 bytes, inside std::function's
+  // small-buffer storage — so the second hop costs no allocation and no
+  // copy. See docs/performance.md for why the two-instant structure itself
+  // is load-bearing: arrival-time crash sampling and the serial-queue fold
+  // must happen at the arrival instant to keep seeded runs byte-identical.
+  sim_.schedule_at(arrival, [this, envelope = std::move(envelope), size]() mutable {
+    on_arrival(std::move(envelope), size);
   });
+}
+
+void Network::on_arrival(Envelope envelope, std::size_t size) {
+  const NodeId to = envelope.to;
+  if (!nodes_.contains(to) || crashed_.contains(to)) {
+    note_dropped();
+    return;
+  }
+
+  // Receiver-side queueing: the node is a serial processor handling
+  // messages at its rate (the paper's `s`, §IV-B; per-node overrides for
+  // heterogeneous fleets, brownouts for time-varying degradation).
+  const Duration processing =
+      Duration::from_seconds(1.0 / processing_rate_of(to) +
+                             static_cast<double>(size) * config_.processing_secs_per_byte);
+  TimePoint& busy = busy_until_[to];
+  const TimePoint start = std::max(sim_.now(), busy);
+  const TimePoint done = start + processing;
+  busy = done;
+
+  // The receiver-stall histogram is the queueing-delay signal behind the
+  // superlinear PBFT curves: time a message waits for the serial
+  // processor beyond its arrival instant.
+  if (telemetry_->enabled()) {
+    if (tel_recv_stall_ == nullptr) {
+      tel_recv_stall_ = &telemetry_->metrics().histogram("net.recv_stall_seconds");
+    }
+    tel_recv_stall_->observe((start - sim_.now()).to_seconds());
+  }
+
+  inbox_[to].push_back(PendingDelivery{std::move(envelope), size, done});
+  sim_.schedule_at(done, [this, to]() { process_next(to); });
+}
+
+void Network::process_next(NodeId to) {
+  // Exactly one done-event per inbox entry, firing precisely at that
+  // entry's done instant; ties fire in enqueue order. The front matches
+  // unless a reboot reset the busy horizon under pending stragglers (see
+  // PendingDelivery) — then this event's message sits behind entries that
+  // are still processing, so scan for the first entry due now.
+  auto& queue = inbox_[to];
+  auto entry = queue.begin();
+  while (entry->done != sim_.now()) ++entry;
+  const PendingDelivery pending = std::move(*entry);
+  queue.erase(entry);
+
+  const auto node_it = nodes_.find(to);
+  if (node_it == nodes_.end() || crashed_.contains(to)) {
+    // The receiver died (or was torn down) between arrival and the end of
+    // processing: the message is lost with it.
+    note_dropped();
+    return;
+  }
+  NodeHandles& receiver = node_handles(to);
+  receiver.traffic->messages_received += 1;
+  receiver.traffic->bytes_received += pending.size;
+  if (telemetry_->enabled()) {
+    if (receiver.msgs_received == nullptr) resolve_node_telemetry(receiver, to);
+    receiver.msgs_received->add();
+    receiver.bytes_received->add(pending.size);
+  }
+  node_it->second->handle(pending.envelope);
 }
 
 void Network::recover(NodeId id) {
@@ -195,7 +247,7 @@ void Network::recover(NodeId id) {
 }
 
 void Network::broadcast(NodeId from, const std::vector<NodeId>& destinations, MessageType type,
-                        const Bytes& payload) {
+                        Payload payload) {
   for (NodeId to : destinations) {
     if (to == from) continue;
     send(Envelope{from, to, type, payload});

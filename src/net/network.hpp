@@ -26,6 +26,7 @@
 // randomness, so faulty and clean runs stay comparable seed-for-seed.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <set>
@@ -108,8 +109,13 @@ class Network {
   Network(Simulator& sim, NetConfig config);
 
   /// Registers a node. The pointer must outlive the network (nodes are owned
-  /// by the cluster/harness layer).
+  /// by the cluster/harness layer). The node starts idle: its busy-until
+  /// horizon is reset to now, so a restart (detach + attach) can never
+  /// resurrect a pre-crash processing backlog.
   void attach(INetNode* node);
+  /// Unregisters a node and drops all its per-node state (busy horizon,
+  /// processing-rate override, brownout): a node id re-attached later — an
+  /// era switch, a restart — must not inherit the old node's degradation.
   void detach(NodeId id);
 
   /// Sends an envelope; accounts traffic and schedules delivery + handling.
@@ -118,8 +124,10 @@ class Network {
   void send(Envelope envelope);
 
   /// Broadcast helper: one unicast per destination (PBFT's all-to-all).
+  /// Every envelope refcounts the same payload buffer — no per-destination
+  /// copy.
   void broadcast(NodeId from, const std::vector<NodeId>& destinations, MessageType type,
-                 const Bytes& payload);
+                 Payload payload);
 
   /// Overrides one node's processing rate (heterogeneous fleets: powerful
   /// fixed endorsers next to weak sensors). Pass <= 0 to restore default.
@@ -158,7 +166,7 @@ class Network {
 
   // --- accounting ----------------------------------------------------------
   [[nodiscard]] const NetStats& stats() const { return stats_; }
-  void reset_stats() { stats_.reset(); }
+  void reset_stats();
 
   /// Telemetry sink shared by every layer that holds a Network reference
   /// (protocol nodes reach the deployment's registry through here without
@@ -174,28 +182,60 @@ class Network {
 
  private:
   [[nodiscard]] bool partitioned_apart(NodeId a, NodeId b) const;
-  void schedule_delivery(TimePoint arrival, const Envelope& envelope, std::size_t size);
+  void schedule_delivery(TimePoint arrival, Envelope envelope, std::size_t size);
+  /// Arrival instant: crash/detach check, serial-queue fold into
+  /// busy_until_, inbox enqueue, done-event scheduling.
+  void on_arrival(Envelope envelope, std::size_t size);
+  /// Processing-done instant: pops the receiver's inbox front, re-checks
+  /// liveness, accounts the receive and invokes the handler.
+  void process_next(NodeId to);
+  /// One drop, wherever it happens (send-time fault, receiver down at
+  /// arrival or at processing-done): NetStats and the `net.msgs_dropped`
+  /// counter always move together.
+  void note_dropped();
 
-  /// Cached registry handles so the per-message hot path resolves each
-  /// metric name once (references into the registry's maps are stable).
-  struct TypeTelemetry {
+  /// Cached handles so the per-message hot path resolves each accounting
+  /// slot once — the NetStats map entries and the telemetry registry rows
+  /// (pointers into std::map / std::unordered_map values are stable).
+  /// Telemetry rows resolve lazily and only while telemetry is enabled, so
+  /// a disabled run never creates registry entries. Both caches are cleared
+  /// by reset_stats() and set_telemetry().
+  struct TypeHandles {
+    std::uint64_t* stat_bytes{nullptr};  // into stats_.bytes_by_type
     obs::Counter* msgs{nullptr};
     obs::Counter* bytes{nullptr};
   };
-  struct NodeTelemetry {
+  struct NodeHandles {
+    NodeTraffic* traffic{nullptr};  // into stats_.per_node
     obs::Counter* msgs_sent{nullptr};
     obs::Counter* bytes_sent{nullptr};
     obs::Counter* msgs_received{nullptr};
     obs::Counter* bytes_received{nullptr};
   };
-  [[nodiscard]] TypeTelemetry& type_telemetry(MessageType type);
-  [[nodiscard]] NodeTelemetry& node_telemetry(NodeId id);
+  [[nodiscard]] TypeHandles& type_handles(MessageType type);
+  [[nodiscard]] NodeHandles& node_handles(NodeId id);
+  void resolve_node_telemetry(NodeHandles& handles, NodeId id);
+
+  /// A message past its arrival instant, waiting on the receiver's serial
+  /// processor. Normally FIFO per receiver: done instants are non-decreasing
+  /// in arrival order (each is max(arrival, previous done) + processing) and
+  /// the simulator breaks timestamp ties in scheduling order, so the
+  /// done-event for the front fires first. A recover()/attach() busy-until
+  /// reset can break the monotone order (a post-reboot message finishes
+  /// before pre-crash stragglers), so each entry records its done instant
+  /// and process_next() pops the first entry due now.
+  struct PendingDelivery {
+    Envelope envelope;
+    std::size_t size{0};
+    TimePoint done;
+  };
 
   Simulator& sim_;
   NetConfig config_;
   Rng fault_rng_;  // dedicated stream for every fault decision
   std::unordered_map<NodeId, INetNode*> nodes_;
   std::unordered_map<NodeId, TimePoint> busy_until_;
+  std::unordered_map<NodeId, std::deque<PendingDelivery>> inbox_;
   std::unordered_map<NodeId, double> rate_overrides_;
   std::unordered_map<NodeId, double> brownouts_;
   std::unordered_set<NodeId> crashed_;
@@ -209,8 +249,8 @@ class Network {
   obs::Counter* tel_dropped_{nullptr};
   obs::Counter* tel_duplicated_{nullptr};
   obs::Histogram* tel_recv_stall_{nullptr};
-  std::map<MessageType, TypeTelemetry> type_telemetry_;
-  std::unordered_map<std::uint64_t, NodeTelemetry> node_telemetry_;
+  std::vector<TypeHandles> type_handles_;  // dense, indexed by MessageType
+  std::unordered_map<std::uint64_t, NodeHandles> node_handles_;
 };
 
 }  // namespace gpbft::net

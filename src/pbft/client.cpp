@@ -80,6 +80,15 @@ Duration Client::backoff_delay(std::uint32_t attempt) {
 void Client::send_request(const ledger::Transaction& tx) {
   ClientRequest request{tx};
   const Bytes body = request.encode();
+  if (!compute_macs_) {
+    // Receiver-independent seal: one buffer, refcounted across the roster.
+    const net::Payload payload{
+        seal(keys_, id_, NodeId{0}, BytesView(body.data(), body.size()), false)};
+    for (NodeId endorser : committee_) {
+      network_.send(net::Envelope{id_, endorser, msg_type::kClientRequest, payload});
+    }
+    return;
+  }
   for (NodeId endorser : committee_) {
     net::Envelope envelope;
     envelope.from = id_;

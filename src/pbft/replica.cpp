@@ -39,7 +39,25 @@ void Replica::send_to(NodeId to, net::MessageType type, BytesView body) {
 }
 
 void Replica::broadcast_committee(net::MessageType type, BytesView body) {
-  for (NodeId peer : committee_) send_to(peer, type, body);
+  send_to_each(committee_, type, body);
+}
+
+void Replica::send_to_each(const std::vector<NodeId>& peers, net::MessageType type,
+                           BytesView body) {
+  if (config_.compute_macs) {
+    // Per-receiver MAC tags: every sealed payload differs, seal per peer.
+    for (NodeId peer : peers) send_to(peer, type, body);
+    return;
+  }
+  // MACs off: the seal is receiver-independent (zero tag), so one sealed
+  // buffer serves the whole fan-out — N refcount bumps instead of N seals
+  // and N payload copies. This is the broadcast hot path of every sweep
+  // (sim::default_options runs with compute_macs=false).
+  const net::Payload payload{seal(keys_, id_, NodeId{0}, body, /*compute_macs=*/false)};
+  for (NodeId peer : peers) {
+    if (peer == id_) continue;
+    network_.send(net::Envelope{id_, peer, type, payload});
+  }
 }
 
 void Replica::schedule_protected(Duration delay, std::function<void()> fn) {

@@ -135,6 +135,11 @@ class Replica : public net::INetNode {
 
   void send_to(NodeId to, net::MessageType type, BytesView body);
   void broadcast_committee(net::MessageType type, BytesView body);
+  /// Fan-out to an arbitrary peer set (self is skipped). With MACs off the
+  /// sealed bytes are receiver-independent, so the body is sealed once and
+  /// every envelope refcounts the same buffer; with MACs on it falls back
+  /// to per-receiver seals. Subclasses use this for gossip loops.
+  void send_to_each(const std::vector<NodeId>& peers, net::MessageType type, BytesView body);
 
   /// Schedules `fn` guarded by this replica's lifetime token: if the object
   /// is destroyed before the event fires (restart_node rebuilds a node from

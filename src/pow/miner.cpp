@@ -95,7 +95,8 @@ void Miner::on_block_found(std::uint64_t attempt) {
     log_warn(id_.str() + ": own block rejected: " + added.error());
   }
 
-  const Bytes encoded = block.encode();
+  // One encoded block refcounted across the gossip fan-out.
+  const net::Payload encoded{block.encode()};
   for (NodeId peer : peers_) {
     if (peer == id_) continue;
     net::Envelope envelope;
@@ -163,7 +164,7 @@ void Miner::on_block_received(PowBlock block, NodeId from) {
     request.from = id_;
     request.to = from;
     request.type = kPowBlockRequest;
-    request.payload.assign(parent.bytes.begin(), parent.bytes.end());
+    request.payload = Bytes(parent.bytes.begin(), parent.bytes.end());
     network_.send(std::move(request));
     return;
   }

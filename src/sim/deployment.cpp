@@ -497,7 +497,8 @@ struct PowDriver {
     network->telemetry().count("client.submitted", client_id);
     network->telemetry().async_begin(request_trace_id(digest), client_id, "request", "client",
                                      {{"tx", digest.short_hex()}});
-    const Bytes encoded = tx.encode();
+    // One encoded buffer refcounted across the whole miner fan-out.
+    const net::Payload encoded{tx.encode()};
     for (const auto& miner : *miners) {
       net::Envelope envelope;
       envelope.from = NodeId{kClientIdBase + client_index + 1};
