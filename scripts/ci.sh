@@ -24,6 +24,19 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 ctest --test-dir "${BUILD_DIR}" -L tier1 -j "${JOBS}" --output-on-failure
 
+# Adversarial election gate. `-L tier1` above already matches the compound
+# tier1-adversarial label; this leg re-selects it explicitly so a label
+# regression (test renamed, label dropped) fails loudly instead of silently
+# shrinking the fast gate, then drives the four election-attack scenarios.
+# Each scenario run arms the invariant monitor and exits non-zero on any
+# SYBIL-SEATED / COMMITTEE-QUALITY / ERA-CONVERGENCE violation, agreement
+# break or liveness miss.
+ctest --test-dir "${BUILD_DIR}" -L tier1-adversarial -j "${JOBS}" --output-on-failure
+for sc in election_sybil_burst election_targeted_crash \
+          election_boundary_oscillation election_churn_long; do
+  "${BUILD_DIR}/tools/gpbft_cli" run --scenario "scenarios/${sc}.scenario" >/dev/null
+done
+
 # Telemetry gate: one seeded scenario exports a Perfetto trace and a
 # metrics snapshot, twice; the artifacts must be schema-valid (when python3
 # is available) and byte-identical across the two same-seed runs.
@@ -36,6 +49,16 @@ for run in 1 2; do
 done
 cmp "${OBS_DIR}/trace.1.json" "${OBS_DIR}/trace.2.json"
 cmp "${OBS_DIR}/metrics.1.jsonl" "${OBS_DIR}/metrics.2.jsonl"
+# Same determinism bar under attack: the Sybil-burst scenario's forked
+# attack RNG streams, reputation strikes and quarantine decisions must all
+# replay byte-identically from the same seed.
+for run in 1 2; do
+  "${BUILD_DIR}/tools/gpbft_cli" run --scenario scenarios/election_sybil_burst.scenario \
+    --trace-out "${OBS_DIR}/attack-trace.${run}.json" \
+    --metrics-out "${OBS_DIR}/attack-metrics.${run}.jsonl" >/dev/null
+done
+cmp "${OBS_DIR}/attack-trace.1.json" "${OBS_DIR}/attack-trace.2.json"
+cmp "${OBS_DIR}/attack-metrics.1.jsonl" "${OBS_DIR}/attack-metrics.2.jsonl"
 if command -v python3 >/dev/null 2>&1; then
   python3 scripts/check_trace.py "${OBS_DIR}/trace.1.json" "${OBS_DIR}/metrics.1.jsonl"
 else

@@ -67,11 +67,16 @@ std::vector<NodeId> build_roster(const RosterInputs& inputs,
     return std::find(v.begin(), v.end(), id) != v.end();
   };
 
+  const geo::ReputationLedger* reputation =
+      (inputs.reputation != nullptr && inputs.reputation->params().enabled) ? inputs.reputation
+                                                                            : nullptr;
+
   std::vector<NodeId> roster;
   const auto eligible = [&](NodeId id) {
     if (policy.blacklisted(id)) return false;
     if (inputs.penalized.contains(id)) return false;
     if (inputs.sybil_flagged.contains(id)) return false;
+    if (reputation != nullptr && reputation->quarantined(id, now)) return false;
     return true;
   };
 
@@ -99,11 +104,18 @@ std::vector<NodeId> build_roster(const RosterInputs& inputs,
 
   // Production-priority order: descending geographic timer, ties by id
   // ("a longer time in the geographic timer will have a higher chance of
-  // generating a new block", §III-B5).
+  // generating a new block", §III-B5). With reputation enabled the key is
+  // timer × score/1000 — a uniformly neutral committee keeps the stock
+  // order exactly, so the golden hashes with reputation off stay valid.
+  const auto rank = [&](NodeId id) -> std::int64_t {
+    const std::int64_t timer = table.timer_at(id, now).ns;
+    if (reputation == nullptr) return timer;
+    return timer / 1000 * reputation->score_of(id, now);
+  };
   std::sort(roster.begin(), roster.end(), [&](NodeId a, NodeId b) {
-    const Duration ta = table.timer_at(a, now);
-    const Duration tb = table.timer_at(b, now);
-    if (ta != tb) return ta > tb;
+    const std::int64_t ra = rank(a);
+    const std::int64_t rb = rank(b);
+    if (ra != rb) return ra > rb;
     return a < b;
   });
   return roster;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "geo/election_table.hpp"
+#include "geo/reputation.hpp"
 #include "gpbft/area_registry.hpp"
 #include "ledger/genesis.hpp"
 
@@ -65,13 +66,21 @@ struct RosterInputs {
   std::set<NodeId> penalized;           // missed-block / fork producers
   std::set<NodeId> sybil_flagged;       // SybilFilter rejects
   std::vector<NodeId> whitelisted_candidates;  // join without qualification
+
+  /// Optional reputation ledger. When set *and* its params enable weighting,
+  /// the roster ranks by geographic timer × score (neutral score 1000 keeps
+  /// the stock order) and quarantined devices are excluded outright. When
+  /// null or disabled the election is byte-identical to the stock one.
+  const geo::ReputationLedger* reputation{nullptr};
 };
 
 /// Assembles the next era's roster under the admittance policy. The result
 /// is ordered by descending geographic timer (ties by id) — that order *is*
 /// the block-production priority of the incentive mechanism (§III-B5), so
 /// it travels inside the configuration transaction and every endorser
-/// derives the same primary schedule.
+/// derives the same primary schedule. With reputation enabled the ranking
+/// key becomes timer × score/1000, so a neutral committee orders exactly as
+/// before while misbehaving members sink (and quarantined ones never seat).
 [[nodiscard]] std::vector<NodeId> build_roster(const RosterInputs& inputs,
                                                const ledger::AdmittancePolicy& policy,
                                                const geo::ElectionTable& table, TimePoint now);

@@ -25,6 +25,10 @@ EnrolledCells enrolled_from(const ledger::EraConfig& config) {
   }
   return cells;
 }
+
+/// Forged report copies a Sybil-burst attacker adds per period on top of
+/// the honest one.
+constexpr std::size_t kSybilFanout = 4;
 }  // namespace
 
 Endorser::Endorser(NodeId id, geo::GeoPoint location, GpbftConfig config, ledger::Block genesis,
@@ -33,7 +37,8 @@ Endorser::Endorser(NodeId id, geo::GeoPoint location, GpbftConfig config, ledger
     : Replica(id, genesis_roster(genesis), genesis, config.pbft, network, keys),
       config_(std::move(config)),
       location_(location),
-      filter_(config_.genesis.area_prefix, area) {
+      filter_(config_.genesis.area_prefix, area),
+      reputation_(config_.genesis.reputation) {
   producer_order_ = genesis_roster(genesis);
   known_committee_ = producer_order_;
   enrolled_cells_ = enrolled_from(genesis_config(genesis));
@@ -83,39 +88,48 @@ void Endorser::arm_geo_timer() {
 
 void Endorser::send_geo_report() {
   if (network().is_crashed(id())) return;
-  telemetry().count("gpbft.geo_reports_sent", id());
+  // A Sybil-burst attacker floods forged copies of its own report each
+  // period: every copy is truthful (same position, so the area-registry
+  // check passes and the stationary timer holds) but the flood inflates
+  // the device's election-table presence. The stock election cannot see
+  // this; the reputation audit flags the rate anomaly at the era switch.
+  const std::size_t copies =
+      fault_mode() == pbft::FaultMode::SybilGeoReports ? 1 + kSybilFanout : 1;
+  for (std::size_t copy = 0; copy < copies; ++copy) {
+    telemetry().count("gpbft.geo_reports_sent", id());
 
-  if (config_.geo_reports_on_chain) {
-    // Full-fidelity mode: the report is a zero-fee transaction, so G(v, t)
-    // is literally a chain lookup once it commits.
-    geo::GeoReport report;
-    report.point = location_;
-    report.timestamp = now();
-    const ledger::Transaction tx =
-        ledger::make_geo_report_tx(id(), next_request_id_++, report);
-    // The report must reach the primary to be ordered: broadcast it to the
-    // committee like any client request (and enqueue locally when active).
-    const pbft::ClientRequest request{tx};
-    const Bytes body = request.encode();
+    if (config_.geo_reports_on_chain) {
+      // Full-fidelity mode: the report is a zero-fee transaction, so G(v, t)
+      // is literally a chain lookup once it commits.
+      geo::GeoReport report;
+      report.point = location_;
+      report.timestamp = now();
+      const ledger::Transaction tx =
+          ledger::make_geo_report_tx(id(), next_request_id_++, report);
+      // The report must reach the primary to be ordered: broadcast it to the
+      // committee like any client request (and enqueue locally when active).
+      const pbft::ClientRequest request{tx};
+      const Bytes body = request.encode();
+      const std::vector<NodeId>& targets =
+          role_ == Role::Active ? committee() : known_committee_;
+      send_to_each(targets, pbft::msg_type::kClientRequest, BytesView(body.data(), body.size()));
+      if (role_ == Role::Active) accept_request(tx);
+      continue;
+    }
+
+    pbft::GeoReportMsg msg;
+    msg.device = id();
+    msg.latitude = location_.latitude;
+    msg.longitude = location_.longitude;
+    msg.reported_at = now();
+    const Bytes body = msg.encode();
+
     const std::vector<NodeId>& targets =
         role_ == Role::Active ? committee() : known_committee_;
-    send_to_each(targets, pbft::msg_type::kClientRequest, BytesView(body.data(), body.size()));
-    if (role_ == Role::Active) accept_request(tx);
-    return;
+    send_to_each(targets, pbft::msg_type::kGeoReport, BytesView(body.data(), body.size()));
+    // Record the self-report locally (an endorser supervises itself too).
+    if (role_ == Role::Active) process_geo_report(id(), msg);
   }
-
-  pbft::GeoReportMsg msg;
-  msg.device = id();
-  msg.latitude = location_.latitude;
-  msg.longitude = location_.longitude;
-  msg.reported_at = now();
-  const Bytes body = msg.encode();
-
-  const std::vector<NodeId>& targets =
-      role_ == Role::Active ? committee() : known_committee_;
-  send_to_each(targets, pbft::msg_type::kGeoReport, BytesView(body.data(), body.size()));
-  // Record the self-report locally (an endorser supervises itself too).
-  if (role_ == Role::Active) process_geo_report(id(), msg);
 }
 
 void Endorser::process_geo_report(NodeId from, const pbft::GeoReportMsg& msg) {
@@ -127,6 +141,11 @@ void Endorser::process_geo_report(NodeId from, const pbft::GeoReportMsg& msg) {
   if (verdict != ReportVerdict::Accepted) {
     log_debug(id().str() + ": rejected geo report from " + msg.device.str() + " (" +
               verdict_name(verdict) + ")");
+    // A rejected claim is observed misbehaviour (untruthful location or a
+    // duplicate-cell Sybil claim), not mere absence — strike the reporter.
+    if (verdict == ReportVerdict::UntruthfulClaim || verdict == ReportVerdict::DuplicateLocation) {
+      reputation_.record_fault_observation(msg.device, now());
+    }
     return;
   }
   record_geo(msg.device, point, msg.reported_at);
@@ -184,6 +203,10 @@ void Endorser::initiate_era_switch() {
     params.min_reports = config_.genesis.min_geo_reports;
     params.promotion_threshold = config_.genesis.promotion_threshold;
 
+    // Behaviour audit before the election: silent members and report
+    // floods earn reputation strikes as of this switch.
+    observe_committee_behaviour(now(), params);
+
     std::vector<NodeId> candidates(known_candidates_.begin(), known_candidates_.end());
     const ElectionOutcome outcome = run_geographic_authentication(
         table_, committee(), candidates, now(), params, &enrolled_cells_);
@@ -218,6 +241,7 @@ void Endorser::initiate_era_switch() {
         inputs.whitelisted_candidates.push_back(candidate);
       }
     }
+    inputs.reputation = &reputation_;
 
     std::vector<NodeId> roster =
         build_roster(inputs, config_.genesis.policy, table_, now());
@@ -265,6 +289,14 @@ void Endorser::initiate_era_switch() {
         next.cells.push_back(latest->csc.cell());
       } else {
         next.cells.push_back("");
+      }
+    }
+    // With reputation enabled the configuration block carries the lead's
+    // full score snapshot (not just the seated roster), so every endorser
+    // — including one restarting from disk — rebuilds the same ledger.
+    if (reputation_.params().enabled) {
+      for (const auto& snap : reputation_.snapshot(now())) {
+        next.scores.push_back(ledger::ReputationScore{snap.device, snap.score, snap.quarantined});
       }
     }
 
@@ -318,8 +350,11 @@ void Endorser::record_block_geo(const ledger::Block& block) {
 void Endorser::on_executed(const ledger::Block& block) {
   record_block_geo(block);
 
-  // Producing a block resets the producer's geographic timer (§III-B5).
+  // Producing a block resets the producer's geographic timer (§III-B5)
+  // and earns it a reputation reward — the positive signal that lets a
+  // rehabilitated node decay back above the quarantine-exit threshold.
   table_.reset_timer(block.header.producer, now());
+  reputation_.record_block_produced(block.header.producer, now());
 
   for (const ledger::Transaction& tx : block.transactions) {
     if (tx.kind != ledger::TxKind::Config) continue;
@@ -332,6 +367,15 @@ void Endorser::apply_era_config(const ledger::EraConfig& config, Height config_h
 
   const bool was_lead = switch_in_progress_ && primary_of(view()) == id();
   const std::vector<NodeId> old_committee = committee();
+
+  // Adopt the lead's score snapshot: the committed configuration block is
+  // the authoritative reputation state, replacing local observations. A
+  // node restoring its chain from disk replays the same blocks through
+  // this path, so a restart rebuilds the exact pre-crash ledger.
+  for (const ledger::ReputationScore& s : config.scores) {
+    reputation_.restore(geo::ReputationLedger::Snapshot{s.device, s.score, s.quarantined}, now());
+  }
+  if (!config.scores.empty()) publish_reputation_gauges(now());
 
   era_ = config.era;
   producer_order_ = config.endorsers;
@@ -462,6 +506,7 @@ void Endorser::on_view_changed(ViewId previous, ViewId current) {
            std::to_string(current) + " in era " + std::to_string(era_) + "; penalizing " +
            missed.str());
   if (missed != id()) penalized_.insert(missed);
+  reputation_.record_view_change(missed, now());
   telemetry().count("gpbft.penalties_recorded", id());
   // A view change during a switch means the lead died; resume normal
   // operation under the new primary.
@@ -473,8 +518,67 @@ void Endorser::on_view_changed(ViewId previous, ViewId current) {
 
 void Endorser::report_fork(const ledger::ForkEvidence& evidence) {
   penalized_.insert(evidence.producer);
+  reputation_.record_fault_observation(evidence.producer, now());
   log_warn(id().str() + ": fork evidence against " + evidence.producer.str() + " at height " +
            std::to_string(evidence.height));
+}
+
+// --- reputation ---------------------------------------------------------------
+
+void Endorser::note_invariant_violation(NodeId device) {
+  reputation_.record_invariant_violation(device, now());
+}
+
+void Endorser::observe_committee_behaviour(TimePoint at, const ElectionParams& params) {
+  const std::int64_t period = config_.genesis.geo_report_period.ns;
+  if (period <= 0) return;
+  // Periodic reporting puts at most window/period + 1 honest reports in the
+  // lookback window; a member far above that is flooding (Sybil burst),
+  // one with none at all is silent (missed heartbeat).
+  const std::size_t expected = static_cast<std::size_t>(params.window.ns / period) + 1;
+  const std::size_t flood_floor = config_.genesis.sybil_rate_factor * expected;
+  const auto audit = [&](NodeId device, bool seated) {
+    const std::vector<geo::ElectionEntry> reports =
+        table_.reports_in_window(device, at, params.window);
+    // Flood copies carry the timestamp of the report they forge, so they
+    // collide exactly; the network duplicates a delivery at most once, so an
+    // honest report appears at most twice. Three or more copies of one
+    // instant is proof of a sender-side flood even when the auditor saw only
+    // a slice of the window (it was crashed, or links were lossy) and the
+    // total count stays under the rate floor.
+    std::size_t max_copies = 0;
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      run = (i > 0 && reports[i].timestamp.ns == reports[i - 1].timestamp.ns) ? run + 1 : 1;
+      max_copies = std::max(max_copies, run);
+    }
+    if (seated && reports.empty()) {
+      reputation_.record_missed_heartbeat(device, at);
+      telemetry().count("gpbft.reputation.heartbeat_strikes", id());
+      log_info(id().str() + ": missed-heartbeat strike against " + device.str());
+    } else if (reports.size() > flood_floor || max_copies >= 3) {
+      reputation_.record_sybil_anomaly(device, at);
+      telemetry().count("gpbft.reputation.sybil_strikes", id());
+      log_info(id().str() + ": sybil-rate strike against " + device.str() + " (" +
+               std::to_string(reports.size()) + " reports in window, expected <= " +
+               std::to_string(expected) + ", max copies of one instant " +
+               std::to_string(max_copies) + ")");
+    }
+  };
+  for (NodeId member : committee()) audit(member, /*seated=*/true);
+  // Candidates are audited for floods only — absence is normal for them.
+  for (NodeId candidate : known_candidates_) audit(candidate, /*seated=*/false);
+}
+
+void Endorser::publish_reputation_gauges(TimePoint at) {
+  if (!telemetry().enabled()) return;
+  for (const auto& snap : reputation_.snapshot(at)) {
+    // Scores export in natural units (neutral = 1.0) plus the latch state.
+    telemetry().metrics().gauge("gpbft.reputation.score", snap.device)
+        .set(static_cast<double>(snap.score) / 1000.0);
+    telemetry().metrics().gauge("gpbft.reputation.quarantined", snap.device)
+        .set(snap.quarantined ? 1.0 : 0.0);
+  }
 }
 
 }  // namespace gpbft::gpbft

@@ -35,6 +35,7 @@
 #include <functional>
 #include <set>
 
+#include "geo/reputation.hpp"
 #include "gpbft/area_registry.hpp"
 #include "gpbft/election.hpp"
 #include "gpbft/protocol_config.hpp"
@@ -68,6 +69,11 @@ class Endorser : public pbft::Replica {
   [[nodiscard]] std::uint64_t era_switches() const { return era_switches_; }
   [[nodiscard]] Duration last_switch_duration() const { return last_switch_duration_; }
   [[nodiscard]] geo::GeoPoint location() const { return location_; }
+  [[nodiscard]] const geo::ReputationLedger& reputation() const { return reputation_; }
+
+  /// Feeds an invariant-monitor violation implicating `device` into the
+  /// reputation ledger (wired by the harness; see sim::InvariantMonitor).
+  void note_invariant_violation(NodeId device);
 
   /// Moves the device (examples / mobility): subsequent reports carry the
   /// new position, so its geographic timer restarts on peers.
@@ -104,6 +110,12 @@ class Endorser : public pbft::Replica {
   void apply_era_config(const ledger::EraConfig& config, Height config_height);
   void record_geo(NodeId device, const geo::GeoPoint& point, TimePoint at);
   void record_block_geo(const ledger::Block& block);
+  /// Era-switch behaviour audit: missed-heartbeat strikes for silent
+  /// members, Sybil-rate strikes for report floods (run by the lead; the
+  /// resulting scores travel in the configuration block).
+  void observe_committee_behaviour(TimePoint at, const ElectionParams& params);
+  /// Exports `gpbft.reputation.*` gauges for every scored device.
+  void publish_reputation_gauges(TimePoint at);
 
   GpbftConfig config_;
   Role role_;
@@ -111,6 +123,7 @@ class Endorser : public pbft::Replica {
 
   geo::ElectionTable table_;
   SybilFilter filter_;
+  geo::ReputationLedger reputation_;
   std::set<NodeId> penalized_;
   std::set<NodeId> known_candidates_;
   EnrolledCells enrolled_cells_;  // cell each member was elected at (from chain)

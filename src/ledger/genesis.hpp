@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/sim_time.hpp"
+#include "geo/reputation.hpp"
 #include "ledger/block.hpp"
 
 namespace gpbft::ledger {
@@ -62,6 +63,17 @@ struct GenesisConfig {
   /// Geohash prefix of the deployment area; reports outside it are invalid
   /// (all devices of one application sit in a small physical area, §III-A).
   std::string area_prefix;
+
+  /// Reputation model for the election (off by default: the stock paper
+  /// protocol ranks by geographic timer alone). When enabled, the roster is
+  /// ranked by timer × score, quarantined devices are demoted at the next
+  /// era switch, and configuration blocks carry the score snapshot.
+  geo::ReputationParams reputation;
+
+  /// A committee member whose geo-report count in the lookback window
+  /// exceeds `sybil_rate_factor` × the expected periodic count is flagged
+  /// as a Sybil report flood at the era switch (reputation strike).
+  std::size_t sybil_rate_factor{3};
 };
 
 /// Builds the genesis block: height 0, zero previous hash, and one

@@ -22,6 +22,16 @@ Bytes Transaction::encode() const {
   w.f64(geo.point.longitude);
   w.f64(geo.point.latitude);
   w.i64(geo.timestamp.ns);
+  // Optional reputation tail: only written when non-empty, so runs with
+  // reputation disabled encode byte-identically to the legacy format.
+  if (!era_config.scores.empty()) {
+    w.varint(era_config.scores.size());
+    for (const ReputationScore& s : era_config.scores) {
+      w.u64(s.device.value);
+      w.i64(s.score);
+      w.u8(s.quarantined ? 1 : 0);
+    }
+  }
   return w.take();
 }
 
@@ -85,6 +95,26 @@ Result<Transaction> Transaction::decode(BytesView data) {
   if (!ts) return make_error(ts.error());
   tx.geo.point = geo::GeoPoint{lat.value(), lng.value()};
   tx.geo.timestamp = TimePoint{ts.value()};
+
+  // The reputation tail is present only when bytes remain past the trailer.
+  if (!r.exhausted()) {
+    auto score_count = r.varint();
+    if (!score_count) return make_error(score_count.error());
+    if (score_count.value() == 0) return make_error("transaction: empty reputation tail");
+    if (score_count.value() > 100'000) return make_error("transaction: too many scores");
+    tx.era_config.scores.reserve(static_cast<std::size_t>(score_count.value()));
+    for (std::uint64_t i = 0; i < score_count.value(); ++i) {
+      auto device = r.u64();
+      if (!device) return make_error(device.error());
+      auto score = r.i64();
+      if (!score) return make_error(score.error());
+      auto quarantined = r.u8();
+      if (!quarantined) return make_error(quarantined.error());
+      if (quarantined.value() > 1) return make_error("transaction: bad quarantine flag");
+      tx.era_config.scores.push_back(
+          ReputationScore{NodeId{device.value()}, score.value(), quarantined.value() == 1});
+    }
+  }
 
   if (!r.exhausted()) return make_error("transaction: trailing bytes");
   return tx;

@@ -38,10 +38,26 @@ enum class TxKind : std::uint8_t { Normal = 0, Config = 1 };
 /// transaction carries the cells of its roster, so re-authentication can
 /// demote an endorser whose reports no longer match its enrolled location
 /// even if the move happened before the current lookback window.
+/// One device's reputation state as persisted inside a configuration
+/// transaction (milli fixed-point score plus the quarantine latch). The
+/// full ledger — not just the seated roster — rides along, so a restarted
+/// endorser rebuilds the same scores, including quarantined attackers.
+struct ReputationScore {
+  NodeId device;
+  std::int64_t score{0};
+  bool quarantined{false};
+
+  friend bool operator==(const ReputationScore&, const ReputationScore&) = default;
+};
+
 struct EraConfig {
   EraId era{0};
   std::vector<NodeId> endorsers;
   std::vector<std::string> cells;  // parallel to `endorsers`; may be empty
+  /// Reputation snapshot, ascending by device id. Empty when reputation is
+  /// disabled — and then not encoded at all, keeping the wire format (and
+  /// every golden hash) identical to the pre-reputation one.
+  std::vector<ReputationScore> scores;
 
   friend bool operator==(const EraConfig&, const EraConfig&) = default;
 };

@@ -68,13 +68,18 @@ void Client::on_retry_tick() {
 
 Duration Client::backoff_delay(std::uint32_t attempt) {
   // Bounded exponential backoff: base, 2x, 4x, then capped at 8x the base,
-  // each scaled by jitter U[0.75, 1.25) so clients desynchronize.
+  // each scaled by jitter U[0.75, 1.25) so clients desynchronize. The
+  // jitter draw happens before the max_backoff_ clamp, so configuring a
+  // cap never shifts the RNG stream — retry schedules stay deterministic
+  // across runs and restarts whether or not a cap is set.
   static constexpr std::uint32_t kMaxShift = 3;
   const std::uint32_t shift = std::min(attempt, kMaxShift);
   const double jitter = backoff_rng_.uniform_real(0.75, 1.25);
   const double delay_ns =
       static_cast<double>(retry_interval_.ns) * static_cast<double>(1u << shift) * jitter;
-  return Duration{static_cast<std::int64_t>(delay_ns)};
+  Duration delay{static_cast<std::int64_t>(delay_ns)};
+  if (max_backoff_.ns > 0 && delay > max_backoff_) delay = max_backoff_;
+  return delay;
 }
 
 void Client::send_request(const ledger::Transaction& tx) {

@@ -44,6 +44,12 @@ class Client : public net::INetNode {
   /// client resending in the same tick.
   void set_retry_interval(Duration interval) { retry_interval_ = interval; }
 
+  /// Hard ceiling on one backoff delay (applied after jitter, so setting a
+  /// cap never perturbs the deterministic jitter stream). Zero = uncapped
+  /// (the legacy 8x-base bound still applies).
+  void set_max_backoff(Duration cap) { max_backoff_ = cap; }
+  [[nodiscard]] Duration max_backoff() const { return max_backoff_; }
+
   // --- INetNode ---------------------------------------------------------------
   [[nodiscard]] NodeId id() const override { return id_; }
   void handle(const net::Envelope& envelope) override;
@@ -89,6 +95,7 @@ class Client : public net::INetNode {
   CommitCallback commit_cb_;
   std::uint64_t committed_count_{0};
   Duration retry_interval_ = Duration::seconds(20);
+  Duration max_backoff_{0};  // hard delay ceiling; zero = uncapped
   Rng backoff_rng_;  // jitter stream, decorrelated from protocol randomness
   bool started_{false};
 };

@@ -50,6 +50,11 @@ enum class FaultMode {
   /// As primary, proposes blocks whose Merkle root does not commit to the
   /// body (honest backups must reject them; the view change removes it).
   CorruptProposals,
+  /// Floods forged geo-reports (in-cell jitter under the area-registry
+  /// truthfulness tolerance) to hold a stationary timer while spamming the
+  /// election table — the Sybil-burst election attack. Consensus messages
+  /// stay honest; only G-PBFT's geo plane is attacked.
+  SybilGeoReports,
 };
 
 }  // namespace gpbft::pbft

@@ -162,6 +162,9 @@ class Replica : public net::INetNode {
   [[nodiscard]] const PbftConfig& config() const { return config_; }
   [[nodiscard]] ledger::Mempool& mempool() { return mempool_; }
   [[nodiscard]] bool in_view_change() const { return in_view_change_; }
+  /// Injected Byzantine behaviour, visible to subclasses so the G-PBFT
+  /// layer can drive geo-plane attacks (SybilGeoReports) from its timers.
+  [[nodiscard]] FaultMode fault_mode() const { return fault_mode_; }
 
   /// Enqueues a request locally (also used by the G-PBFT layer when it
   /// generates configuration transactions).

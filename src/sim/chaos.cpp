@@ -42,6 +42,11 @@ const char* chaos_kind_name(ChaosEvent::Kind kind) {
     case ChaosEvent::Kind::ByzantineHeal: return "byzantine_heal";
     case ChaosEvent::Kind::Restart: return "restart";
     case ChaosEvent::Kind::DiskFault: return "disk_fault";
+    case ChaosEvent::Kind::SybilBurst: return "sybil_burst";
+    case ChaosEvent::Kind::SybilHeal: return "sybil_heal";
+    case ChaosEvent::Kind::TargetedCrash: return "targeted_crash";
+    case ChaosEvent::Kind::OscillateMobility: return "oscillate_mobility";
+    case ChaosEvent::Kind::OscillateRestore: return "oscillate_restore";
   }
   return "unknown";
 }
@@ -52,6 +57,7 @@ const char* fault_mode_name(pbft::FaultMode mode) {
     case pbft::FaultMode::Silent: return "silent";
     case pbft::FaultMode::EquivocateDigest: return "equivocate";
     case pbft::FaultMode::CorruptProposals: return "corrupt-proposals";
+    case pbft::FaultMode::SybilGeoReports: return "sybil-geo-reports";
   }
   return "unknown";
 }
@@ -108,6 +114,23 @@ std::string ChaosEvent::describe() const {
     case Kind::DiskFault:
       out += "disk fault node " + nodes_str(nodes) + " kind=" + disk_fault_name(disk);
       break;
+    case Kind::SybilBurst:
+      out += "sybil burst node " + nodes_str(nodes);
+      break;
+    case Kind::SybilHeal:
+      out += "sybil heal node " + nodes_str(nodes);
+      break;
+    case Kind::TargetedCrash:
+      std::snprintf(buf, sizeof(buf), "targeted crash (latest elected) hold=%.3fs",
+                    hold.to_seconds());
+      out += buf;
+      break;
+    case Kind::OscillateMobility:
+      out += "oscillate mobility node " + nodes_str(nodes);
+      break;
+    case Kind::OscillateRestore:
+      out += "oscillate restore node " + nodes_str(nodes);
+      break;
   }
   return out;
 }
@@ -155,6 +178,27 @@ ChaosEvent ChaosEvent::disk_fault(TimePoint at, NodeId victim, DiskFaultKind kin
   ChaosEvent event{at, Kind::DiskFault, {victim}};
   event.disk = kind;
   return event;
+}
+ChaosEvent ChaosEvent::sybil_burst(TimePoint at, NodeId victim) {
+  ChaosEvent event{at, Kind::SybilBurst, {victim}};
+  event.mode = pbft::FaultMode::SybilGeoReports;
+  return event;
+}
+ChaosEvent ChaosEvent::sybil_heal(TimePoint at, NodeId victim) {
+  ChaosEvent event{at, Kind::SybilHeal, {victim}};
+  event.mode = pbft::FaultMode::None;
+  return event;
+}
+ChaosEvent ChaosEvent::targeted_crash(TimePoint at, Duration hold) {
+  ChaosEvent event{at, Kind::TargetedCrash, {}};
+  event.hold = hold;
+  return event;
+}
+ChaosEvent ChaosEvent::oscillate_mobility(TimePoint at, NodeId victim) {
+  return ChaosEvent{at, Kind::OscillateMobility, {victim}};
+}
+ChaosEvent ChaosEvent::oscillate_restore(TimePoint at, NodeId victim) {
+  return ChaosEvent{at, Kind::OscillateRestore, {victim}};
 }
 
 // --- ChaosProfile ------------------------------------------------------------------
@@ -217,12 +261,16 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const ChaosProfile& profile,
   // a plan with restart_chance == 0 is byte-identical to one generated
   // before these families existed.
   Rng durability = rng.fork(0x64757261'62696c69ull);
+  // Election-attack families likewise draw from their own stream: plans
+  // with all attack chances at zero stay byte-identical to older ones.
+  Rng election = rng.fork(0x656c6563'74696f6eull);
 
   std::map<std::uint64_t, std::int64_t> down_until;  // node -> instant it is healthy again
   std::int64_t partition_until = 0;                  // one partition at a time
+  std::int64_t targeted_until = 0;  // fire-time-resolved crash window (victim unknown here)
 
-  const auto faulty_at = [&down_until](std::int64_t t) {
-    std::size_t n = 0;
+  const auto faulty_at = [&down_until, &targeted_until](std::int64_t t) {
+    std::size_t n = targeted_until > t ? 1 : 0;
     for (const auto& [node, until] : down_until) {
       (void)node;
       if (until > t) ++n;
@@ -321,6 +369,40 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const ChaosProfile& profile,
       plan.add(
           ChaosEvent::disk_fault(TimePoint{t}, victim, kDiskKinds[durability.uniform(0, 2)]));
     }
+    // Election-attack families. A Sybil flooder stays live on the consensus
+    // plane, but budget it as faulty anyway: reputation may quarantine it
+    // out of the committee, and the roster must keep a 2f+1 honest quorum.
+    if (election.chance(profile.sybil_burst_chance) && faulty_at(t) < profile.max_faulty) {
+      std::vector<NodeId> healthy;
+      for (NodeId node : nodes) {
+        const auto it = down_until.find(node.value);
+        if (it == down_until.end() || it->second <= t) healthy.push_back(node);
+      }
+      if (!healthy.empty()) {
+        const NodeId victim = healthy[election.uniform(0, healthy.size() - 1)];
+        // A flood shorter than the audit window is pointless for the
+        // attacker (no rate anomaly ever spans a full window), so bursts
+        // run 3x the ordinary fault duration, clamped to the horizon.
+        const std::int64_t flood_heal =
+            std::min(t + 3 * profile.fault_duration.ns, horizon.ns);
+        plan.add(ChaosEvent::sybil_burst(TimePoint{t}, victim));
+        plan.add(ChaosEvent::sybil_heal(TimePoint{flood_heal}, victim));
+        down_until[victim.value] = flood_heal;
+      }
+    }
+    if (election.chance(profile.targeted_crash_chance) && targeted_until <= t &&
+        faulty_at(t) < profile.max_faulty) {
+      // The victim — the most-recently-elected endorser — is only known at
+      // fire time (ChaosHandlers::resolve_target); reserve one budget slot
+      // for the hold window regardless of who it lands on.
+      plan.add(ChaosEvent::targeted_crash(TimePoint{t}, profile.fault_duration));
+      targeted_until = heal_at;
+    }
+    if (election.chance(profile.oscillate_chance)) {
+      const NodeId victim = nodes[election.uniform(0, nodes.size() - 1)];
+      plan.add(ChaosEvent::oscillate_mobility(TimePoint{t}, victim));
+      plan.add(ChaosEvent::oscillate_restore(TimePoint{heal_at}, victim));
+    }
   }
   return plan;
 }
@@ -353,7 +435,7 @@ void FaultPlan::schedule(net::Simulator& sim, net::Network& network,
 void FaultPlan::schedule(net::Simulator& sim, net::Network& network,
                          const ChaosHandlers& handlers) const {
   for (const ChaosEvent& event : events_) {
-    sim.schedule_at(event.at, [&network, handlers, event]() {
+    sim.schedule_at(event.at, [&sim, &network, handlers, event]() {
       switch (event.kind) {
         case ChaosEvent::Kind::Crash:
           for (NodeId node : event.nodes) network.crash(node);
@@ -390,6 +472,23 @@ void FaultPlan::schedule(net::Simulator& sim, net::Network& network,
           break;
         case ChaosEvent::Kind::DiskFault:
           if (handlers.disk_fault) handlers.disk_fault(event.nodes.at(0), event.disk);
+          break;
+        case ChaosEvent::Kind::SybilBurst:
+        case ChaosEvent::Kind::SybilHeal:
+          if (handlers.set_byzantine) handlers.set_byzantine(event.nodes.at(0), event.mode);
+          break;
+        case ChaosEvent::Kind::TargetedCrash:
+          if (handlers.resolve_target) {
+            const NodeId victim = handlers.resolve_target();
+            network.crash(victim);
+            sim.schedule(event.hold, [&network, victim]() { network.recover(victim); });
+          }
+          break;
+        case ChaosEvent::Kind::OscillateMobility:
+          if (handlers.oscillate) handlers.oscillate(event.nodes.at(0), /*displaced=*/true);
+          break;
+        case ChaosEvent::Kind::OscillateRestore:
+          if (handlers.oscillate) handlers.oscillate(event.nodes.at(0), /*displaced=*/false);
           break;
       }
       // Fault injections land in the same telemetry stream the protocols
@@ -437,6 +536,9 @@ ScenarioSpec chaos_scenario(ProtocolKind protocol, const ChaosCampaignOptions& o
   spec.workload.period = options.tx_period;
   spec.engine.request_timeout = Duration::seconds(6);
   spec.engine.view_change_timeout = Duration::seconds(5);
+  // Only the G-PBFT deployment reads this; for the other protocols it is
+  // inert configuration.
+  spec.reputation.enabled = options.reputation;
   switch (protocol) {
     case ProtocolKind::Pbft:
       break;
@@ -482,6 +584,15 @@ ChaosRunResult run_protocol_chaos(ProtocolKind protocol, const ChaosCampaignOpti
 
   InvariantMonitor monitor(deployment->simulator());
   deployment->watch(monitor);
+  if (protocol == ProtocolKind::Gpbft) {
+    // A flood can only show up as a rate anomaly once it spans the audit's
+    // lookback window; only seatings past that age count as violations.
+    monitor.set_sybil_detection_grace(spec.geo.window + spec.geo.report_period);
+    // Reputation campaigns also claim bounded committee churn: every honest
+    // application of an era's configuration must land within the bound of
+    // the first one (generous enough for a crash-held victim's resync).
+    if (options.reputation) monitor.set_era_convergence_bound(Duration::seconds(30));
+  }
   deployment->start();
   deployment->schedule_workload(
       spec.workload, nullptr,
@@ -491,6 +602,9 @@ ChaosRunResult run_protocol_chaos(ProtocolKind protocol, const ChaosCampaignOpti
   profile.max_faulty = (options.committee - 1) / 3;
   profile.restart_chance = options.restart_chance;
   profile.disk_fault_chance = options.disk_fault_chance;
+  profile.sybil_burst_chance = options.sybil_burst_chance;
+  profile.targeted_crash_chance = options.targeted_crash_chance;
+  profile.oscillate_chance = options.oscillate_chance;
   // Miners model no equivocation faults (there is no FaultMode to toggle);
   // PoW runs get the profile's crash/partition/link/brownout families only.
   if (protocol == ProtocolKind::Pow) profile.byzantine_chance = 0.0;
@@ -500,7 +614,15 @@ ChaosRunResult run_protocol_chaos(ProtocolKind protocol, const ChaosCampaignOpti
   FaultPlan::ChaosHandlers handlers;
   handlers.set_byzantine = [&deployment, &monitor](NodeId id, pbft::FaultMode mode) {
     deployment->set_fault_mode(id, mode);
-    monitor.set_faulty(id, mode != pbft::FaultMode::None);
+    // A Sybil report flood leaves the consensus plane honest: the node is
+    // still held to agreement, but marked for the no-Sybil-seated check.
+    monitor.set_faulty(id, mode != pbft::FaultMode::None &&
+                               mode != pbft::FaultMode::SybilGeoReports);
+    monitor.note_sybil(id, mode == pbft::FaultMode::SybilGeoReports);
+  };
+  handlers.resolve_target = [&deployment]() { return deployment->latest_elected(); };
+  handlers.oscillate = [&deployment](NodeId id, bool displaced) {
+    deployment->displace_node(id, displaced);
   };
   handlers.restart = [&deployment](NodeId id) { (void)deployment->restart_node(id); };
   handlers.disk_fault = [&deployment](NodeId id, DiskFaultKind kind) {

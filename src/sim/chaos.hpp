@@ -53,6 +53,14 @@ struct ChaosEvent {
     ByzantineHeal,  // nodes: {victim}
     Restart,        // nodes: {victim}; crash–restart from the node's disk
     DiskFault,      // nodes: {victim}; disk: the corruption injected
+    // Election-attack family (targets G-PBFT's endorser election):
+    SybilBurst,        // nodes: {victim}; floods forged geo reports
+    SybilHeal,         // nodes: {victim}; stops the flood
+    TargetedCrash,     // nodes empty; victim resolved at fire time via
+                       // ChaosHandlers::resolve_target (most-recently-
+                       // elected endorser); recovers after `hold`
+    OscillateMobility,  // nodes: {victim}; displaces its reported cell
+    OscillateRestore,   // nodes: {victim}; moves it back
   };
 
   TimePoint at;
@@ -62,6 +70,7 @@ struct ChaosEvent {
   double factor{1.0};
   pbft::FaultMode mode{pbft::FaultMode::None};
   DiskFaultKind disk{DiskFaultKind::TornWrite};
+  Duration hold{};  // TargetedCrash: downtime before the scheduled recover
 
   /// Deterministic one-line rendering ("t=12.000s crash node 3").
   [[nodiscard]] std::string describe() const;
@@ -79,6 +88,11 @@ struct ChaosEvent {
   static ChaosEvent byzantine_heal(TimePoint at, NodeId victim);
   static ChaosEvent restart(TimePoint at, NodeId victim);
   static ChaosEvent disk_fault(TimePoint at, NodeId victim, DiskFaultKind kind);
+  static ChaosEvent sybil_burst(TimePoint at, NodeId victim);
+  static ChaosEvent sybil_heal(TimePoint at, NodeId victim);
+  static ChaosEvent targeted_crash(TimePoint at, Duration hold);
+  static ChaosEvent oscillate_mobility(TimePoint at, NodeId victim);
+  static ChaosEvent oscillate_restore(TimePoint at, NodeId victim);
 };
 
 /// Intensity profile for random plan generation. Every `step`, each fault
@@ -98,6 +112,15 @@ struct ChaosProfile {
   /// the plan seed, so enabling them never perturbs the other families.
   double restart_chance{0.0};
   double disk_fault_chance{0.0};
+
+  /// Election-attack families (Sybil report floods, targeted crashes of the
+  /// most-recently-elected endorser, mobility oscillation at the stability
+  /// boundary); zero in the built-in profiles. Like the durability pair,
+  /// their randomness draws from its own stream forked off the plan seed —
+  /// zero-chance plans are byte-identical to pre-attack ones.
+  double sybil_burst_chance{0.0};
+  double targeted_crash_chance{0.0};
+  double oscillate_chance{0.0};
 
   double max_loss{0.15};
   Duration max_extra_latency = Duration::millis(40);
@@ -137,6 +160,8 @@ class FaultPlan {
   using EventHook = std::function<void(const ChaosEvent&)>;
   using RestartHandler = std::function<void(NodeId)>;
   using DiskFaultHandler = std::function<void(NodeId, DiskFaultKind)>;
+  using TargetResolver = std::function<NodeId()>;
+  using MobilityToggler = std::function<void(NodeId, bool)>;
 
   /// Receivers for the event families that need deployment cooperation.
   /// Network-level events (crash, partition, link, brownout) always apply;
@@ -145,6 +170,12 @@ class FaultPlan {
     ByzantineSetter set_byzantine;
     RestartHandler restart;        // wire to Deployment::restart_node
     DiskFaultHandler disk_fault;   // wire to Deployment::inject_disk_fault
+    /// TargetedCrash resolution: called at fire time, returns the victim
+    /// (G-PBFT wires the most-recently-elected endorser). Unset = skipped.
+    TargetResolver resolve_target;
+    /// OscillateMobility: displace (`true`) or restore (`false`) a device's
+    /// reported cell (G-PBFT moves its location and area-registry slot).
+    MobilityToggler oscillate;
     EventHook hook;                // fires after each applied event
   };
 
@@ -191,6 +222,18 @@ struct ChaosCampaignOptions {
   /// snapshot). Zero keeps campaigns byte-identical to pre-durability runs.
   double restart_chance{0.0};
   double disk_fault_chance{0.0};
+
+  /// Election-attack chances (per step, own forked RNG stream; see
+  /// ChaosProfile). Meaningful for G-PBFT runs; the other protocols have no
+  /// election to attack, so the events degrade to plain faults or no-ops.
+  double sybil_burst_chance{0.0};
+  double targeted_crash_chance{0.0};
+  double oscillate_chance{0.0};
+
+  /// Enables the reputation-weighted election (G-PBFT deployments): scores
+  /// shape the roster, quarantine demotes attackers, configuration blocks
+  /// carry the score snapshot.
+  bool reputation{false};
 };
 
 struct ChaosRunResult {

@@ -325,6 +325,13 @@ void GpbftCluster::stop_nodes() {
 void GpbftCluster::on_roster(EraId era, const std::vector<NodeId>& roster) {
   if (era <= era_) return;
   era_ = era;
+  // Track the most recent promotion (highest newly seated id of the newest
+  // era): TargetedCrash chaos events resolve their victim from this.
+  for (NodeId member : roster) {
+    if (std::find(roster_.begin(), roster_.end(), member) == roster_.end()) {
+      latest_elected_ = member;
+    }
+  }
   roster_ = roster;
   for (auto& client : clients_) client->set_committee(roster);
   for (auto& endorser : endorsers_) {
@@ -339,6 +346,39 @@ std::vector<NodeId> GpbftCluster::fault_targets() const {
   std::vector<NodeId> victims;
   for (std::size_t i = 0; i < committee_size; ++i) victims.push_back(NodeId{i + 1});
   return victims;
+}
+
+NodeId GpbftCluster::latest_elected() const {
+  if (latest_elected_.value != 0) return latest_elected_;
+  return Deployment::latest_elected();  // no promotion yet: a genesis member
+}
+
+void GpbftCluster::displace_node(NodeId id, bool displaced) {
+  for (auto& endorser : endorsers_) {
+    if (endorser->id() != id) continue;
+    if (displaced) {
+      if (displaced_origin_.contains(id)) return;  // already away from home
+      const geo::GeoPoint origin = endorser->location();
+      displaced_origin_[id] = origin;
+      geo::GeoPoint moved = origin;
+      // ~33 m north: far beyond the 5 m truthfulness tolerance (a different
+      // CSC cell, so the stationarity timer resets) yet still inside the
+      // precision-5 deployment area. Oracle and reported location move
+      // together — the attack is *mobility*, not lying about position.
+      moved.latitude += 0.0003;
+      area_.place(id, moved);
+      endorser->set_location(moved);
+    } else {
+      const auto it = displaced_origin_.find(id);
+      if (it == displaced_origin_.end()) return;
+      area_.place(id, it->second);
+      endorser->set_location(it->second);
+      displaced_origin_.erase(it);
+    }
+    telemetry_.instant("mobility.oscillate", "chaos", id,
+                       {{"displaced", displaced ? "true" : "false"}});
+    return;
+  }
 }
 
 std::uint64_t GpbftCluster::total_era_switches() const {
@@ -368,6 +408,9 @@ bool GpbftCluster::restart_node(NodeId id) {
     slot.reset();
 
     const std::size_t index = static_cast<std::size_t>(id.value - 1);
+    // A reboot re-seats the device at its home spot; drop any outstanding
+    // mobility displacement so the oracle matches what it will report.
+    if (displaced_origin_.erase(id) > 0) area_.place(id, placement_.position(index));
     auto endorser = std::make_unique<::gpbft::gpbft::Endorser>(
         id, placement_.position(index), protocol_, genesis_, network_, keys_, &area_);
     endorser->set_roster_callback(
@@ -692,6 +735,11 @@ std::unique_ptr<GpbftCluster> make_gpbft_deployment(const ScenarioSpec& spec) {
   config.protocol.genesis.min_geo_reports = spec.geo.min_reports;
   config.protocol.genesis.promotion_threshold = spec.geo.promotion_threshold;
   config.protocol.geo_reports_on_chain = spec.geo.reports_on_chain;
+  config.protocol.genesis.reputation.enabled = spec.reputation.enabled;
+  config.protocol.genesis.reputation.half_life = spec.reputation.half_life;
+  config.protocol.genesis.reputation.quarantine_enter = spec.reputation.quarantine_enter;
+  config.protocol.genesis.reputation.quarantine_exit = spec.reputation.quarantine_exit;
+  config.protocol.genesis.sybil_rate_factor = spec.reputation.sybil_rate_factor;
   return std::make_unique<GpbftCluster>(config);
 }
 

@@ -29,6 +29,7 @@
 #include <functional>
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "dbft/delegate.hpp"
@@ -97,6 +98,23 @@ class Deployment {
   /// Toggles a node's Byzantine behaviour (no-op for PoW: miners model no
   /// equivocation faults; chaos profiles keep byzantine_chance at zero).
   virtual void set_fault_mode(NodeId id, pbft::FaultMode mode);
+
+  /// The most recently seated committee member — the victim a TargetedCrash
+  /// chaos event resolves at fire time. G-PBFT tracks promotions across era
+  /// switches; protocols without elections fall back to the last fault
+  /// target, so the event degrades to a plain crash of a fixed node.
+  [[nodiscard]] virtual NodeId latest_elected() const {
+    const std::vector<NodeId> targets = fault_targets();
+    return targets.empty() ? NodeId{0} : targets.back();
+  }
+
+  /// Displaces (`true`) or restores (`false`) a node's physical position at
+  /// the mobility-stability boundary (OscillateMobility chaos events).
+  /// No-op for protocols without geo reporting.
+  virtual void displace_node(NodeId id, bool displaced) {
+    (void)id;
+    (void)displaced;
+  }
 
   /// Crash–restart with durability: destroys the protocol object (its
   /// scheduled timers die with its lifetime token), rebuilds it from
@@ -221,6 +239,13 @@ class GpbftCluster : public Deployment {
   [[nodiscard]] std::vector<NodeId> fault_targets() const override;
   [[nodiscard]] std::uint64_t era_switches() const override { return total_era_switches(); }
   void set_fault_mode(NodeId id, pbft::FaultMode mode) override;
+  /// The member most recently promoted into the roster (the genesis lead
+  /// until the first era switch seats someone new).
+  [[nodiscard]] NodeId latest_elected() const override;
+  /// Moves the endorser ~33 m north — a different CSC cell inside the same
+  /// deployment area — keeping reported location and the area oracle in
+  /// sync, so reports stay truthful but the stationarity timer resets.
+  void displace_node(NodeId id, bool displaced) override;
   bool restart_node(NodeId id) override;
   void watch(InvariantMonitor& monitor) override;
 
@@ -245,6 +270,8 @@ class GpbftCluster : public Deployment {
   std::vector<std::unique_ptr<::gpbft::gpbft::Endorser>> endorsers_;
   std::vector<NodeId> roster_;
   EraId era_{0};
+  NodeId latest_elected_{};  // last id newly seated by an era switch
+  std::unordered_map<NodeId, geo::GeoPoint> displaced_origin_;  // pre-displacement spots
 };
 
 // --- dBFT deployment ------------------------------------------------------------

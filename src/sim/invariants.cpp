@@ -35,6 +35,9 @@ const char* violation_kind_name(Violation::Kind kind) {
     case Violation::Kind::RosterMismatch: return "ROSTER-MISMATCH";
     case Violation::Kind::Liveness: return "LIVENESS";
     case Violation::Kind::RestartConvergence: return "RESTART-CONVERGENCE";
+    case Violation::Kind::CommitteeQuality: return "COMMITTEE-QUALITY";
+    case Violation::Kind::SybilSeated: return "SYBIL-SEATED";
+    case Violation::Kind::EraConvergence: return "ERA-CONVERGENCE";
   }
   return "UNKNOWN";
 }
@@ -73,6 +76,14 @@ void InvariantMonitor::set_faulty(NodeId id, bool faulty) {
     faulty_.insert(id.value);
   } else {
     faulty_.erase(id.value);
+  }
+}
+
+void InvariantMonitor::note_sybil(NodeId id, bool active) {
+  if (active) {
+    sybil_.emplace(id.value, sim_.now());  // keep the original flood start
+  } else {
+    sybil_.erase(id.value);
   }
 }
 
@@ -142,6 +153,52 @@ void InvariantMonitor::check_transaction(NodeId node, Height height,
              "era " + std::to_string(tx.era_config.era) + " roster " +
                  roster_str(tx.era_config.endorsers) + " but canonical is " +
                  roster_str(config_it->second.endorsers));
+    }
+
+    // The two committee-quality checks judge the *election*, so they run
+    // once per era — on its first (canonical) application, not when slow
+    // or restarted nodes replay the same config block later.
+    if (first) {
+      // COMMITTEE-QUALITY: the configuration must not contradict itself —
+      // a device its own score snapshot marks quarantined may not be
+      // seated. Vacuous when the reputation election is off (no scores).
+      for (const ledger::ReputationScore& score : tx.era_config.scores) {
+        if (!score.quarantined) continue;
+        if (std::find(tx.era_config.endorsers.begin(), tx.era_config.endorsers.end(),
+                      score.device) != tx.era_config.endorsers.end()) {
+          record(Violation::Kind::CommitteeQuality, node, height,
+                 "era " + std::to_string(tx.era_config.era) + " seats quarantined device " +
+                     score.device.str() + " (score " + std::to_string(score.score) + ")");
+        }
+      }
+
+      // SYBIL-SEATED: no device that has been flooding forged geo reports
+      // for at least the detection grace may be seated (fed by SybilBurst
+      // chaos events; a flood younger than the audit window is exempt).
+      for (NodeId member : tx.era_config.endorsers) {
+        const auto sybil_it = sybil_.find(member.value);
+        if (sybil_it == sybil_.end()) continue;
+        if (sim_.now() - sybil_it->second < sybil_grace_) continue;
+        record(Violation::Kind::SybilSeated, node, height,
+               "era " + std::to_string(tx.era_config.era) + " seats active Sybil flooder " +
+                   member.str() + " (flooding since " + format_time(sybil_it->second) + ")");
+      }
+    }
+
+    // ERA-CONVERGENCE: the first honest application of an era's config
+    // starts the clock; every other honest application must land within the
+    // bound (era switches must not leave the committee split for long).
+    if (era_convergence_bound_.ns > 0) {
+      const auto [era_it, first_apply] =
+          era_first_applied_.emplace(tx.era_config.era, sim_.now());
+      if (!first_apply && sim_.now() - era_it->second > era_convergence_bound_) {
+        record(Violation::Kind::EraConvergence, node, height,
+               "era " + std::to_string(tx.era_config.era) + " applied " +
+                   format_time(sim_.now()) + ", " +
+                   format_time(TimePoint{(sim_.now() - era_it->second).ns}) +
+                   " after the first application at " + format_time(era_it->second) +
+                   " (bound " + format_time(TimePoint{era_convergence_bound_.ns}) + ")");
+      }
     }
   }
 }

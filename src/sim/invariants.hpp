@@ -43,6 +43,12 @@ struct Violation {
     RosterMismatch,
     Liveness,
     RestartConvergence,
+    CommitteeQuality,  // a config block seats a device its own score
+                       // snapshot marks quarantined
+    SybilSeated,       // a config block seats a device currently flooding
+                       // forged geo reports (fed by note_sybil)
+    EraConvergence,    // an honest node applied an era's config later than
+                       // the convergence bound after its first application
   };
 
   Kind kind{Kind::Agreement};
@@ -80,6 +86,20 @@ class InvariantMonitor {
 
   /// Marks a node Byzantine (excluded from agreement while faulty).
   void set_faulty(NodeId id, bool faulty);
+  /// Marks a node as currently flooding forged geo reports (SybilBurst
+  /// chaos events toggle this). Such a node stays honest on the consensus
+  /// plane, but a config block seating it while flagged is a SYBIL-SEATED
+  /// violation — the committee-quality claim the reputation election makes.
+  void note_sybil(NodeId id, bool active);
+  /// SYBIL-SEATED fairness window: a config only violates when the seated
+  /// device had been flooding for at least `grace` by the time the config
+  /// first committed — a rate-anomaly audit cannot flag a flood that has
+  /// not yet spanned its lookback window. Zero (default) is strict.
+  void set_sybil_detection_grace(Duration grace) { sybil_grace_ = grace; }
+  /// Arms the ERA-CONVERGENCE check: once the first honest node applies an
+  /// era's configuration, every other honest application of that era must
+  /// land within `bound`. Zero (the default) disables the check.
+  void set_era_convergence_bound(Duration bound) { era_convergence_bound_ = bound; }
   /// Updates the fault context attached to subsequent violations.
   void note_fault(const std::string& description);
 
@@ -143,6 +163,10 @@ class InvariantMonitor {
   std::set<crypto::Hash256> submitted_;                        // client submissions
   std::unordered_map<std::uint64_t, std::unordered_set<crypto::Hash256>> executed_txs_;
   std::unordered_set<std::uint64_t> faulty_;
+  std::map<std::uint64_t, TimePoint> sybil_;  // active flooders -> flood start
+  Duration sybil_grace_{0};                  // see set_sybil_detection_grace
+  Duration era_convergence_bound_{0};        // zero: check disabled
+  std::map<EraId, TimePoint> era_first_applied_;  // era -> first honest apply
 
   struct RestartInfo {
     TimePoint at;

@@ -142,6 +142,18 @@ Field duration_field(const char* key, Sub ScenarioSpec::* sub, Duration Sub::* m
 }
 
 template <typename Sub>
+Field i64_sub_field(const char* key, Sub ScenarioSpec::* sub, std::int64_t Sub::* member) {
+  return {key,
+          [sub, member](const ScenarioSpec& s) { return std::to_string(s.*sub.*member); },
+          [sub, member](ScenarioSpec& s, const std::string& v) -> Result<void> {
+            auto parsed = parse_i64(v);
+            if (!parsed) return make_error(parsed.error());
+            s.*sub.*member = parsed.value();
+            return {};
+          }};
+}
+
+template <typename Sub>
 Field double_field(const char* key, Sub ScenarioSpec::* sub, double Sub::* member) {
   return {key, [sub, member](const ScenarioSpec& s) { return double_str(s.*sub.*member); },
           [sub, member](ScenarioSpec& s, const std::string& v) -> Result<void> {
@@ -318,6 +330,23 @@ const std::vector<Field>& field_table() {
                              &ChaosSpec::restart_chance));
     f.push_back(double_field("chaos.disk_fault_chance", &ScenarioSpec::chaos,
                              &ChaosSpec::disk_fault_chance));
+    f.push_back(double_field("chaos.sybil_burst_chance", &ScenarioSpec::chaos,
+                             &ChaosSpec::sybil_burst_chance));
+    f.push_back(double_field("chaos.targeted_crash_chance", &ScenarioSpec::chaos,
+                             &ChaosSpec::targeted_crash_chance));
+    f.push_back(double_field("chaos.oscillate_chance", &ScenarioSpec::chaos,
+                             &ChaosSpec::oscillate_chance));
+
+    f.push_back(bool_field("reputation.enabled", &ScenarioSpec::reputation,
+                           &ReputationSpec::enabled));
+    f.push_back(duration_field("reputation.half_life_ns", &ScenarioSpec::reputation,
+                               &ReputationSpec::half_life));
+    f.push_back(i64_sub_field("reputation.quarantine_enter", &ScenarioSpec::reputation,
+                              &ReputationSpec::quarantine_enter));
+    f.push_back(i64_sub_field("reputation.quarantine_exit", &ScenarioSpec::reputation,
+                              &ReputationSpec::quarantine_exit));
+    f.push_back(size_field("reputation.sybil_rate_factor", &ScenarioSpec::reputation,
+                           &ReputationSpec::sybil_rate_factor));
     return f;
   }();
   return fields;

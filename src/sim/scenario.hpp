@@ -115,8 +115,33 @@ struct ChaosSpec {
   /// snapshot). Zero (the default) disables both families.
   double restart_chance{0.0};
   double disk_fault_chance{0.0};
+  /// Election-attack chances (per decision step, own forked RNG stream):
+  /// Sybil geo-report floods, targeted crashes of the most-recently-elected
+  /// endorser, and mobility oscillation at the stability boundary. Zero
+  /// keeps plans byte-identical to pre-attack runs.
+  double sybil_burst_chance{0.0};
+  double targeted_crash_chance{0.0};
+  double oscillate_chance{0.0};
 
   friend bool operator==(const ChaosSpec&, const ChaosSpec&) = default;
+};
+
+/// Reputation-weighted endorser election (G-PBFT only; the other protocols
+/// ignore this block). Scores always *record*; `enabled` gates their
+/// influence — election ranking, quarantine exclusion and the score
+/// snapshot persisted in era-configuration blocks.
+struct ReputationSpec {
+  bool enabled{false};
+  Duration half_life = Duration::hours(24);
+  /// Milli-score hysteresis band: quarantine latches below `enter` and
+  /// releases only once decay lifts the score past `exit` (1000 = neutral).
+  std::int64_t quarantine_enter{400};
+  std::int64_t quarantine_exit{750};
+  /// Era-switch flood audit: reports above `rate_factor` x the expected
+  /// per-window count earn a Sybil-anomaly strike.
+  std::size_t sybil_rate_factor{3};
+
+  friend bool operator==(const ReputationSpec&, const ReputationSpec&) = default;
 };
 
 /// The full declarative deployment description.
@@ -141,6 +166,7 @@ struct ScenarioSpec {
   DbftSpec dbft;
   PowSpec pow;
   ChaosSpec chaos;
+  ReputationSpec reputation;
 
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 };

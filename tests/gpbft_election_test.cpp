@@ -300,6 +300,78 @@ TEST(Algorithm1, EnrolledCellMatchingEndorserStays) {
   EXPECT_TRUE(outcome.demoted.empty());
 }
 
+// --- ElectionTable edges ----------------------------------------------------------
+
+TEST(ElectionTable, TimerProjectsExactlyToPromotionBoundary) {
+  // The 72-h promotion threshold is an inclusive boundary: a device whose
+  // projected timer reaches it exactly qualifies, one nanosecond earlier
+  // does not.
+  geo::ElectionTable table;
+  const GeoPoint home{22.3964, 114.1095};
+  const TimePoint enrolled{Duration::seconds(5).ns};
+  table.record(NodeId{1}, csc_at(home, NodeId{1}), enrolled);
+
+  const Duration threshold = Duration::hours(72);
+  const TimePoint boundary{enrolled.ns + threshold.ns};
+  EXPECT_EQ(table.timer_at(NodeId{1}, TimePoint{boundary.ns - 1}).ns, threshold.ns - 1);
+  EXPECT_EQ(table.timer_at(NodeId{1}, boundary), threshold);
+  EXPECT_TRUE(table.stationary_devices(TimePoint{boundary.ns - 1}, threshold).empty());
+  EXPECT_EQ(table.stationary_devices(boundary, threshold), std::vector<NodeId>{NodeId{1}});
+}
+
+TEST(ElectionTable, TimerAtBeforeFirstSightingIsZero) {
+  geo::ElectionTable table;
+  const TimePoint seen{Duration::seconds(100).ns};
+  table.record(NodeId{1}, csc_at(GeoPoint{22.3964, 114.1095}, NodeId{1}), seen);
+  // Projection backwards (a caller asking about a past instant) must not
+  // go negative, and unknown devices always read zero.
+  EXPECT_EQ(table.timer_at(NodeId{1}, TimePoint{Duration::seconds(50).ns}), Duration{0});
+  EXPECT_EQ(table.timer_at(NodeId{2}, seen), Duration{0});
+}
+
+TEST(ElectionTable, ResetThenReportSameInstantRestartsFromZero) {
+  // A device produces a block (timer reset, §III-B5) and its periodic
+  // report lands at the same instant: the report must not resurrect the
+  // pre-reset accumulation — the timer restarts from the reset point.
+  geo::ElectionTable table;
+  const GeoPoint home{22.3964, 114.1095};
+  table.record(NodeId{1}, csc_at(home, NodeId{1}), TimePoint{0});
+  const TimePoint produced{Duration::seconds(100).ns};
+  EXPECT_EQ(table.timer_at(NodeId{1}, produced), Duration::seconds(100));
+
+  table.reset_timer(NodeId{1}, produced);
+  table.record(NodeId{1}, csc_at(home, NodeId{1}), produced);
+  EXPECT_EQ(table.timer(NodeId{1}), Duration{0});
+  // Accumulation resumes from the reset instant, not from first sighting.
+  const TimePoint later{produced.ns + Duration::seconds(30).ns};
+  EXPECT_EQ(table.timer_at(NodeId{1}, later), Duration::seconds(30));
+}
+
+TEST(ElectionTable, ResetTimerUnknownDeviceIsNoop) {
+  geo::ElectionTable table;
+  table.reset_timer(NodeId{7}, TimePoint{Duration::seconds(10).ns});
+  EXPECT_EQ(table.timer(NodeId{7}), Duration{0});
+}
+
+TEST(ElectionTable, HistoryPrunesToLimitButTimerSurvives) {
+  // Per-device history is bounded; pruning old rows must not disturb the
+  // geographic timer (cell_since is tracked outside the row list).
+  geo::ElectionTable table(/*history_limit=*/4);
+  const GeoPoint home{22.3964, 114.1095};
+  for (int i = 0; i <= 9; ++i) {
+    table.record(NodeId{1}, csc_at(home, NodeId{1}), TimePoint{Duration::seconds(10 * i).ns});
+  }
+  const TimePoint now{Duration::seconds(90).ns};
+  // Only the newest 4 rows survive: a window covering everything sees 4.
+  EXPECT_EQ(table.reports_in_window(NodeId{1}, now, Duration::seconds(1000)).size(), 4u);
+  ASSERT_TRUE(table.latest(NodeId{1}).has_value());
+  EXPECT_EQ(table.latest(NodeId{1})->timestamp, now);
+  // The timer still measures from the first sighting at t=0.
+  EXPECT_EQ(table.timer(NodeId{1}), Duration::seconds(90));
+  EXPECT_EQ(table.timer_at(NodeId{1}, TimePoint{Duration::seconds(100).ns}),
+            Duration::seconds(100));
+}
+
 // --- roster assembly ------------------------------------------------------------------
 
 TEST(Roster, OrderedByGeographicTimer) {

@@ -8,9 +8,11 @@
 #include <memory>
 
 #include "common/rng.hpp"
+#include "pbft/client.hpp"
 #include "sim/deployment.hpp"
 #include "sim/invariants.hpp"
 #include "sim/storage.hpp"
+#include "sim/workload.hpp"
 
 namespace gpbft::sim {
 namespace {
@@ -260,6 +262,94 @@ TEST(Restart, GpbftEndorserRestartsAcrossEraSwitch) {
   EXPECT_EQ(cluster->endorser(1).chain().height(), cluster->endorser(0).chain().height());
   EXPECT_EQ(cluster->endorser(1).chain().tip().hash().hex(),
             cluster->endorser(0).chain().tip().hash().hex());
+}
+
+// --- client retry backoff cap ---------------------------------------------------------
+
+/// Committee member that records when each (re)transmitted REQUEST arrives
+/// and never replies, so the client keeps backing off indefinitely.
+class RequestSink : public net::INetNode {
+ public:
+  RequestSink(NodeId id, net::Network& network) : id_(id), network_(network) {
+    network.attach(this);
+  }
+  [[nodiscard]] NodeId id() const override { return id_; }
+  void handle(const net::Envelope& envelope) override {
+    if (envelope.type == pbft::msg_type::kClientRequest) {
+      arrivals_.push_back(network_.simulator().now());
+    }
+  }
+  [[nodiscard]] const std::vector<TimePoint>& arrivals() const { return arrivals_; }
+
+ private:
+  NodeId id_;
+  net::Network& network_;
+  std::vector<TimePoint> arrivals_;
+};
+
+/// One unanswered submission against a single silent endorser: returns the
+/// REQUEST arrival times over a 400 s horizon.
+std::vector<TimePoint> retry_arrivals(Duration cap, std::uint64_t seed) {
+  net::Simulator sim(seed);
+  net::Network network(sim, net::NetConfig{});
+  crypto::KeyRegistry keys(seed);
+  const NodeId endorser{1};
+  RequestSink sink(endorser, network);
+  pbft::Client client(NodeId{kClientIdBase + 1}, {endorser}, network, keys,
+                      /*compute_macs=*/false);
+  client.set_retry_interval(Duration::seconds(10));
+  client.set_max_backoff(cap);
+  client.start();
+  sim.schedule(Duration::seconds(1), [&client, &sim]() {
+    client.submit(make_workload_tx(client.id(), 1, geo::GeoPoint{22.3964, 114.1095}, sim.now(),
+                                   16, 1, 0));
+  });
+  sim.run_until(TimePoint{Duration::seconds(400).ns});
+  client.stop();
+  return sink.arrivals();
+}
+
+TEST(ClientBackoff, MaxBackoffBoundsEveryRetryGap) {
+  // Cap 12 s over a 10 s base: uncapped, the exponential reaches 80 s
+  // (+jitter); capped, no gap between consecutive resends may exceed the
+  // cap plus the retry-tick half-interval (resends are only evaluated at
+  // tick granularity).
+  const Duration cap = Duration::seconds(12);
+  const std::vector<TimePoint> capped = retry_arrivals(cap, 11);
+  const std::vector<TimePoint> uncapped = retry_arrivals(Duration{0}, 11);
+
+  ASSERT_GE(capped.size(), 20u);  // ~400 s / (cap + tick slack)
+  const std::int64_t slack = Duration::seconds(5).ns + Duration::millis(100).ns;
+  std::int64_t max_capped_gap = 0;
+  for (std::size_t i = 1; i < capped.size(); ++i) {
+    max_capped_gap = std::max(max_capped_gap, capped[i].ns - capped[i - 1].ns);
+  }
+  EXPECT_LE(max_capped_gap, cap.ns + slack);
+
+  // The uncapped run demonstrates the cap did something: its exponential
+  // gaps blow past the capped ceiling and it resends far less often.
+  std::int64_t max_uncapped_gap = 0;
+  for (std::size_t i = 1; i < uncapped.size(); ++i) {
+    max_uncapped_gap = std::max(max_uncapped_gap, uncapped[i].ns - uncapped[i - 1].ns);
+  }
+  EXPECT_GT(max_uncapped_gap, cap.ns + slack);
+  EXPECT_LT(uncapped.size() * 2, capped.size());
+}
+
+TEST(ClientBackoff, JitterStreamIsDeterministicWithAndWithoutCap) {
+  // Same seed, same cap -> byte-identical retry schedules; and the very
+  // first delivery (clamp applies after the jitter draw) coincides between
+  // capped and uncapped runs, so arming a cap never shifts the RNG stream.
+  const Duration cap = Duration::seconds(12);
+  const std::vector<TimePoint> first = retry_arrivals(cap, 23);
+  const std::vector<TimePoint> second = retry_arrivals(cap, 23);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) EXPECT_EQ(first[i].ns, second[i].ns);
+
+  const std::vector<TimePoint> uncapped = retry_arrivals(Duration{0}, 23);
+  ASSERT_FALSE(first.empty());
+  ASSERT_FALSE(uncapped.empty());
+  EXPECT_EQ(first.front().ns, uncapped.front().ns);
 }
 
 // --- determinism ----------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include "pbft/messages.hpp"
 #include "pow/pow_store.hpp"
 #include "sim/deployment.hpp"
+#include "sim/invariants.hpp"
 #include "sim/workload.hpp"
 
 namespace gpbft {
@@ -279,6 +280,66 @@ TEST(Robustness, CandidateIgnoresConsensusTraffic) {
   }
   cluster.run_for(Duration::seconds(2));
   EXPECT_EQ(cluster.endorser(5).chain().height(), 0u);
+}
+
+// --- faulty primary across an era switch ----------------------------------------------
+
+/// Runs a G-PBFT cluster whose view-0 primary turns Byzantine before the
+/// first era switch: the view change must route around it and the switch
+/// must still land, with the invariant monitor attached throughout.
+void faulty_primary_era_switch(pbft::FaultMode mode) {
+  ScenarioSpec spec;
+  spec.protocol = ProtocolKind::Gpbft;
+  spec.nodes = 6;
+  spec.clients = 2;
+  spec.seed = 7;
+  spec.committee.initial = 4;
+  spec.committee.min = 4;
+  spec.committee.max = 6;
+  spec.committee.era_period = Duration::seconds(15);
+  spec.geo.report_period = Duration::seconds(3);
+  spec.geo.window = Duration::seconds(12);
+  spec.geo.min_reports = 2;
+  spec.geo.promotion_threshold = Duration::seconds(20);
+  spec.engine.request_timeout = Duration::seconds(6);
+  spec.engine.view_change_timeout = Duration::seconds(5);
+  spec.workload.period = Duration::seconds(2);
+  spec.workload.txs_per_client = 4;
+
+  const std::unique_ptr<GpbftCluster> cluster = make_gpbft_deployment(spec);
+  InvariantMonitor monitor(cluster->simulator());
+  cluster->watch(monitor);
+  cluster->start();
+  cluster->schedule_workload(spec.workload, nullptr,
+                             [&monitor](const ledger::Transaction& tx) {
+                               monitor.expect_submission(tx);
+                             });
+  GpbftCluster* raw = cluster.get();
+  const NodeId victim = cluster->endorser(0).id();  // view-0 primary
+  cluster->simulator().schedule(Duration::seconds(5), [raw, &monitor, victim, mode]() {
+    raw->set_fault_mode(victim, mode);
+    monitor.set_faulty(victim, true);
+  });
+
+  EXPECT_TRUE(cluster->run_until_committed(spec.workload.txs_per_client,
+                                           TimePoint{Duration::seconds(600).ns}));
+  cluster->run_for(Duration::seconds(30));
+  cluster->stop();
+  cluster->finish_invariants(monitor);
+
+  EXPECT_GE(cluster->total_era_switches(), 1u);
+  EXPECT_TRUE(monitor.clean()) << monitor.report();
+  // The honest endorsers agree on one chain despite the Byzantine primary.
+  EXPECT_EQ(cluster->endorser(1).chain().tip().hash().hex(),
+            cluster->endorser(2).chain().tip().hash().hex());
+}
+
+TEST(Robustness, SilentPrimaryStillReachesEraSwitch) {
+  faulty_primary_era_switch(pbft::FaultMode::Silent);
+}
+
+TEST(Robustness, CorruptProposalsPrimaryStillReachesEraSwitch) {
+  faulty_primary_era_switch(pbft::FaultMode::CorruptProposals);
 }
 
 TEST(Robustness, HighLossNetworkEventuallyCommits) {

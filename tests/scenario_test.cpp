@@ -60,6 +60,14 @@ ScenarioSpec exercised_spec() {
   spec.chaos.liveness_grace = Duration::seconds(111);
   spec.chaos.restart_chance = 0.125;
   spec.chaos.disk_fault_chance = 0.0625;
+  spec.chaos.sybil_burst_chance = 0.25;
+  spec.chaos.targeted_crash_chance = 0.1875;
+  spec.chaos.oscillate_chance = 0.09375;
+  spec.reputation.enabled = true;
+  spec.reputation.half_life = Duration::seconds(3600);
+  spec.reputation.quarantine_enter = 350;
+  spec.reputation.quarantine_exit = 800;
+  spec.reputation.sybil_rate_factor = 5;
   return spec;
 }
 

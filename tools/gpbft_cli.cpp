@@ -64,6 +64,8 @@ struct CliOptions {
   std::size_t seeds = 10;         // chaos: seeds per (protocol, intensity)
   double restart_chance = 0.0;    // chaos: crash-restart-from-disk chance per step
   double disk_fault_chance = 0.0; // chaos: disk corruption chance per step
+  bool attack_election = false;   // chaos: election-attack pack (G-PBFT)
+  bool stock_election = false;    // chaos: keep the stock geo-timer election
   std::string scenario_path;      // run: scenario file
   std::string trace_out;          // run/report: Perfetto trace destination
   std::string metrics_out;        // run/report: metrics JSONL destination
@@ -86,6 +88,12 @@ void print_usage() {
                "  --nodes N                        committee size (default 7)\n"
                "  --restarts P                     crash-restart-from-disk chance per step\n"
                "  --disk-faults P                  disk corruption chance per step\n"
+               "  --attack-election                election-attack pack (Sybil floods, targeted\n"
+               "                                   crashes, mobility oscillation) with the\n"
+               "                                   reputation-weighted election; G-PBFT only\n"
+               "                                   unless --protocol says otherwise\n"
+               "  --stock-election                 with --attack-election: keep the stock\n"
+               "                                   geo-timer election (expected to fail)\n"
                "  --seed S --txs K\n"
                "run/report options:\n"
                "  --scenario FILE                  declarative scenario (key=value)\n"
@@ -121,6 +129,14 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
     const std::string flag = argv[i];
     if (flag == "--csv") {
       options.csv = true;
+      continue;
+    }
+    if (flag == "--attack-election") {
+      options.attack_election = true;
+      continue;
+    }
+    if (flag == "--stock-election") {
+      options.stock_election = true;
       continue;
     }
     if (i + 1 >= argc) return false;
@@ -207,6 +223,15 @@ int run_chaos(const CliOptions& options) {
   if (options.protocol != "all") {
     campaign.protocols = {sim::protocol_from_name(options.protocol).value()};
   }
+  if (options.attack_election) {
+    campaign.sybil_burst_chance = 0.25;
+    campaign.targeted_crash_chance = 0.2;
+    campaign.oscillate_chance = 0.25;
+    campaign.reputation = !options.stock_election;
+    // The attacks target the endorser election; torture G-PBFT unless the
+    // user named a protocol explicitly.
+    if (!options.protocol_set) campaign.protocols = {sim::ProtocolKind::Gpbft};
+  }
 
   const sim::ChaosCampaignResult result = sim::run_chaos_campaign(campaign);
   std::fputs(result.summary().c_str(), stdout);
@@ -277,12 +302,25 @@ int run_scenario(const CliOptions& options) {
   sim::InvariantMonitor monitor(deployment->simulator());
   const bool durability =
       spec.chaos.restart_chance > 0.0 || spec.chaos.disk_fault_chance > 0.0;
-  const bool chaos = spec.chaos.intensity != "none" || durability;
+  const bool attacks = spec.chaos.sybil_burst_chance > 0.0 ||
+                       spec.chaos.targeted_crash_chance > 0.0 ||
+                       spec.chaos.oscillate_chance > 0.0;
+  const bool chaos = spec.chaos.intensity != "none" || durability || attacks;
   sim::FaultPlan plan;
   if (chaos) {
     deployment->watch(monitor);
-    // intensity "none" with durability chances still runs a plan — one whose
-    // only families are restarts and disk faults.
+    if (spec.protocol == sim::ProtocolKind::Gpbft) {
+      // Floods younger than the audit's lookback window cannot show up as a
+      // rate anomaly yet; only older seatings count as violations.
+      monitor.set_sybil_detection_grace(spec.geo.window + spec.geo.report_period);
+      // The reputation-weighted election claims bounded committee churn;
+      // hold it to a convergence bound on era-config application spread.
+      if (spec.reputation.enabled) {
+        monitor.set_era_convergence_bound(Duration::seconds(30));
+      }
+    }
+    // intensity "none" with durability/attack chances still runs a plan —
+    // one whose only families are the explicitly enabled ones.
     sim::ChaosProfile profile = spec.chaos.intensity == "none"
                                     ? sim::ChaosProfile{.crash_chance = 0.0,
                                                         .link_fault_chance = 0.0,
@@ -290,6 +328,9 @@ int run_scenario(const CliOptions& options) {
                                     : sim::profile_for(spec.chaos.intensity);
     profile.restart_chance = spec.chaos.restart_chance;
     profile.disk_fault_chance = spec.chaos.disk_fault_chance;
+    profile.sybil_burst_chance = spec.chaos.sybil_burst_chance;
+    profile.targeted_crash_chance = spec.chaos.targeted_crash_chance;
+    profile.oscillate_chance = spec.chaos.oscillate_chance;
     const std::vector<NodeId> victims = deployment->fault_targets();
     profile.max_faulty = victims.empty() ? 0 : (victims.size() - 1) / 3;
     if (spec.protocol == sim::ProtocolKind::Pow) profile.byzantine_chance = 0.0;
@@ -297,7 +338,15 @@ int run_scenario(const CliOptions& options) {
     sim::FaultPlan::ChaosHandlers handlers;
     handlers.set_byzantine = [&deployment, &monitor](NodeId id, pbft::FaultMode mode) {
       deployment->set_fault_mode(id, mode);
-      monitor.set_faulty(id, mode != pbft::FaultMode::None);
+      // Sybil report floods stay honest on the consensus plane; the node is
+      // still held to agreement but marked for the no-Sybil-seated check.
+      monitor.set_faulty(id, mode != pbft::FaultMode::None &&
+                                 mode != pbft::FaultMode::SybilGeoReports);
+      monitor.note_sybil(id, mode == pbft::FaultMode::SybilGeoReports);
+    };
+    handlers.resolve_target = [&deployment]() { return deployment->latest_elected(); };
+    handlers.oscillate = [&deployment](NodeId id, bool displaced) {
+      deployment->displace_node(id, displaced);
     };
     handlers.restart = [&deployment](NodeId id) { (void)deployment->restart_node(id); };
     handlers.disk_fault = [&deployment](NodeId id, sim::DiskFaultKind kind) {
