@@ -32,6 +32,11 @@ ctest --test-dir "${BUILD_DIR}" -L tier1 -j "${JOBS}" --output-on-failure
 # SYBIL-SEATED / COMMITTEE-QUALITY / ERA-CONVERGENCE violation, agreement
 # break or liveness miss.
 ctest --test-dir "${BUILD_DIR}" -L tier1-adversarial -j "${JOBS}" --output-on-failure
+
+# Batched-pipeline gate (same label-regression rationale as above): the
+# batch.size=1 golden-equivalence tests, the client-table replay tests and
+# the million-device WorkloadPlane determinism tests (docs/protocol.md §11).
+ctest --test-dir "${BUILD_DIR}" -L tier1-batch -j "${JOBS}" --output-on-failure
 for sc in election_sybil_burst election_targeted_crash \
           election_boundary_oscillation election_churn_long; do
   "${BUILD_DIR}/tools/gpbft_cli" run --scenario "scenarios/${sc}.scenario" >/dev/null
@@ -77,6 +82,12 @@ GPBFT_BENCH_QUICK=1 GPBFT_BENCH_RUNS=1 "${BUILD_DIR}/bench/fig3b_gpbft_latency"
 # perf-motivated change to net/sim must not change observable behaviour.
 # See docs/performance.md.
 "${BUILD_DIR}/bench/bench_scale" --smoke
+
+# Million-device plane smoke: a 10^6-virtual-device diurnal workload over
+# O(regions) concrete endpoints, run twice from the same seed. Gates on
+# byte-identical tips, open-loop completeness (every submission commits)
+# and the wall budget (GPBFT_PLANE_BUDGET_SECS, default 120 s per run).
+"${BUILD_DIR}/bench/bench_scale" --plane
 
 # Opt-in sanitizer leg: a full ASan/UBSan build + test sweep in its own
 # build directory. Kept off the default path so the fast gate stays fast.

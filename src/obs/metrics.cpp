@@ -59,6 +59,17 @@ const std::vector<double>& default_latency_bounds_seconds() {
   return kBounds;
 }
 
+const std::vector<double>& default_count_bounds() {
+  static const std::vector<double> kBounds = {1.0,  2.0,   4.0,   8.0,   16.0,  32.0,
+                                              64.0, 128.0, 256.0, 512.0, 1024.0};
+  return kBounds;
+}
+
+const std::vector<double>& default_fraction_bounds() {
+  static const std::vector<double> kBounds = {0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0};
+  return kBounds;
+}
+
 Counter& Registry::counter(std::string_view name, NodeId node) {
   return counters_[Key{std::string(name), node.value}];
 }

@@ -54,6 +54,13 @@ struct Histogram {
 /// Default latency buckets (seconds): 1ms .. ~500s, roughly x2 per step.
 [[nodiscard]] const std::vector<double>& default_latency_bounds_seconds();
 
+/// Power-of-two count buckets (1 .. 1024): batch sizes, queue depths and
+/// other small-integer distributions.
+[[nodiscard]] const std::vector<double>& default_count_bounds();
+
+/// Octile buckets over [0, 1]: occupancy ratios and other fractions.
+[[nodiscard]] const std::vector<double>& default_fraction_bounds();
+
 class Registry {
  public:
   /// Node 0 addresses the deployment-global series.

@@ -77,6 +77,16 @@ class Telemetry {
   void observe(std::string_view name, double value, NodeId node = NodeId{0}) {
     if (enabled()) metrics_.histogram(name, node).observe(value);
   }
+  /// Like observe(), but the series buckets on power-of-two counts instead
+  /// of latency seconds (batch sizes, queue depths). Bounds bind on first
+  /// creation, so one name must stick to one observe flavour.
+  void observe_count(std::string_view name, double value, NodeId node = NodeId{0}) {
+    if (enabled()) metrics_.histogram(name, node, default_count_bounds()).observe(value);
+  }
+  /// Like observe(), but buckets on octiles of [0, 1] (occupancy ratios).
+  void observe_fraction(std::string_view name, double value, NodeId node = NodeId{0}) {
+    if (enabled()) metrics_.histogram(name, node, default_fraction_bounds()).observe(value);
+  }
   void instant(std::string name, std::string category, NodeId node,
                TraceRecorder::Args args = {}) {
     if (trace_enabled()) trace_.instant(now(), node, std::move(name), std::move(category),

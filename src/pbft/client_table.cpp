@@ -1,0 +1,18 @@
+#include "pbft/client_table.hpp"
+
+namespace gpbft::pbft {
+
+void ClientTable::note_executed(const ledger::Transaction& tx, Height height) {
+  Entry& entry = entries_[tx.sender.value];
+  if (entry.last_height != 0 && tx.request_id < entry.last_request_id) return;
+  entry.last_request_id = tx.request_id;
+  entry.last_digest = tx.digest();
+  entry.last_height = height;
+}
+
+const ClientTable::Entry* ClientTable::find(NodeId sender) const {
+  const auto it = entries_.find(sender.value);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace gpbft::pbft

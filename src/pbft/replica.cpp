@@ -142,6 +142,21 @@ void Replica::handle_extra(const net::Envelope& envelope) {
 
 void Replica::accept_request(ledger::Transaction tx) {
   const crypto::Hash256 digest = tx.digest();
+  if (const ClientTable::Entry* entry = client_table_.find(tx.sender);
+      entry != nullptr && entry->last_digest == digest) {
+    // Retransmission of this client's most recent executed request: answer
+    // from the client table — one map lookup instead of the chain index
+    // probe below. Retry storms resolve here.
+    telemetry().count("pbft.client_table.hits", id_);
+    Reply reply;
+    reply.view = view_;
+    reply.replica = id_;
+    reply.tx_digest = digest;
+    reply.height = entry->last_height;
+    const Bytes body = reply.encode();
+    send_to(tx.sender, msg_type::kReply, BytesView(body.data(), body.size()));
+    return;
+  }
   if (const auto height = chain_.find_transaction(digest)) {
     // Already committed: a client retransmitting lost its REPLY — answer
     // from the executed state (PBFT's reply cache, Castro-Liskov §4.1).
@@ -160,7 +175,10 @@ void Replica::accept_request(ledger::Transaction tx) {
 }
 
 std::vector<ledger::Transaction> Replica::select_batch() {
-  return mempool_.pop_batch(config_.max_batch_size, [this](const crypto::Hash256& digest) {
+  // An accumulated batch must drain in one proposal even when the close
+  // size exceeds the per-block cap tuned for the unbatched path.
+  const std::size_t cap = std::max(config_.max_batch_size, config_.batch_close_size);
+  return mempool_.pop_batch(cap, [this](const crypto::Hash256& digest) {
     return chain_.find_transaction(digest).has_value();
   });
 }
@@ -179,6 +197,7 @@ Result<void> Replica::adopt_chain_suffix(const std::vector<ledger::Block>& block
     for (const ledger::Transaction& tx : block.transactions) {
       pending_since_.erase(tx.digest());
       mempool_.remove(tx.digest());
+      client_table_.note_executed(tx, block.header.height);
     }
     // Retire the instance slot this block occupied, if any.
     const auto it = log_.find(block.header.height);
@@ -345,9 +364,58 @@ void Replica::maybe_propose() {
   if (it != log_.end() && it->second.preprepared && !it->second.executed) return;  // in flight
   if (mempool_.empty()) return;
 
+  bool closed_full = true;
+  if (config_.batch_close_size > 1) {
+    // Batch accumulation: the batch opens when its first request queues and
+    // closes on size or on the deterministic deadline, whichever trips
+    // first. Size wins when both trip in the same event, so the close
+    // reason is a pure function of the event sequence.
+    if (!batch_opened_at_) batch_opened_at_ = now();
+    const bool full = mempool_.size() >= config_.batch_close_size;
+    if (!full && now() - *batch_opened_at_ < config_.batch_close_timeout) {
+      arm_batch_timer();
+      return;
+    }
+    closed_full = full;
+  }
+
   std::vector<ledger::Transaction> batch = select_batch();
+  reset_batch_state();  // drained (or nothing proposable): close the epoch
   if (batch.empty()) return;
-  propose_batch(std::move(batch));
+
+  const std::size_t batch_txs = batch.size();
+  const bool proposed = propose_batch(std::move(batch));
+  if (proposed && config_.batch_close_size > 1) {
+    obs::Telemetry& tel = telemetry();
+    if (tel.enabled()) {
+      tel.count(closed_full ? "pbft.batch.closed_full" : "pbft.batch.closed_timeout", id_);
+      tel.observe_count("pbft.batch.txs", static_cast<double>(batch_txs), id_);
+      tel.observe_fraction(
+          "pbft.batch.occupancy",
+          static_cast<double>(batch_txs) / static_cast<double>(config_.batch_close_size), id_);
+    }
+    tel.instant("batch.close", "pbft", id_,
+                {{"reason", closed_full ? "full" : "timeout"},
+                 {"txs", std::to_string(batch_txs)}});
+  }
+}
+
+void Replica::arm_batch_timer() {
+  if (batch_timer_epoch_ == batch_epoch_) return;  // this batch already has one
+  batch_timer_epoch_ = batch_epoch_;
+  const Duration remaining = config_.batch_close_timeout - (now() - *batch_opened_at_);
+  schedule_protected(remaining, [this, epoch = batch_epoch_]() {
+    // The deadline belongs to one batch epoch; if that batch closed (or a
+    // view change abandoned it) the timer is stale and must not re-gate
+    // whatever batch is accumulating now.
+    if (epoch != batch_epoch_) return;
+    maybe_propose();
+  });
+}
+
+void Replica::reset_batch_state() {
+  ++batch_epoch_;
+  batch_opened_at_.reset();
 }
 
 bool Replica::propose_batch(std::vector<ledger::Transaction> batch) {
@@ -614,6 +682,7 @@ void Replica::try_execute() {
       const crypto::Hash256 digest = tx.digest();
       pending_since_.erase(digest);
       mempool_.remove(digest);
+      client_table_.note_executed(tx, block.header.height);
 
       Reply reply;
       reply.view = view_;
@@ -837,6 +906,10 @@ void Replica::enter_new_view(ViewId view, const std::vector<PrePrepare>& repropo
   // Give every pending request a fresh timeout under the new primary.
   for (auto& [digest, since] : pending_since_) since = now();
 
+  // Any accumulating batch is abandoned: its requests are back in the
+  // mempool and the new primary opens its own batch (with a fresh timer).
+  reset_batch_state();
+
   // Process the new primary's re-proposals, then any messages that raced
   // ahead of the NEW-VIEW.
   for (const PrePrepare& pp : reproposals) on_preprepare(primary_of(view_), pp);
@@ -926,6 +999,7 @@ void Replica::reconfigure_committee(std::vector<NodeId> committee) {
     }
   }
   for (auto& [digest, since] : pending_since_) since = now();
+  reset_batch_state();  // era switch: the new roster's primary re-batches
 }
 
 }  // namespace gpbft::pbft

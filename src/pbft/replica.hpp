@@ -32,6 +32,7 @@
 #include "ledger/mempool.hpp"
 #include "ledger/state.hpp"
 #include "net/network.hpp"
+#include "pbft/client_table.hpp"
 #include "pbft/config.hpp"
 #include "pbft/messages.hpp"
 
@@ -70,6 +71,8 @@ class Replica : public net::INetNode {
   [[nodiscard]] std::uint64_t completed_view_changes() const { return completed_view_changes_; }
   [[nodiscard]] std::size_t mempool_size() const { return mempool_.size(); }
   [[nodiscard]] SeqNum stable_checkpoint() const { return stable_seq_; }
+  /// Per-client last-executed-request bookkeeping (reply cache fast path).
+  [[nodiscard]] const ClientTable& client_table() const { return client_table_; }
 
   /// Primary of a view; round-robin over the committee roster by default,
   /// overridden by G-PBFT's geographic-timer weighting.
@@ -244,6 +247,14 @@ class Replica : public net::INetNode {
   void arm_tick();
   void on_tick();
 
+  /// Schedules the batch-close deadline for the currently accumulating
+  /// batch (batch_close_size > 1 only). At most one live timer per batch
+  /// epoch; stale timers no-op via the epoch check.
+  void arm_batch_timer();
+  /// Closes any accumulating batch without proposing it (view changes and
+  /// era switches hand the buffered requests to the next primary).
+  void reset_batch_state();
+
   [[nodiscard]] bool seq_in_window(SeqNum seq) const;
   [[nodiscard]] Bytes open_or_drop(const net::Envelope& envelope);
 
@@ -275,6 +286,20 @@ class Replica : public net::INetNode {
 
   // Request timeout tracking: tx digest -> first seen.
   std::unordered_map<crypto::Hash256, TimePoint> pending_since_;
+
+  // Per-client reply cache (see client_table.hpp); rebuilt by execution,
+  // including restore/sync adoption, so a restarted replica serves the same
+  // cached replies it did before the crash.
+  ClientTable client_table_;
+
+  // Batch accumulation (batch_close_size > 1): when the open batch's first
+  // request queued (nullopt = no batch open), and an epoch counter bumped
+  // at every close/abandon so in-flight close timers can detect they are
+  // stale. batch_timer_epoch_ records the epoch a timer is armed for —
+  // at most one live timer per epoch (the simulator cannot cancel events).
+  std::optional<TimePoint> batch_opened_at_;
+  std::uint64_t batch_epoch_{0};
+  std::uint64_t batch_timer_epoch_{~std::uint64_t{0}};
 
   // Out-of-order buffering: a new primary's PRE-PREPARE can overtake its
   // NEW-VIEW on a jittery network; messages for a future view (or arriving

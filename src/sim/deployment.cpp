@@ -9,6 +9,7 @@
 #include "pow/pow_store.hpp"
 #include "sim/invariants.hpp"
 #include "sim/workload.hpp"
+#include "sim/workload_plane.hpp"
 
 namespace gpbft::sim {
 
@@ -104,6 +105,10 @@ void Deployment::start() {
 }
 
 void Deployment::stop() {
+  // Revoke the workload liveness token before anything else: scheduled
+  // submission events (drivers and the plane alike) check it and become
+  // no-ops, so nothing feeds requests into the stopping cluster.
+  workload_alive_.reset();
   stop_nodes();
   for (auto& client : clients_) client->stop();
 }
@@ -120,6 +125,12 @@ bool Deployment::run_until_committed(std::uint64_t per_client, TimePoint deadlin
 }
 
 bool Deployment::workload_done(std::uint64_t per_client) const {
+  if (plane_ != nullptr) {
+    // Open-loop plane: done once the generation window closed and every
+    // submission committed (the plane never waits, so "per client" targets
+    // do not apply).
+    return plane_->generation_done() && committed_count() >= plane_->submitted();
+  }
   return std::all_of(clients_.begin(), clients_.end(), [per_client](const auto& client) {
     return client->committed_count() >= per_client;
   });
@@ -127,6 +138,26 @@ bool Deployment::workload_done(std::uint64_t per_client) const {
 
 void Deployment::schedule_workload(const WorkloadSpec& workload, LatencyRecorder* recorder,
                                    SubmitHook on_submit) {
+  workload_alive_ = std::make_shared<const bool>(true);
+  // Loss-free measurement runs disable retransmission so REQUEST traffic
+  // matches the paper's testbed; chaos runs keep retries on.
+  if (!workload.client_retries) {
+    for (auto& client : clients_) client->set_retry_interval(Duration{0});
+  }
+  if (workload.mode == WorkloadMode::Plane) {
+    std::vector<pbft::Client*> endpoints;
+    std::vector<geo::GeoPoint> positions;
+    endpoints.reserve(clients_.size());
+    positions.reserve(clients_.size());
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      endpoints.push_back(clients_[i].get());
+      positions.push_back(placement_.position(i));
+    }
+    plane_ = std::make_unique<WorkloadPlane>(sim_, workload, std::move(endpoints),
+                                             std::move(positions), telemetry_);
+    plane_->start(recorder, std::move(on_submit), workload_alive_);
+    return;
+  }
   WorkloadConfig config;
   config.period = workload.period;
   config.payload_bytes = workload.payload_bytes;
@@ -135,11 +166,8 @@ void Deployment::schedule_workload(const WorkloadSpec& workload, LatencyRecorder
   config.stagger = workload.stagger;
   config.count = workload.txs_per_client;
   for (std::size_t i = 0; i < clients_.size(); ++i) {
-    // Loss-free measurement runs disable retransmission so REQUEST traffic
-    // matches the paper's testbed; chaos runs keep retries on.
-    if (!workload.client_retries) clients_[i]->set_retry_interval(Duration{0});
     sim::schedule_workload(sim_, *clients_[i], placement_.position(i), config, i, recorder,
-                           on_submit);
+                           on_submit, workload_alive_);
   }
 }
 
@@ -527,8 +555,13 @@ struct PowDriver {
   Amount fee;
   Deployment::SubmitHook on_submit;
   RequestId next_request{1};
+  // Liveness gate (see Deployment::stop): the simulator cannot cancel
+  // events, so a scheduled step otherwise keeps this driver alive — and
+  // submitting — after the deployment stopped.
+  std::weak_ptr<const bool> alive;
 
   void step(const std::shared_ptr<PowDriver>& self) {
+    if (alive.expired()) return;  // deployment stopped
     if (remaining == 0) return;
     --remaining;
     const NodeId client_id{kClientIdBase + client_index + 1};
@@ -565,7 +598,7 @@ PowCluster::PowCluster(PowClusterConfig config)
   miner_config_.difficulty = static_cast<std::uint64_t>(
       static_cast<double>(config.miners) * config.hashrate * config.block_interval.to_seconds());
   miner_config_.confirmation_depth = config.confirmations;
-  miner_config_.max_batch_size = config.batch_size;
+  miner_config_.max_batch_size = config.txs_per_block;
   genesis_ = pow::make_pow_genesis(miner_config_.difficulty);
 
   for (std::size_t i = 0; i < config.miners; ++i) miner_ids_.push_back(NodeId{i + 1});
@@ -648,6 +681,12 @@ std::vector<NodeId> PowCluster::committee() const {
 void PowCluster::schedule_workload(const WorkloadSpec& workload, LatencyRecorder* recorder,
                                    SubmitHook on_submit) {
   recorder_ = recorder;
+  workload_alive_ = std::make_shared<const bool>(true);
+  if (workload.mode == WorkloadMode::Plane) {
+    // PoW proposers are gossip drivers, not pbft::Clients, so the plane's
+    // endpoint multiplexing does not apply; fall back to per-client streams.
+    log_warn("workload.mode=plane is not supported for PoW; using per-client drivers");
+  }
   for (std::size_t i = 0; i < config_.clients; ++i) {
     auto driver = std::make_shared<PowDriver>();
     driver->sim = &sim_;
@@ -660,6 +699,7 @@ void PowCluster::schedule_workload(const WorkloadSpec& workload, LatencyRecorder
     driver->payload_bytes = workload.payload_bytes;
     driver->fee = workload.fee;
     driver->on_submit = on_submit;
+    driver->alive = workload_alive_;
     sim_.schedule_at(workload.start + workload.stagger * static_cast<std::int64_t>(i),
                      [driver]() { driver->step(driver); });
   }
@@ -707,13 +747,20 @@ pbft::PbftConfig to_pbft_config(const EngineSpec& engine) {
   return config;
 }
 
+pbft::PbftConfig to_pbft_config(const EngineSpec& engine, const BatchSpec& batch) {
+  pbft::PbftConfig config = to_pbft_config(engine);
+  config.batch_close_size = batch.size;
+  config.batch_close_timeout = batch.timeout;
+  return config;
+}
+
 std::unique_ptr<PbftCluster> make_pbft_deployment(const ScenarioSpec& spec) {
   PbftClusterConfig config;
   config.replicas = spec.nodes;
   config.clients = spec.clients;
   config.seed = spec.seed;
   config.net = spec.net;
-  config.pbft = to_pbft_config(spec.engine);
+  config.pbft = to_pbft_config(spec.engine, spec.batch);
   config.placement = spec.placement;
   return std::make_unique<PbftCluster>(config);
 }
@@ -726,7 +773,7 @@ std::unique_ptr<GpbftCluster> make_gpbft_deployment(const ScenarioSpec& spec) {
   config.seed = spec.seed;
   config.net = spec.net;
   config.placement = spec.placement;
-  config.protocol.pbft = to_pbft_config(spec.engine);
+  config.protocol.pbft = to_pbft_config(spec.engine, spec.batch);
   config.protocol.genesis.era_period = spec.committee.era_period;
   config.protocol.genesis.policy.min_endorsers = spec.committee.min;
   config.protocol.genesis.policy.max_endorsers = spec.committee.max;
@@ -749,7 +796,7 @@ std::unique_ptr<DbftCluster> make_dbft_deployment(const ScenarioSpec& spec) {
   config.clients = spec.clients;
   config.seed = spec.seed;
   config.net = spec.net;
-  config.pbft = to_pbft_config(spec.engine);
+  config.pbft = to_pbft_config(spec.engine, spec.batch);
   config.block_interval = spec.dbft.block_interval;
   config.delegates = spec.dbft.delegates;
   config.epoch_blocks = spec.dbft.epoch_blocks;
@@ -763,7 +810,7 @@ std::unique_ptr<PowCluster> make_pow_deployment(const ScenarioSpec& spec) {
   config.clients = spec.clients;
   config.seed = spec.seed;
   config.net = spec.net;
-  config.batch_size = spec.engine.batch_size;
+  config.txs_per_block = spec.engine.batch_size;
   config.block_interval = spec.pow.block_interval;
   config.confirmations = spec.pow.confirmations;
   config.hashrate = spec.pow.hashrate;

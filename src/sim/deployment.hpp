@@ -45,6 +45,7 @@
 namespace gpbft::sim {
 
 class InvariantMonitor;
+class WorkloadPlane;
 
 /// Node-id layout shared by all deployments: protocol nodes are 1..N,
 /// clients 10001..; id 0 is the system/null node.
@@ -83,12 +84,20 @@ class Deployment {
   /// these stays conservative).
   [[nodiscard]] virtual std::vector<NodeId> fault_targets() const { return committee(); }
 
-  /// Schedules the constant-frequency workload on every proposer.
+  /// Schedules the workload. PerClient mode drives one constant-frequency
+  /// stream per concrete client; Plane mode builds a WorkloadPlane
+  /// multiplexing `workload.devices` virtual devices over those clients.
   /// `recorder` (optional) collects commit latencies; `on_submit`
   /// (optional) fires per submitted transaction — chaos runs wire it to
-  /// InvariantMonitor::expect_submission.
+  /// InvariantMonitor::expect_submission. Either way the streams are gated
+  /// on a liveness token that stop() revokes, so pending submission events
+  /// cannot outlive the deployment's active phase.
   virtual void schedule_workload(const WorkloadSpec& workload, LatencyRecorder* recorder,
                                  SubmitHook on_submit = {});
+
+  /// The workload plane, when schedule_workload ran in Plane mode.
+  [[nodiscard]] WorkloadPlane* plane() { return plane_.get(); }
+  [[nodiscard]] const WorkloadPlane* plane() const { return plane_.get(); }
 
   /// Transactions committed (PoW: confirmed at depth) across all clients.
   [[nodiscard]] virtual std::uint64_t committed_count() const;
@@ -176,6 +185,10 @@ class Deployment {
   StorageFabric storage_;
   InvariantMonitor* monitor_{nullptr};
   std::vector<std::unique_ptr<pbft::Client>> clients_;
+  /// Liveness token handed to workload streams; stop() resets it first so
+  /// already-queued submission events become no-ops.
+  std::shared_ptr<const bool> workload_alive_;
+  std::unique_ptr<WorkloadPlane> plane_;
 };
 
 // --- PBFT baseline ------------------------------------------------------------
@@ -326,7 +339,10 @@ struct PowClusterConfig {
   std::size_t clients{0};
   std::uint64_t seed{1};
   net::NetConfig net;
-  std::size_t batch_size{32};
+  /// Transactions a miner packs into one block template. (Distinct from the
+  /// consensus-engine batch.* request-pipeline knobs — this caps block
+  /// contents, not how many requests share a three-phase instance.)
+  std::size_t txs_per_block{32};
   /// Consensus difficulty = miners * hashrate * block_interval (network-
   /// wide solve rate of one block per interval).
   Duration block_interval = Duration::seconds(10);
@@ -376,6 +392,9 @@ class PowCluster : public Deployment {
 
 /// Translates the engine piece of a spec into the PBFT replica config.
 [[nodiscard]] pbft::PbftConfig to_pbft_config(const EngineSpec& engine);
+/// As above, plus the consensus batching knobs (batch.size / batch.timeout
+/// map to PbftConfig::batch_close_size / batch_close_timeout).
+[[nodiscard]] pbft::PbftConfig to_pbft_config(const EngineSpec& engine, const BatchSpec& batch);
 
 /// Builds the deployment a spec describes. The only construction path for
 /// benches, examples and the CLI.

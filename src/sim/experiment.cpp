@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "pbft/messages.hpp"
+#include "sim/workload_plane.hpp"
 
 namespace gpbft::sim {
 
@@ -52,6 +53,7 @@ ScenarioSpec scenario_for(ProtocolKind protocol, std::size_t nodes, std::size_t 
   spec.deadline = options.hard_deadline;
   spec.workload = options.workload;
   spec.engine = options.engine;
+  spec.batch = options.batch;
   spec.net = options.net;
   spec.committee = options.committee;
   spec.geo = options.geo;
@@ -120,12 +122,17 @@ ExperimentResult run_latency(ProtocolKind protocol, std::size_t nodes,
 
   const TimePoint deadline{spec.deadline.ns};
   deployment->run_until_committed(spec.workload.txs_per_client, deadline);
+  // Open-loop plane: expect what the arrival process actually generated,
+  // not a per-client quota.
+  const std::uint64_t expected = deployment->plane() != nullptr
+                                     ? deployment->plane()->submitted()
+                                     : spec.workload.txs_per_client * nodes;
   deployment->stop();
 
   deployment->finalize_telemetry();
   ExperimentResult result = finish_result(
       nodes, deployment->committee_size(), recorder, deployment->stats(),
-      deployment->committed_count(), spec.workload.txs_per_client * nodes,
+      deployment->committed_count(), expected,
       deployment->simulator().now().to_seconds(), deployment->era_switches());
   result.hashes_computed = deployment->hashes_computed();
   result.phases = phase_breakdown(*deployment);

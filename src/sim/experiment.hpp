@@ -38,6 +38,9 @@ struct ExperimentOptions {
   /// PBFT engine shared by the PBFT / G-PBFT / dBFT deployments.
   EngineSpec engine;
 
+  /// Consensus batching (batch.size=1 keeps the unbatched seed behaviour).
+  BatchSpec batch;
+
   /// Network model (the paper's s = processing_rate, §IV-B).
   net::NetConfig net;
 

@@ -28,6 +28,39 @@ Result<ProtocolKind> protocol_from_name(const std::string& name) {
   return make_error("unknown protocol: \"" + name + "\" (expected pbft|gpbft|dbft|pow)");
 }
 
+const char* workload_mode_name(WorkloadMode mode) {
+  switch (mode) {
+    case WorkloadMode::PerClient: return "per_client";
+    case WorkloadMode::Plane: return "plane";
+  }
+  return "unknown";
+}
+
+Result<WorkloadMode> workload_mode_from_name(const std::string& name) {
+  if (name == "per_client") return WorkloadMode::PerClient;
+  if (name == "plane") return WorkloadMode::Plane;
+  return make_error("unknown workload mode: \"" + name + "\" (expected per_client|plane)");
+}
+
+const char* arrival_name(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::Constant: return "constant";
+    case ArrivalProcess::Poisson: return "poisson";
+    case ArrivalProcess::Burst: return "burst";
+    case ArrivalProcess::Diurnal: return "diurnal";
+  }
+  return "unknown";
+}
+
+Result<ArrivalProcess> arrival_from_name(const std::string& name) {
+  if (name == "constant") return ArrivalProcess::Constant;
+  if (name == "poisson") return ArrivalProcess::Poisson;
+  if (name == "burst") return ArrivalProcess::Burst;
+  if (name == "diurnal") return ArrivalProcess::Diurnal;
+  return make_error("unknown arrival process: \"" + name +
+                    "\" (expected constant|poisson|burst|diurnal)");
+}
+
 namespace {
 
 // --- strict value parsers ------------------------------------------------------------
@@ -233,6 +266,40 @@ const std::vector<Field>& field_table() {
                                &WorkloadSpec::stagger));
     f.push_back(bool_field("workload.client_retries", &ScenarioSpec::workload,
                            &WorkloadSpec::client_retries));
+    f.push_back({"workload.mode",
+                 [](const ScenarioSpec& s) {
+                   return std::string(workload_mode_name(s.workload.mode));
+                 },
+                 [](ScenarioSpec& s, const std::string& v) -> Result<void> {
+                   auto parsed = workload_mode_from_name(v);
+                   if (!parsed) return make_error(parsed.error());
+                   s.workload.mode = parsed.value();
+                   return {};
+                 }});
+    f.push_back(u64_sub_field("workload.devices", &ScenarioSpec::workload,
+                              &WorkloadSpec::devices));
+    f.push_back({"workload.arrival",
+                 [](const ScenarioSpec& s) {
+                   return std::string(arrival_name(s.workload.arrival));
+                 },
+                 [](ScenarioSpec& s, const std::string& v) -> Result<void> {
+                   auto parsed = arrival_from_name(v);
+                   if (!parsed) return make_error(parsed.error());
+                   s.workload.arrival = parsed.value();
+                   return {};
+                 }});
+    f.push_back(double_field("workload.rate_hz", &ScenarioSpec::workload,
+                             &WorkloadSpec::rate_hz));
+    f.push_back(duration_field("workload.horizon_ns", &ScenarioSpec::workload,
+                               &WorkloadSpec::horizon));
+    f.push_back(duration_field("workload.burst_on_ns", &ScenarioSpec::workload,
+                               &WorkloadSpec::burst_on));
+    f.push_back(duration_field("workload.burst_off_ns", &ScenarioSpec::workload,
+                               &WorkloadSpec::burst_off));
+    f.push_back(duration_field("workload.diurnal_period_ns", &ScenarioSpec::workload,
+                               &WorkloadSpec::diurnal_period));
+    f.push_back(double_field("workload.diurnal_trough", &ScenarioSpec::workload,
+                             &WorkloadSpec::diurnal_trough));
 
     f.push_back(size_field("committee.initial", &ScenarioSpec::committee,
                            &CommitteeSpec::initial));
@@ -261,6 +328,17 @@ const std::vector<Field>& field_table() {
                                &EngineSpec::request_timeout));
     f.push_back(duration_field("engine.view_change_timeout_ns", &ScenarioSpec::engine,
                                &EngineSpec::view_change_timeout));
+
+    f.push_back({"batch.size",
+                 [](const ScenarioSpec& s) { return std::to_string(s.batch.size); },
+                 [](ScenarioSpec& s, const std::string& v) -> Result<void> {
+                   auto parsed = parse_u64(v);
+                   if (!parsed) return make_error(parsed.error());
+                   if (parsed.value() == 0) return make_error("batch.size must be >= 1");
+                   s.batch.size = static_cast<std::size_t>(parsed.value());
+                   return {};
+                 }});
+    f.push_back(duration_field("batch.timeout_ns", &ScenarioSpec::batch, &BatchSpec::timeout));
 
     f.push_back(duration_field("net.base_latency_ns", &ScenarioSpec::net,
                                &net::NetConfig::base_latency));

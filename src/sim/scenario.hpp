@@ -30,6 +30,29 @@ enum class ProtocolKind { Pbft, Gpbft, Dbft, Pow };
 /// Parses "pbft" / "gpbft" / "dbft" / "pow"; error on anything else.
 [[nodiscard]] Result<ProtocolKind> protocol_from_name(const std::string& name);
 
+/// How client devices generate requests.
+///  * PerClient — the seed behaviour: one WorkloadDriver per concrete
+///    pbft::Client submits `txs_per_client` transactions at a constant
+///    frequency (§V-B: every device proposes at a fixed rate).
+///  * Plane — a sim::WorkloadPlane multiplexes `devices` virtual IoT
+///    devices over the deployment's O(regions) concrete clients with an
+///    open-loop arrival process; device count no longer implies per-device
+///    object overhead.
+enum class WorkloadMode { PerClient, Plane };
+
+[[nodiscard]] const char* workload_mode_name(WorkloadMode mode);
+/// Parses "per_client" / "plane"; error on anything else.
+[[nodiscard]] Result<WorkloadMode> workload_mode_from_name(const std::string& name);
+
+/// Open-loop arrival process of the workload plane (rates are per device):
+/// Constant spaces arrivals evenly, Poisson draws exponential gaps, Burst
+/// alternates on/off windows, Diurnal modulates a raised-cosine day curve.
+enum class ArrivalProcess { Constant, Poisson, Burst, Diurnal };
+
+[[nodiscard]] const char* arrival_name(ArrivalProcess process);
+/// Parses "constant" / "poisson" / "burst" / "diurnal".
+[[nodiscard]] Result<ArrivalProcess> arrival_from_name(const std::string& name);
+
 /// Constant-frequency client workload (§V-B: every device proposes at a
 /// fixed rate). Mirrors WorkloadConfig plus the client-retransmission
 /// switch: measurement runs disable retries so REQUEST traffic matches the
@@ -43,7 +66,37 @@ struct WorkloadSpec {
   Duration stagger = Duration::millis(25);  // multiplied by the client index
   bool client_retries{true};
 
+  // --- workload plane (consulted only when mode == Plane) -------------------
+  WorkloadMode mode{WorkloadMode::PerClient};
+  /// Virtual IoT devices multiplexed over the concrete clients.
+  std::uint64_t devices{100'000};
+  ArrivalProcess arrival{ArrivalProcess::Poisson};
+  /// Mean submissions per device per second (aggregate = devices * rate).
+  double rate_hz{0.001};
+  /// Generation window: arrivals occur in [start, start + horizon).
+  Duration horizon = Duration::seconds(60);
+  /// Burst process: full-rate windows of `burst_on` separated by silent
+  /// windows of `burst_off`.
+  Duration burst_on = Duration::seconds(5);
+  Duration burst_off = Duration::seconds(15);
+  /// Diurnal process: raised-cosine day of this period whose night floor is
+  /// `diurnal_trough` x the peak rate.
+  Duration diurnal_period = Duration::seconds(120);
+  double diurnal_trough{0.2};
+
   friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
+};
+
+/// Consensus batching knobs shared by the PBFT / G-PBFT / dBFT engines
+/// (pbft::PbftConfig::batch_close_*). The default — size 1 — reproduces the
+/// unbatched seed behaviour exactly; see docs/protocol.md §11.
+struct BatchSpec {
+  /// Queued requests that close an accumulating batch immediately.
+  std::size_t size{1};
+  /// Deadline for a partially filled batch, measured from its first request.
+  Duration timeout = Duration::millis(250);
+
+  friend bool operator==(const BatchSpec&, const BatchSpec&) = default;
 };
 
 /// Committee bounds and era cadence (G-PBFT: §V-A min 4 / max 40; dBFT
@@ -161,6 +214,7 @@ struct ScenarioSpec {
   CommitteeSpec committee;
   GeoSpec geo;
   EngineSpec engine;
+  BatchSpec batch;
   net::NetConfig net;
   PlacementConfig placement;
   DbftSpec dbft;

@@ -31,11 +31,16 @@ struct WorkloadDriver {
   RequestId next_request{1};
   std::uint64_t submitted{0};
   std::function<void(const ledger::Transaction&)> on_submit;
+  // Liveness gating (see schedule_workload docs). `gated` distinguishes "no
+  // token supplied" from "token supplied and since expired".
+  bool gated{false};
+  std::weak_ptr<const bool> alive;
 };
 
 // Self-rescheduling step; the shared_ptr keeps the driver alive across the
 // whole submission stream.
 void step(const std::shared_ptr<WorkloadDriver>& driver, net::Simulator& sim) {
+  if (driver->gated && driver->alive.expired()) return;  // deployment stopped
   if (driver->submitted >= driver->config.count) return;
   const ledger::Transaction tx =
       make_workload_tx(driver->client->id(), driver->next_request++, driver->location, sim.now(),
@@ -53,7 +58,8 @@ void step(const std::shared_ptr<WorkloadDriver>& driver, net::Simulator& sim) {
 void schedule_workload(net::Simulator& sim, pbft::Client& client, const geo::GeoPoint& location,
                        const WorkloadConfig& config, std::uint64_t client_index,
                        LatencyRecorder* recorder,
-                       std::function<void(const ledger::Transaction&)> on_submit) {
+                       std::function<void(const ledger::Transaction&)> on_submit,
+                       std::shared_ptr<const bool> alive) {
   if (recorder != nullptr) {
     client.set_commit_callback(
         [recorder](const crypto::Hash256&, Height, Duration latency) {
@@ -67,6 +73,10 @@ void schedule_workload(net::Simulator& sim, pbft::Client& client, const geo::Geo
   driver->config = config;
   driver->client_index = client_index;
   driver->on_submit = std::move(on_submit);
+  if (alive != nullptr) {
+    driver->gated = true;
+    driver->alive = alive;
+  }
 
   const TimePoint first =
       TimePoint{config.start.ns + config.stagger.ns * static_cast<std::int64_t>(client_index)};

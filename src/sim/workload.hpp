@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "pbft/client.hpp"
 #include "sim/metrics.hpp"
@@ -29,10 +30,16 @@ struct WorkloadConfig {
 /// contents. The recorder (optional) collects commit latencies. `on_submit`
 /// (optional) fires for every transaction as it is submitted — chaos runs
 /// wire it to InvariantMonitor::expect_submission for the validity check.
+/// `alive` (optional) is a liveness token: the simulator cannot cancel
+/// events, so scheduled steps otherwise keep the driver alive after
+/// Deployment::stop and enqueue requests into a stopping cluster. When the
+/// token's owner drops it, pending steps become no-ops (same pattern as the
+/// replicas' restart timers). A null token leaves the stream ungated.
 void schedule_workload(net::Simulator& sim, pbft::Client& client, const geo::GeoPoint& location,
                        const WorkloadConfig& config, std::uint64_t client_index,
                        LatencyRecorder* recorder,
-                       std::function<void(const ledger::Transaction&)> on_submit = {});
+                       std::function<void(const ledger::Transaction&)> on_submit = {},
+                       std::shared_ptr<const bool> alive = nullptr);
 
 /// Builds the normal transaction a workload would submit (exposed for tests
 /// and single-transaction experiments).

@@ -1,0 +1,156 @@
+#include "sim/workload_plane.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "ledger/transaction.hpp"
+#include "net/simulator.hpp"
+#include "sim/workload.hpp"
+
+namespace gpbft::sim {
+
+namespace {
+
+constexpr std::uint64_t kPlaneRngLabel = 0x706c616e65ull;  // "plane"
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+}  // namespace
+
+WorkloadPlane::WorkloadPlane(net::Simulator& sim, const WorkloadSpec& spec,
+                             std::vector<pbft::Client*> endpoints,
+                             std::vector<geo::GeoPoint> positions, obs::Telemetry& telemetry)
+    : sim_(sim),
+      spec_(spec),
+      endpoints_(std::move(endpoints)),
+      positions_(std::move(positions)),
+      telemetry_(telemetry),
+      rng_(sim.rng().fork(kPlaneRngLabel)),
+      peak_(static_cast<double>(spec.devices) * spec.rate_hz),
+      end_(spec.start + spec.horizon),
+      next_seq_(spec.devices, 0) {}
+
+double WorkloadPlane::rate_at(TimePoint t) const {
+  if (t.ns < spec_.start.ns || t.ns >= end_.ns) return 0.0;
+  const std::int64_t elapsed = t.ns - spec_.start.ns;
+  switch (spec_.arrival) {
+    case ArrivalProcess::Constant:
+    case ArrivalProcess::Poisson:
+      return peak_;
+    case ArrivalProcess::Burst: {
+      const std::int64_t cycle = spec_.burst_on.ns + spec_.burst_off.ns;
+      if (cycle <= 0) return peak_;
+      return (elapsed % cycle) < spec_.burst_on.ns ? peak_ : 0.0;
+    }
+    case ArrivalProcess::Diurnal: {
+      if (spec_.diurnal_period.ns <= 0) return peak_;
+      const double phase =
+          static_cast<double>(elapsed % spec_.diurnal_period.ns) /
+          static_cast<double>(spec_.diurnal_period.ns);
+      const double day = 0.5 * (1.0 - std::cos(kTwoPi * phase));
+      return peak_ * (spec_.diurnal_trough + (1.0 - spec_.diurnal_trough) * day);
+    }
+  }
+  return peak_;
+}
+
+void WorkloadPlane::start(LatencyRecorder* recorder, SubmitHook on_submit,
+                          std::shared_ptr<const bool> alive) {
+  on_submit_ = std::move(on_submit);
+  if (alive == nullptr) {
+    // No deployment token: gate pending events on the plane's own lifetime
+    // instead, so destroying the plane still quiesces the stream.
+    self_token_ = std::make_shared<const bool>(true);
+    alive_ = self_token_;
+  } else {
+    alive_ = alive;
+  }
+  if (recorder != nullptr) {
+    for (pbft::Client* endpoint : endpoints_) {
+      endpoint->set_commit_callback(
+          [recorder](const crypto::Hash256&, Height, Duration latency) {
+            recorder->record(latency);
+          });
+    }
+  }
+  if (endpoints_.empty() || spec_.devices == 0 || peak_ <= 0.0) {
+    done_ = true;
+    return;
+  }
+  // First candidate: one inter-arrival gap past the window start, so a zero
+  // gap can never fire before the deployment's clients have started.
+  arm(spec_.start);
+}
+
+void WorkloadPlane::arm(TimePoint from) {
+  double gap_s;
+  if (spec_.arrival == ArrivalProcess::Constant) {
+    gap_s = 1.0 / peak_;  // evenly spaced fleet aggregate, no RNG draw
+  } else {
+    gap_s = rng_.exponential(1.0 / peak_);
+  }
+  Duration gap = Duration::from_seconds(gap_s);
+  if (gap.ns < 1) gap = Duration::nanos(1);  // always advance the clock
+  const TimePoint at = from + gap;
+  if (at.ns >= end_.ns) {
+    finish_generation();
+    return;
+  }
+  sim_.schedule_at(at, [this, token = alive_]() {
+    if (token.expired()) return;  // deployment stopped; plane may be gone
+    on_arrival();
+  });
+}
+
+void WorkloadPlane::on_arrival() {
+  const TimePoint now = sim_.now();
+  // Thinning: accept this candidate with probability rate(now) / peak. The
+  // flat processes run at peak everywhere, so they skip the Bernoulli draw
+  // and keep their RNG stream to pure gap + device-pick draws.
+  bool accept = true;
+  if (spec_.arrival == ArrivalProcess::Burst || spec_.arrival == ArrivalProcess::Diurnal) {
+    accept = rng_.chance(rate_at(now) / peak_);
+  }
+  if (accept) {
+    emit(now);
+  } else {
+    ++thinned_;
+    telemetry_.count("plane.thinned");
+  }
+  arm(now);
+}
+
+void WorkloadPlane::emit(TimePoint at) {
+  std::uint64_t device;
+  if (spec_.arrival == ArrivalProcess::Constant) {
+    device = arrivals_ % spec_.devices;  // round-robin, RNG-free
+  } else {
+    device = rng_.uniform(0, spec_.devices - 1);
+  }
+  ++arrivals_;
+
+  const std::size_t endpoint_idx = static_cast<std::size_t>(device % endpoints_.size());
+  pbft::Client& endpoint = *endpoints_[endpoint_idx];
+
+  // Device identity folds into the request id: replies route to the shared
+  // endpoint, but (device << 24 | seq) keeps digests distinct across the
+  // whole fleet (seq wraps at 2^24 — far beyond any simulated horizon).
+  const std::uint32_t seq = ++next_seq_[device];
+  const RequestId request_id = (device << 24) + seq;
+
+  const ledger::Transaction tx =
+      make_workload_tx(endpoint.id(), request_id, positions_[endpoint_idx], at,
+                       spec_.payload_bytes, spec_.fee, /*salt=*/device);
+  if (on_submit_) on_submit_(tx);
+  endpoint.submit(tx);
+  ++submitted_;
+  telemetry_.count("plane.submitted");
+}
+
+void WorkloadPlane::finish_generation() {
+  done_ = true;
+  telemetry_.instant("plane.generation_done", "workload", NodeId{0},
+                     {{"submitted", std::to_string(submitted_)},
+                      {"thinned", std::to_string(thinned_)}});
+}
+
+}  // namespace gpbft::sim

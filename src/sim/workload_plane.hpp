@@ -1,0 +1,97 @@
+// Open-loop workload plane: 10^5–10^6 virtual IoT devices over O(regions)
+// concrete endpoints.
+//
+// The per-client WorkloadDriver instantiates a full pbft::Client plus a
+// heap-allocated driver per device, which caps realistic experiments at a
+// few hundred clients. The plane inverts that: virtual devices are plain
+// indices — their only per-device state is one uint32 sequence counter in a
+// flat vector (~4 MB at 10^6 devices) — and every submission is routed
+// through one of the deployment's few concrete clients (device % endpoints),
+// so a million-device fleet costs O(regions) protocol objects.
+//
+// Arrivals are open-loop (the fleet does not wait for replies) and come
+// from one aggregate renewal process simulated with thinning: candidate
+// gaps are exponential at the fleet's peak rate (devices * rate_hz) and a
+// candidate is accepted with probability rate(t) / peak, so only O(peak *
+// horizon) simulator events exist regardless of device count. Constant
+// spacing, Poisson, on/off burst windows and a raised-cosine diurnal curve
+// share this one mechanism. All randomness draws from a fork of the
+// simulator's RNG stream in a fixed order, so a seed replays byte-
+// identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/telemetry.hpp"
+#include "pbft/client.hpp"
+#include "sim/metrics.hpp"
+#include "sim/scenario.hpp"
+
+namespace gpbft::sim {
+
+class WorkloadPlane {
+ public:
+  using SubmitHook = std::function<void(const ledger::Transaction&)>;
+
+  /// `endpoints` are the deployment's concrete clients (one per region);
+  /// `positions` are their geographic spots, parallel to `endpoints` — a
+  /// virtual device reports the location of the region endpoint it rides.
+  /// Plane knobs are read from the spec's workload.* plane fields.
+  WorkloadPlane(net::Simulator& sim, const WorkloadSpec& spec,
+                std::vector<pbft::Client*> endpoints, std::vector<geo::GeoPoint> positions,
+                obs::Telemetry& telemetry);
+
+  /// Schedules the arrival stream over [start, start + horizon). `recorder`
+  /// (optional) collects commit latencies via the endpoints' commit
+  /// callbacks; `on_submit` fires per submitted transaction; `alive` is the
+  /// deployment's workload liveness token — once its owner drops it,
+  /// pending arrival events become no-ops (the simulator cannot cancel).
+  void start(LatencyRecorder* recorder, SubmitHook on_submit, std::shared_ptr<const bool> alive);
+
+  /// True once the generation window closed (no further arrivals will be
+  /// scheduled). The run itself drains until submissions commit.
+  [[nodiscard]] bool generation_done() const { return done_; }
+  /// Transactions submitted so far (accepted arrivals).
+  [[nodiscard]] std::uint64_t submitted() const { return submitted_; }
+  [[nodiscard]] std::uint64_t devices() const { return spec_.devices; }
+  [[nodiscard]] std::size_t endpoints() const { return endpoints_.size(); }
+
+  /// Aggregate fleet arrival rate (submissions/s) at simulated time `t`;
+  /// exposed for tests of the burst/diurnal profiles.
+  [[nodiscard]] double rate_at(TimePoint t) const;
+  /// Peak aggregate rate: devices * rate_hz.
+  [[nodiscard]] double peak_rate() const { return peak_; }
+
+ private:
+  void arm(TimePoint at);
+  void on_arrival();
+  void emit(TimePoint at);
+  void finish_generation();
+
+  net::Simulator& sim_;
+  WorkloadSpec spec_;
+  std::vector<pbft::Client*> endpoints_;
+  std::vector<geo::GeoPoint> positions_;
+  obs::Telemetry& telemetry_;
+  Rng rng_;
+
+  double peak_{0.0};
+  TimePoint end_{};
+
+  /// The only per-device state: next sequence number, flat by device index.
+  std::vector<std::uint32_t> next_seq_;
+
+  SubmitHook on_submit_;
+  std::weak_ptr<const bool> alive_;
+  std::shared_ptr<const bool> self_token_;  // fallback gate when start() gets no token
+  std::uint64_t arrivals_{0};   // accepted arrivals (device assignment basis)
+  std::uint64_t submitted_{0};
+  std::uint64_t thinned_{0};    // candidates rejected by thinning
+  bool done_{false};
+};
+
+}  // namespace gpbft::sim

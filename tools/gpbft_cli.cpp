@@ -33,7 +33,9 @@
 //   --txs K          transactions per client        (12)
 //   --period SEC     proposal period per client     (5)
 //   --rate S         node processing rate, msgs/s   (160)
-//   --batch B        block batch size               (32)
+//   --batch B        block batch size ceiling       (32)
+//   --batch-close N  consensus batch close size     (1 = unbatched)
+//   --batch-timeout SEC  partial-batch deadline     (0.25)
 //   --max-committee C   G-PBFT committee cap        (40)
 //   --era-period SEC    G-PBFT era switch period    (30)
 //   --runs R         seeded repetitions (sweep)     (1)
@@ -48,6 +50,7 @@
 
 #include "sim/chaos.hpp"
 #include "sim/experiment.hpp"
+#include "sim/workload_plane.hpp"
 
 namespace {
 
@@ -80,6 +83,7 @@ void print_usage() {
                "  --protocol pbft|gpbft|dbft|pow   consensus to run (default gpbft)\n"
                "  --nodes N[,N...]                 network sizes (default 40)\n"
                "  --seed S --txs K --period SEC --rate S --batch B\n"
+               "  --batch-close N --batch-timeout SEC\n"
                "  --max-committee C --era-period SEC --runs R --csv\n"
                "chaos options:\n"
                "  --protocol pbft|gpbft|dbft|pow|all  protocols to torture (default all)\n"
@@ -159,6 +163,10 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.experiment.net.processing_rate_msgs_per_sec = std::atof(value.c_str());
     } else if (flag == "--batch") {
       options.experiment.engine.batch_size = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--batch-close") {
+      options.experiment.batch.size = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (flag == "--batch-timeout") {
+      options.experiment.batch.timeout = Duration::from_seconds(std::strtod(value.c_str(), nullptr));
     } else if (flag == "--max-committee") {
       options.experiment.committee.max = std::strtoull(value.c_str(), nullptr, 10);
     } else if (flag == "--era-period") {
@@ -382,7 +390,11 @@ int run_scenario(const CliOptions& options) {
   result.latency_samples = recorder.samples();
   result.latency = recorder.boxplot();
   result.committed = deployment->committed_count();
-  result.expected = spec.workload.txs_per_client * spec.clients;
+  // Open-loop plane: expect what the arrival process actually generated,
+  // not a per-client quota (sim/experiment.cpp does the same).
+  result.expected = deployment->plane() != nullptr
+                        ? deployment->plane()->submitted()
+                        : spec.workload.txs_per_client * spec.clients;
   result.consensus_kb = sim::consensus_kilobytes(deployment->stats());
   result.total_kb = deployment->stats().total_kilobytes();
   result.era_switches = deployment->era_switches();
