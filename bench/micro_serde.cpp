@@ -78,10 +78,10 @@ void BM_SealOpen(benchmark::State& state) {
   const crypto::KeyRegistry keys(1);
   const Bytes body(100, 0x44);
   for (auto _ : state) {
-    const Bytes sealed =
-        pbft::seal(keys, NodeId{1}, NodeId{2}, BytesView(body.data(), body.size()), true);
-    benchmark::DoNotOptimize(
-        pbft::open(keys, NodeId{1}, NodeId{2}, BytesView(sealed.data(), sealed.size()), true));
+    const Bytes sealed = pbft::seal(keys, NodeId{1}, NodeId{2}, pbft::msg_type::kPrepare,
+                                    BytesView(body.data(), body.size()), true);
+    benchmark::DoNotOptimize(pbft::open(keys, NodeId{1}, NodeId{2}, pbft::msg_type::kPrepare,
+                                        BytesView(sealed.data(), sealed.size()), true));
   }
 }
 BENCHMARK(BM_SealOpen);

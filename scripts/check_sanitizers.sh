@@ -19,3 +19,14 @@ cmake --build "${BUILD_DIR}"
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+# Wire-tamper acceptance sweep (docs/protocol.md §12), under the same
+# sanitizers: 20-seed Replace (MITM) storms across all four protocols with
+# every other fault family quiet, the 20-seed REJECT-SAFE Inject pairs
+# (tampered tip must be byte-identical to the clean tip at the same seed),
+# and the fuzz corpus + seeded mutation sweep over every decode target.
+# Zero crashes, zero sanitizer reports, zero invariant violations.
+"${BUILD_DIR}/tools/gpbft_cli" chaos --tamper --seeds 20 --intensity none >/dev/null
+"${BUILD_DIR}/tools/gpbft_cli" chaos --reject-safe --seeds 20 >/dev/null
+"${BUILD_DIR}/tools/gpbft_fuzz" replay fuzz/corpus
+"${BUILD_DIR}/tools/gpbft_fuzz" mutate --seed 1 --iters 2000

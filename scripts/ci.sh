@@ -42,6 +42,30 @@ for sc in election_sybil_burst election_targeted_crash \
   "${BUILD_DIR}/tools/gpbft_cli" run --scenario "scenarios/${sc}.scenario" >/dev/null
 done
 
+# Wire-tamper gate (docs/protocol.md §12). Label re-selection first (same
+# rationale as the legs above), then the pinned MITM storm scenario run
+# twice with telemetry exports: the run must finish with zero invariant
+# violations AND byte-identical artifacts — the adversary draws from its
+# own forked RNG stream, so a seeded storm replays exactly.
+ctest --test-dir "${BUILD_DIR}" -L tier1-tamper -j "${JOBS}" --output-on-failure
+TAMPER_DIR="${BUILD_DIR}/tamper-ci"
+mkdir -p "${TAMPER_DIR}"
+for run in 1 2; do
+  "${BUILD_DIR}/tools/gpbft_cli" run --scenario scenarios/tamper_storm.scenario \
+    --trace-out "${TAMPER_DIR}/trace.${run}.json" \
+    --metrics-out "${TAMPER_DIR}/metrics.${run}.jsonl" >/dev/null
+done
+cmp "${TAMPER_DIR}/trace.1.json" "${TAMPER_DIR}/trace.2.json"
+cmp "${TAMPER_DIR}/metrics.1.jsonl" "${TAMPER_DIR}/metrics.2.jsonl"
+
+# Fuzz gate: replay the checked-in malformed corpus and run a seeded
+# mutation sweep over every wire-decode target. Each target carries its own
+# totality + re-encode fixed-point oracle, so a decoder defect aborts the
+# driver; zero crashes is the pass condition. (The coverage-guided
+# libFuzzer leg needs Clang — GPBFT_FUZZ=ON — and is not part of this gate.)
+"${BUILD_DIR}/tools/gpbft_fuzz" replay fuzz/corpus
+"${BUILD_DIR}/tools/gpbft_fuzz" mutate --seed 1 --iters 2000
+
 # Telemetry gate: one seeded scenario exports a Perfetto trace and a
 # metrics snapshot, twice; the artifacts must be schema-valid (when python3
 # is available) and byte-identical across the two same-seed runs.

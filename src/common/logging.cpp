@@ -1,5 +1,8 @@
 #include "common/logging.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 namespace gpbft {
 
 namespace {
@@ -14,10 +17,30 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+/// GPBFT_LOG=trace|debug|info|warn|error|off overrides the default (Warn)
+/// at process start; programmatic set_level still wins afterwards. Lets a
+/// failing seed be re-run with full narration without a rebuild.
+LogLevel initial_level() {
+  const char* env = std::getenv("GPBFT_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  if (std::strcmp(env, "trace") == 0) return LogLevel::Trace;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(env, "off") == 0) return LogLevel::Off;
+  return LogLevel::Warn;
+}
 }  // namespace
 
 Logger& Logger::instance() {
   static Logger logger;
+  static const bool env_applied = [] {
+    logger.set_level(initial_level());
+    return true;
+  }();
+  (void)env_applied;
   return logger;
 }
 

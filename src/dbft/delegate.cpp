@@ -19,9 +19,12 @@ std::vector<NodeId> genesis_roster(const ledger::Block& genesis) {
   return {};
 }
 
-pbft::PbftConfig two_phase(pbft::PbftConfig config) {
-  config.two_phase = true;
-  return config;
+pbft::PbftConfig phase_rule(const DbftConfig& config) {
+  // dBFT 2.0 (full PREPARE + COMMIT) unless the caller opts into the 1.0
+  // two-phase ablation — see the legacy_two_phase comment in delegate.hpp.
+  pbft::PbftConfig pbft = config.pbft;
+  pbft.two_phase = config.legacy_two_phase;
+  return pbft;
 }
 
 }  // namespace
@@ -47,7 +50,7 @@ std::optional<NodeId> parse_vote_tx(const ledger::Transaction& tx) {
 Delegate::Delegate(NodeId id, ledger::Block genesis, DbftConfig config,
                    StakeRegistry initial_stakes, std::vector<NodeId> observers,
                    net::Network& network, const crypto::KeyRegistry& keys)
-    : Replica(id, genesis_roster(genesis), genesis, two_phase(config.pbft), network, keys),
+    : Replica(id, genesis_roster(genesis), genesis, phase_rule(config), network, keys),
       config_(config),
       stakes_(std::move(initial_stakes)),
       delegates_(genesis_roster(genesis)),
@@ -111,9 +114,9 @@ void Delegate::on_executed(const ledger::Block& block) {
 
   if (block.header.height % config_.epoch_blocks == 0) maybe_reelect(block.header.height);
 
-  // dBFT blocks are final at 2f+1 PREPAREs (no fork to roll back), so every
-  // executed block is a durability point: a restarted delegate resumes at
-  // its exact executed height.
+  // dBFT blocks are final once executed (2.0: after the COMMIT quorum;
+  // legacy 1.0: at 2f+1 PREPAREs), so every executed block is a durability
+  // point: a restarted delegate resumes at its exact executed height.
   persist_now();
 }
 
@@ -157,12 +160,18 @@ void Delegate::handle_extra(const net::Envelope& envelope) {
     Replica::handle_extra(envelope);
     return;
   }
-  auto body = pbft::open(keys(), envelope.from, id(),
+  auto body = pbft::open(keys(), envelope.from, id(), envelope.type,
                          BytesView(envelope.payload.data(), envelope.payload.size()),
                          /*compute_macs=*/false);
-  if (!body) return;
+  if (!body) {
+    network().note_rejected(envelope.type);
+    return;
+  }
   auto block = ledger::Block::decode(BytesView(body.value().data(), body.value().size()));
-  if (!block) return;
+  if (!block) {
+    network().note_rejected(envelope.type);
+    return;
+  }
 
   const Height incoming = block.value().header.height;
   if (incoming == chain().height() + 1) {

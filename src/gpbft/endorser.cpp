@@ -253,16 +253,7 @@ void Endorser::initiate_era_switch() {
     std::vector<NodeId> new_sorted = roster;
     std::sort(new_sorted.begin(), new_sorted.end());
     if (new_sorted == old_sorted) {
-      set_halted(false);
-      switch_in_progress_ = false;
-      pbft::EraLaunchMsg launch;
-      launch.config.era = era_;  // unchanged era: peers just unhalt
-      launch.config.endorsers = producer_order_;
-      launch.config_height = chain().height();
-      launch.sender = id();
-      const Bytes launch_body = launch.encode();
-      broadcast_committee(pbft::msg_type::kEraLaunch,
-                          BytesView(launch_body.data(), launch_body.size()));
+      cancel_era_switch();
       return;
     }
 
@@ -270,8 +261,7 @@ void Endorser::initiate_era_switch() {
       // Below the minimum the system must not continue (§III-C); keep the
       // old roster rather than committing an unsafe configuration.
       log_warn(id().str() + ": era switch aborted, roster below minimum");
-      set_halted(false);
-      switch_in_progress_ = false;
+      cancel_era_switch();
       return;
     }
 
@@ -318,12 +308,28 @@ void Endorser::propose_config(const ledger::Transaction& tx, int attempt) {
   // then resumes normal operation and the next era period tries again.
   if (attempt >= 20) {
     log_warn(id().str() + ": could not propose configuration block; abandoning switch");
-    switch_in_progress_ = false;
-    set_halted(false);
+    cancel_era_switch();
     return;
   }
   schedule_protected(config_.halt_settle,
                      [this, tx, attempt]() { propose_config(tx, attempt + 1); });
+}
+
+void Endorser::cancel_era_switch() {
+  // Every abort path must broadcast the unchanged-era launch, not just
+  // unhalt locally: the lead's ERA-HALT already silenced the peers, and
+  // without this message they would stay halted until the era_period/2
+  // failsafe — long enough to miss the liveness deadline under load.
+  switch_in_progress_ = false;
+  set_halted(false);
+  pbft::EraLaunchMsg launch;
+  launch.config.era = era_;  // unchanged era: peers just unhalt
+  launch.config.endorsers = producer_order_;
+  launch.config_height = chain().height();
+  launch.sender = id();
+  const Bytes launch_body = launch.encode();
+  broadcast_committee(pbft::msg_type::kEraLaunch,
+                      BytesView(launch_body.data(), launch_body.size()));
 }
 
 void Endorser::record_block_geo(const ledger::Block& block) {
@@ -436,22 +442,33 @@ void Endorser::apply_era_config(const ledger::EraConfig& config, Height config_h
 void Endorser::handle_extra(const net::Envelope& envelope) {
   // The base class already verified the seal; re-open without verification
   // to extract the body (cheap: just framing).
-  auto body = pbft::open(keys(), envelope.from, id(),
+  auto body = pbft::open(keys(), envelope.from, id(), envelope.type,
                          BytesView(envelope.payload.data(), envelope.payload.size()),
                          /*compute_macs=*/false);
-  if (!body) return;
+  if (!body) {
+    network().note_rejected(envelope.type);
+    return;
+  }
   const BytesView view(body.value().data(), body.value().size());
 
   switch (envelope.type) {
     case pbft::msg_type::kGeoReport: {
+      auto m = pbft::GeoReportMsg::decode(view);
+      if (!m) {
+        network().note_rejected(envelope.type);
+        return;
+      }
       if (role_ != Role::Active) return;  // only endorsers keep election tables
-      if (auto m = pbft::GeoReportMsg::decode(view)) process_geo_report(envelope.from, m.value());
+      process_geo_report(envelope.from, m.value());
       break;
     }
     case pbft::msg_type::kEraHalt: {
-      if (role_ != Role::Active) return;
       auto m = pbft::EraHaltMsg::decode(view);
-      if (!m) return;
+      if (!m) {
+        network().note_rejected(envelope.type);
+        return;
+      }
+      if (role_ != Role::Active) return;
       // Only the current lead may halt the committee.
       if (m.value().sender != primary_of(this->view()) || m.value().closing_era != era_) return;
       switch_in_progress_ = true;
@@ -468,7 +485,10 @@ void Endorser::handle_extra(const net::Envelope& envelope) {
     }
     case pbft::msg_type::kEraLaunch: {
       auto m = pbft::EraLaunchMsg::decode(view);
-      if (!m) return;
+      if (!m) {
+        network().note_rejected(envelope.type);
+        return;
+      }
       const pbft::EraLaunchMsg& launch = m.value();
       if (launch.config.era == era_) {
         // Cancelled switch: membership unchanged, just resume.

@@ -105,6 +105,7 @@ class Endorser : public pbft::Replica {
   void arm_era_timer();
   void on_era_timer();
   void initiate_era_switch();
+  void cancel_era_switch();
   void propose_config(const ledger::Transaction& tx, int attempt);
   void process_geo_report(NodeId from, const pbft::GeoReportMsg& msg);
   void apply_era_config(const ledger::EraConfig& config, Height config_height);

@@ -84,6 +84,10 @@ Result<Block> Block::decode(BytesView data) {
   auto count = r.varint();
   if (!count) return make_error(count.error());
   if (count.value() > 1'000'000) return make_error("block: transaction count too large");
+  // Every transaction costs at least one byte on the wire: a declared count
+  // beyond the remaining buffer is forged, and must be rejected before it
+  // sizes an allocation.
+  if (count.value() > r.remaining()) return make_error("block: transaction count exceeds payload");
   block.transactions.reserve(static_cast<std::size_t>(count.value()));
   for (std::uint64_t i = 0; i < count.value(); ++i) {
     auto tx_bytes = r.bytes();

@@ -71,6 +71,7 @@ Result<Transaction> Transaction::decode(BytesView data) {
   auto count = r.varint();
   if (!count) return make_error(count.error());
   if (count.value() > 100'000) return make_error("transaction: roster too large");
+  if (count.value() > r.remaining()) return make_error("transaction: roster exceeds payload");
   tx.era_config.endorsers.reserve(static_cast<std::size_t>(count.value()));
   for (std::uint64_t i = 0; i < count.value(); ++i) {
     auto id = r.u64();
@@ -102,6 +103,9 @@ Result<Transaction> Transaction::decode(BytesView data) {
     if (!score_count) return make_error(score_count.error());
     if (score_count.value() == 0) return make_error("transaction: empty reputation tail");
     if (score_count.value() > 100'000) return make_error("transaction: too many scores");
+    if (score_count.value() > r.remaining()) {
+      return make_error("transaction: score count exceeds payload");
+    }
     tx.era_config.scores.reserve(static_cast<std::size_t>(score_count.value()));
     for (std::uint64_t i = 0; i < score_count.value(); ++i) {
       auto device = r.u64();

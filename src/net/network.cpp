@@ -7,13 +7,18 @@
 namespace gpbft::net {
 
 Network::Network(Simulator& sim, NetConfig config)
-    : sim_(sim), config_(config), fault_rng_(sim.rng().fork(0x6661756c74ull /* "fault" */)) {}
+    : sim_(sim),
+      config_(config),
+      fault_rng_(sim.rng().fork(0x6661756c74ull /* "fault" */)),
+      tamper_rng_(sim.rng().fork(0x74616d706572ull /* "tamper" */)) {}
 
 void Network::set_telemetry(obs::Telemetry& telemetry) {
   telemetry_ = &telemetry;
   // Cached handles point into the previous telemetry's registry.
   tel_dropped_ = nullptr;
   tel_duplicated_ = nullptr;
+  tel_tampered_ = nullptr;
+  tel_rejected_ = nullptr;
   tel_recv_stall_ = nullptr;
   type_handles_.clear();
   node_handles_.clear();
@@ -82,8 +87,215 @@ void Network::note_dropped() {
   }
 }
 
+void Network::note_rejected(MessageType type) {
+  stats_.rejected_messages += 1;
+  TypeHandles& by_type = type_handles(type);
+  if (by_type.stat_rejected == nullptr) by_type.stat_rejected = &stats_.rejected_by_type[type];
+  *by_type.stat_rejected += 1;
+  if (telemetry_->enabled()) {
+    if (tel_rejected_ == nullptr) {
+      tel_rejected_ = &telemetry_->metrics().counter("net.msgs_rejected");
+    }
+    tel_rejected_->add();
+    if (by_type.rejected == nullptr) {
+      by_type.rejected = &telemetry_->metrics().counter("net.msgs_rejected." +
+                                                        telemetry_->message_name(type));
+    }
+    by_type.rejected->add();
+  }
+}
+
+void Network::note_tampered() {
+  stats_.tampered_messages += 1;
+  if (telemetry_->enabled()) {
+    if (tel_tampered_ == nullptr) {
+      tel_tampered_ = &telemetry_->metrics().counter("net.msgs_tampered");
+    }
+    tel_tampered_->add();
+  }
+}
+
+void Network::set_tamper(const TamperRule& rule) {
+  tamper_ = rule;
+  // A new adversary starts with an empty capture window.
+  replay_log_.clear();
+}
+
+void Network::clear_tamper() {
+  tamper_.reset();
+  replay_log_.clear();
+}
+
+Envelope Network::mutate_envelope(const Envelope& original, const TamperRule& rule, int family) {
+  Envelope mutant = original;  // payload is a refcount bump until replaced
+  switch (family) {
+    case 0: {  // bit flips
+      Bytes bytes(original.payload.begin(), original.payload.end());
+      if (bytes.empty()) {
+        // Nothing to flip in the body; corrupt the header type bit instead.
+        mutant.type = static_cast<MessageType>(mutant.type ^ 0x1u);
+        break;
+      }
+      const std::uint64_t max_flips = rule.max_flips > 0 ? rule.max_flips : 1;
+      const std::uint64_t flips = tamper_rng_.uniform(1, max_flips);
+      for (std::uint64_t i = 0; i < flips; ++i) {
+        const std::uint64_t bit = tamper_rng_.uniform(0, bytes.size() * 8 - 1);
+        bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      mutant.payload = std::move(bytes);
+      break;
+    }
+    case 1: {  // truncation (always drops at least one byte)
+      const std::size_t len = original.payload.size();
+      const std::size_t keep =
+          len == 0 ? 0 : static_cast<std::size_t>(tamper_rng_.uniform(0, len - 1));
+      mutant.payload = Bytes(original.payload.begin(),
+                             original.payload.begin() + static_cast<std::ptrdiff_t>(keep));
+      break;
+    }
+    case 2: {  // extension: garbage appended past the genuine body
+      Bytes bytes(original.payload.begin(), original.payload.end());
+      const std::uint64_t max_extend = rule.max_extend > 0 ? rule.max_extend : 1;
+      const std::uint64_t extra = tamper_rng_.uniform(1, max_extend);
+      for (std::uint64_t i = 0; i < extra; ++i) {
+        bytes.push_back(static_cast<std::uint8_t>(tamper_rng_.uniform(0, 255)));
+      }
+      mutant.payload = std::move(bytes);
+      break;
+    }
+    case 3: {  // type confusion: genuine bytes under a different type
+      // Sparing is bidirectional: a spared type is neither mutated nor
+      // forged as a retype target (e.g. PoW campaigns spare client requests
+      // because nothing end-to-end authenticates them). Bounded draw count
+      // so a rule sparing every type cannot spin forever.
+      MessageType retyped = original.type;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const auto candidate = static_cast<MessageType>(tamper_rng_.uniform(0, 31));
+        if (candidate == original.type) continue;
+        if (std::find(rule.spare_types.begin(), rule.spare_types.end(), candidate) !=
+            rule.spare_types.end()) {
+          continue;
+        }
+        retyped = candidate;
+        break;
+      }
+      mutant.type = retyped;
+      break;
+    }
+    default: {  // oversize: a declared length far beyond the actual buffer
+      // A length-prefix of ~2^34 followed by a few real bytes: the attack
+      // targets decoders that allocate from declared sizes before checking
+      // what is actually on the wire (serde's remaining-bytes clamp).
+      Bytes bytes{0xff, 0xff, 0xff, 0xff, 0x3f};
+      const std::uint64_t tail = tamper_rng_.uniform(0, 32);
+      for (std::uint64_t i = 0; i < tail; ++i) {
+        bytes.push_back(static_cast<std::uint8_t>(tamper_rng_.uniform(0, 255)));
+      }
+      mutant.payload = std::move(bytes);
+      break;
+    }
+  }
+  return mutant;
+}
+
+void Network::apply_tamper(Envelope& envelope, std::size_t& size) {
+  const TamperRule& rule = *tamper_;
+  // Record genuine traffic for the replay family before any mutation; the
+  // log holds refcounted payloads, bounded by the rule's history window.
+  if (rule.replay > 0.0 && rule.replay_history > 0) {
+    replay_log_.push_back(envelope);
+    while (replay_log_.size() > rule.replay_history) replay_log_.pop_front();
+  }
+  if (!tamper_rng_.chance(rule.chance)) return;
+
+  const double weights[6] = {rule.bitflip, rule.truncate, rule.extend,
+                             rule.retype,  rule.oversize, rule.replay};
+  double total = 0.0;
+  for (const double w : weights) total += std::max(0.0, w);
+  if (total <= 0.0) return;
+  double pick = tamper_rng_.uniform_real(0.0, total);
+  int family = 0;
+  while (family < 5) {
+    pick -= std::max(0.0, weights[family]);
+    if (pick < 0.0) break;
+    ++family;
+  }
+  if (family == 5 && replay_log_.empty()) family = 0;  // no history yet
+
+  note_tampered();
+  const Duration ghost_jitter =
+      config_.jitter.ns > 0
+          ? Duration{static_cast<std::int64_t>(
+                tamper_rng_.uniform(0, static_cast<std::uint64_t>(config_.jitter.ns)))}
+          : Duration{0};
+
+  if (family == 5) {
+    // Replay a genuine old envelope verbatim, after an adversary-chosen
+    // delay — stale views, closed instances, previous eras.
+    stats_.replayed_messages += 1;
+    const auto index =
+        static_cast<std::size_t>(tamper_rng_.uniform(0, replay_log_.size() - 1));
+    Envelope replayed = replay_log_[index];
+    const Duration delay =
+        rule.replay_delay_max.ns > 0
+            ? Duration{static_cast<std::int64_t>(
+                  tamper_rng_.uniform(0, static_cast<std::uint64_t>(rule.replay_delay_max.ns)))}
+            : Duration{0};
+    if (rule.mode == TamperRule::Mode::Replace) {
+      envelope = std::move(replayed);
+      size = envelope.wire_size();
+      return;  // the replay takes the original's place on the wire
+    }
+    const std::size_t ghost_size = replayed.wire_size();
+    const Duration transmission = Duration::from_seconds(static_cast<double>(ghost_size) /
+                                                         config_.bandwidth_bytes_per_sec);
+    const TimePoint arrival =
+        sim_.now() + config_.base_latency + transmission + ghost_jitter + delay;
+    sim_.schedule_at(arrival, [this, replayed = std::move(replayed), ghost_size]() mutable {
+      deliver_injected(std::move(replayed), ghost_size);
+    });
+    return;
+  }
+
+  Envelope mutant = mutate_envelope(envelope, rule, family);
+  if (rule.mode == TamperRule::Mode::Replace) {
+    envelope = std::move(mutant);
+    size = envelope.wire_size();  // the mutant's bytes ride the wire now
+    return;
+  }
+  // Man-on-the-side: the genuine envelope continues untouched; the mutant
+  // arrives as an extra edge injection with tamper-stream jitter only, so
+  // the main stream sees exactly the draws of a clean run and the serial
+  // receive queue carries exactly the clean run's load.
+  const std::size_t ghost_size = mutant.wire_size();
+  const Duration transmission =
+      Duration::from_seconds(static_cast<double>(ghost_size) / config_.bandwidth_bytes_per_sec);
+  const TimePoint arrival = sim_.now() + config_.base_latency + transmission + ghost_jitter;
+  sim_.schedule_at(arrival, [this, mutant = std::move(mutant), ghost_size]() mutable {
+    deliver_injected(std::move(mutant), ghost_size);
+  });
+}
+
+void Network::deliver_injected(Envelope envelope, std::size_t size) {
+  const NodeId to = envelope.to;
+  const auto node_it = nodes_.find(to);
+  if (node_it == nodes_.end() || crashed_.contains(to)) {
+    note_dropped();
+    return;
+  }
+  NodeHandles& receiver = node_handles(to);
+  receiver.traffic->messages_received += 1;
+  receiver.traffic->bytes_received += size;
+  if (telemetry_->enabled()) {
+    if (receiver.msgs_received == nullptr) resolve_node_telemetry(receiver, to);
+    receiver.msgs_received->add();
+    receiver.bytes_received->add(size);
+  }
+  node_it->second->handle(envelope);
+}
+
 void Network::send(Envelope envelope) {
-  const std::size_t size = envelope.wire_size();
+  std::size_t size = envelope.wire_size();
 
   // Sender-side accounting: bytes leave the NIC regardless of what happens
   // to them downstream. A crashed sender sends nothing.
@@ -130,6 +342,16 @@ void Network::send(Envelope envelope) {
   if (blocked || partitioned_apart(envelope.from, envelope.to) || dropped) {
     note_dropped();
     return;
+  }
+
+  // Wire tampering happens after the transport faults (an adversary can
+  // only touch bytes that made it onto the wire) and draws exclusively
+  // from the tamper stream: with no rule installed this is one branch and
+  // zero draws, so the feature is hash-neutral when off.
+  if (tamper_.has_value() && tamper_->chance > 0.0 &&
+      std::find(tamper_->spare_types.begin(), tamper_->spare_types.end(), envelope.type) ==
+          tamper_->spare_types.end()) {
+    apply_tamper(envelope, size);
   }
 
   const Duration jitter =

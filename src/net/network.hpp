@@ -29,6 +29,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -85,6 +86,51 @@ struct LinkFault {
   Duration reorder_window{};
 };
 
+/// Wire-level Byzantine adversary: a rule that corrupts envelopes in
+/// flight. Every random decision draws from the network's dedicated tamper
+/// stream (forked off the simulator seed, like the fault stream), so
+/// installing or removing a rule never perturbs jitter, link faults,
+/// workload or protocol randomness — a run with tampering off is
+/// byte-identical to one where the feature does not exist.
+///
+/// Two adversary strengths:
+///   - Replace: a man-in-the-middle. The mutant *replaces* the original
+///     (the genuine bytes are lost), so the attack doubles as message loss
+///     and exercises timeout/recovery paths. Asserted crash-free and
+///     invariant-clean, not tip-identical.
+///   - Inject: a man-on-the-side. The original is delivered untouched and
+///     a mutated ghost copy is injected alongside it. With MACs on, every
+///     ghost must be rejected at the wire layer, which makes the whole
+///     attack byte-invisible — the REJECT-SAFE invariant (docs/protocol.md
+///     §12) demands chain tips identical to the tamper-free run.
+struct TamperRule {
+  enum class Mode { Replace, Inject };
+  Mode mode{Mode::Replace};
+  /// Per-message probability that the adversary acts.
+  double chance{0.0};
+
+  /// Relative weights of the mutation families (zero disables a family).
+  double bitflip{1.0};
+  double truncate{1.0};
+  double extend{1.0};
+  double retype{1.0};    // type confusion: same bytes, different MessageType
+  double oversize{1.0};  // forged huge declared lengths (allocation attack)
+  double replay{1.0};    // re-deliver an old genuine envelope verbatim
+
+  /// Bit flips per mutated payload: U[1, max_flips].
+  std::size_t max_flips{8};
+  /// Garbage bytes appended by the extend family: U[1, max_extend].
+  std::size_t max_extend{64};
+  /// Replayed envelopes are re-delivered after U[0, replay_delay_max].
+  Duration replay_delay_max{Duration::millis(500)};
+  /// Sliding window of genuine envelopes the replay family can pick from.
+  std::size_t replay_history{64};
+  /// Message types the adversary never touches (neither mutates nor
+  /// records for replay). Used where the model has no end-to-end
+  /// authentication to detect forgery — e.g. PoW client transactions.
+  std::vector<MessageType> spare_types{};
+};
+
 struct NodeTraffic {
   std::uint64_t messages_sent{0};
   std::uint64_t messages_received{0};
@@ -97,8 +143,17 @@ struct NetStats {
   std::uint64_t total_bytes{0};
   std::uint64_t dropped_messages{0};
   std::uint64_t duplicated_messages{0};
+  /// Envelopes the tamper rule mutated (Replace) or forged (Inject).
+  std::uint64_t tampered_messages{0};
+  /// Genuine envelopes the tamper rule re-delivered out of its history.
+  std::uint64_t replayed_messages{0};
+  /// Envelopes a receiver refused at the wire-decode layer (bad seal,
+  /// undecodable body, unknown type). Mirrors dropped_messages: NetStats
+  /// and the `net.msgs_rejected` telemetry always move together.
+  std::uint64_t rejected_messages{0};
   std::unordered_map<NodeId, NodeTraffic> per_node;
   std::map<MessageType, std::uint64_t> bytes_by_type;
+  std::map<MessageType, std::uint64_t> rejected_by_type;
 
   [[nodiscard]] double total_kilobytes() const { return static_cast<double>(total_bytes) / 1024.0; }
   void reset() { *this = NetStats{}; }
@@ -158,6 +213,14 @@ class Network {
   /// Rule on a link, or nullptr when the link is clean.
   [[nodiscard]] const LinkFault* link_fault(NodeId from, NodeId to) const;
 
+  /// Installs (replaces) the wire-tamper rule. One global rule at a time —
+  /// the adversary owns the whole transport, matching the chaos engine's
+  /// one-window-at-a-time scheduling.
+  void set_tamper(const TamperRule& rule);
+  void clear_tamper();
+  /// Active rule, or nullptr when the wire is clean.
+  [[nodiscard]] const TamperRule* tamper() const { return tamper_ ? &*tamper_ : nullptr; }
+
   /// Brownout: divides the node's processing rate by `factor` (>= 1) until
   /// cleared — a time-varying degradation (thermal throttling, contention).
   void set_brownout(NodeId id, double factor);
@@ -167,6 +230,14 @@ class Network {
   // --- accounting ----------------------------------------------------------
   [[nodiscard]] const NetStats& stats() const { return stats_; }
   void reset_stats();
+
+  /// One wire-layer rejection, wherever it happens (seal/open failure,
+  /// undecodable body, unknown message type, malformed fixed-size payload).
+  /// Called by receive paths in all four stacks; keyed by the envelope's
+  /// claimed type. NetStats and the `net.msgs_rejected` telemetry counters
+  /// (total + per-type) always move together — the reject-side mirror of
+  /// note_dropped's drop accounting.
+  void note_rejected(MessageType type);
 
   /// Telemetry sink shared by every layer that holds a Network reference
   /// (protocol nodes reach the deployment's registry through here without
@@ -194,6 +265,26 @@ class Network {
   /// counter always move together.
   void note_dropped();
 
+  /// Applies the active tamper rule to an in-flight envelope. Replace mode
+  /// mutates `envelope`/`size` in place (the mutant continues down the
+  /// normal delivery path); Inject mode leaves them untouched and schedules
+  /// the mutant as a separate ghost delivery. Draws only from the tamper
+  /// stream. Called only when a rule with chance > 0 is installed and the
+  /// type is not spared.
+  void apply_tamper(Envelope& envelope, std::size_t& size);
+  /// Delivery path for Inject-mode ghosts: hands the envelope to the
+  /// receiver at the arrival instant without folding into the serial
+  /// processing queue — the injection happens at the network edge, and the
+  /// receiver's wire-integrity check discards forgeries at line rate. This
+  /// keeps the genuine plane causally untouched, which is what makes the
+  /// REJECT-SAFE invariant (tampered tips byte-identical to clean tips with
+  /// MACs on) exact rather than probabilistic.
+  void deliver_injected(Envelope envelope, std::size_t size);
+  /// Builds the mutated envelope for the drawn family (never replay).
+  [[nodiscard]] Envelope mutate_envelope(const Envelope& original, const TamperRule& rule,
+                                         int family);
+  void note_tampered();
+
   /// Cached handles so the per-message hot path resolves each accounting
   /// slot once — the NetStats map entries and the telemetry registry rows
   /// (pointers into std::map / std::unordered_map values are stable).
@@ -201,9 +292,11 @@ class Network {
   /// a disabled run never creates registry entries. Both caches are cleared
   /// by reset_stats() and set_telemetry().
   struct TypeHandles {
-    std::uint64_t* stat_bytes{nullptr};  // into stats_.bytes_by_type
+    std::uint64_t* stat_bytes{nullptr};     // into stats_.bytes_by_type
+    std::uint64_t* stat_rejected{nullptr};  // into stats_.rejected_by_type
     obs::Counter* msgs{nullptr};
     obs::Counter* bytes{nullptr};
+    obs::Counter* rejected{nullptr};
   };
   struct NodeHandles {
     NodeTraffic* traffic{nullptr};  // into stats_.per_node
@@ -232,7 +325,8 @@ class Network {
 
   Simulator& sim_;
   NetConfig config_;
-  Rng fault_rng_;  // dedicated stream for every fault decision
+  Rng fault_rng_;   // dedicated stream for every fault decision
+  Rng tamper_rng_;  // dedicated stream for every tamper decision
   std::unordered_map<NodeId, INetNode*> nodes_;
   std::unordered_map<NodeId, TimePoint> busy_until_;
   std::unordered_map<NodeId, std::deque<PendingDelivery>> inbox_;
@@ -243,11 +337,18 @@ class Network {
   bool partitioned_{false};
   std::set<std::pair<std::uint64_t, std::uint64_t>> blocked_links_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, LinkFault> link_faults_;
+  std::optional<TamperRule> tamper_;
+  /// Genuine envelopes seen while a rule with a replay family was active;
+  /// the replay mutation re-delivers one of these verbatim. Bounded by
+  /// TamperRule::replay_history; payloads are refcount bumps, not copies.
+  std::deque<Envelope> replay_log_;
   NetStats stats_;
 
   obs::Telemetry* telemetry_{&obs::Telemetry::noop()};
   obs::Counter* tel_dropped_{nullptr};
   obs::Counter* tel_duplicated_{nullptr};
+  obs::Counter* tel_tampered_{nullptr};
+  obs::Counter* tel_rejected_{nullptr};
   obs::Histogram* tel_recv_stall_{nullptr};
   std::vector<TypeHandles> type_handles_;  // dense, indexed by MessageType
   std::unordered_map<std::uint64_t, NodeHandles> node_handles_;

@@ -88,7 +88,8 @@ void Client::send_request(const ledger::Transaction& tx) {
   if (!compute_macs_) {
     // Receiver-independent seal: one buffer, refcounted across the roster.
     const net::Payload payload{
-        seal(keys_, id_, NodeId{0}, BytesView(body.data(), body.size()), false)};
+        seal(keys_, id_, NodeId{0}, msg_type::kClientRequest, BytesView(body.data(), body.size()),
+             false)};
     for (NodeId endorser : committee_) {
       network_.send(net::Envelope{id_, endorser, msg_type::kClientRequest, payload});
     }
@@ -100,7 +101,8 @@ void Client::send_request(const ledger::Transaction& tx) {
     envelope.to = endorser;
     envelope.type = msg_type::kClientRequest;
     envelope.payload =
-        seal(keys_, id_, endorser, BytesView(body.data(), body.size()), compute_macs_);
+        seal(keys_, id_, endorser, msg_type::kClientRequest,
+             BytesView(body.data(), body.size()), compute_macs_);
     network_.send(std::move(envelope));
   }
 }
@@ -121,12 +123,18 @@ void Client::submit(const ledger::Transaction& tx) {
 }
 
 void Client::handle(const net::Envelope& envelope) {
-  if (envelope.type != msg_type::kReply) return;
-  auto body = open(keys_, envelope.from, id_,
+  if (envelope.type != msg_type::kReply) return;  // not addressed to a client role
+  auto body = open(keys_, envelope.from, id_, envelope.type,
                    BytesView(envelope.payload.data(), envelope.payload.size()), compute_macs_);
-  if (!body) return;
+  if (!body) {
+    network_.note_rejected(envelope.type);
+    return;
+  }
   auto reply = Reply::decode(BytesView(body.value().data(), body.value().size()));
-  if (!reply) return;
+  if (!reply) {
+    network_.note_rejected(envelope.type);
+    return;
+  }
 
   const auto it = outstanding_.find(reply.value().tx_digest);
   if (it == outstanding_.end()) return;  // already committed or unknown

@@ -475,13 +475,31 @@ Result<EraLaunchMsg> EraLaunchMsg::decode(BytesView data) {
 
 // --- sealing ---------------------------------------------------------------------
 
-Bytes seal(const crypto::KeyRegistry& keys, NodeId sender, NodeId receiver, BytesView body,
-           bool compute_macs) {
+namespace {
+
+/// The authenticated input: body bytes followed by the envelope's
+/// MessageType (little-endian u16). See the seal() declaration for why the
+/// type must be bound into the tag.
+Bytes mac_input(BytesView body, net::MessageType type) {
+  Bytes input;
+  input.reserve(body.size() + 2);
+  input.insert(input.end(), body.begin(), body.end());
+  input.push_back(static_cast<std::uint8_t>(type & 0xffu));
+  input.push_back(static_cast<std::uint8_t>(type >> 8));
+  return input;
+}
+
+}  // namespace
+
+Bytes seal(const crypto::KeyRegistry& keys, NodeId sender, NodeId receiver, net::MessageType type,
+           BytesView body, bool compute_macs) {
   serde::Writer w;
   w.bytes(body);
   w.u64(sender.value);
   if (compute_macs) {
-    const crypto::Authenticator auth = keys.authenticate(sender, {receiver}, body);
+    const Bytes input = mac_input(body, type);
+    const crypto::Authenticator auth =
+        keys.authenticate(sender, {receiver}, BytesView(input.data(), input.size()));
     w.raw(BytesView(auth.tags.front().tag.data(), auth.tags.front().tag.size()));
   } else {
     const std::array<std::uint8_t, 8> zero{};
@@ -491,7 +509,7 @@ Bytes seal(const crypto::KeyRegistry& keys, NodeId sender, NodeId receiver, Byte
 }
 
 Result<Bytes> open(const crypto::KeyRegistry& keys, NodeId sender, NodeId receiver,
-                   BytesView sealed, bool compute_macs) {
+                   net::MessageType type, BytesView sealed, bool compute_macs) {
   serde::Reader r(sealed);
   auto body = r.bytes();
   if (!body) return make_error(body.error());
@@ -511,8 +529,9 @@ Result<Bytes> open(const crypto::KeyRegistry& keys, NodeId sender, NodeId receiv
     entry.receiver = receiver;
     std::copy(tag.value().begin(), tag.value().end(), entry.tag.begin());
     auth.tags.push_back(entry);
-    if (!keys.verify(auth, receiver, BytesView(body.value().data(), body.value().size()))) {
-      return make_error("seal: HMAC verification failed");
+    const Bytes input = mac_input(BytesView(body.value().data(), body.value().size()), type);
+    if (!keys.verify(auth, receiver, BytesView(input.data(), input.size()))) {
+      return make_error("seal: HMAC verification failed (body or type forged)");
     }
   }
   return std::move(body.value());

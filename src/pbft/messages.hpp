@@ -187,13 +187,20 @@ struct EraLaunchMsg {
 // --- sealing ----------------------------------------------------------------
 
 /// Appends the sender's HMAC tag for `receiver` to `body`. When
-/// `compute_macs` is false the 16 tag bytes are still appended (zeroed) so
+/// `compute_macs` is false the tag bytes are still appended (zeroed) so
 /// wire sizes are identical; open() skips verification symmetrically.
+///
+/// The MAC binds the envelope's MessageType alongside the body: Prepare and
+/// Commit share one field layout, so a tag over the body alone would let an
+/// in-flight adversary retype a genuine Prepare into a forged Commit (or
+/// any other same-layout confusion) without breaking verification. The type
+/// rides in the envelope header, not the payload, so binding it costs no
+/// wire bytes.
 [[nodiscard]] Bytes seal(const crypto::KeyRegistry& keys, NodeId sender, NodeId receiver,
-                         BytesView body, bool compute_macs);
+                         net::MessageType type, BytesView body, bool compute_macs);
 
 /// Splits and verifies a sealed payload; returns the body on success.
 [[nodiscard]] Result<Bytes> open(const crypto::KeyRegistry& keys, NodeId sender, NodeId receiver,
-                                 BytesView sealed, bool compute_macs);
+                                 net::MessageType type, BytesView sealed, bool compute_macs);
 
 }  // namespace gpbft::pbft

@@ -34,7 +34,7 @@ void Replica::send_to(NodeId to, net::MessageType type, BytesView body) {
   envelope.from = id_;
   envelope.to = to;
   envelope.type = type;
-  envelope.payload = seal(keys_, id_, to, body, config_.compute_macs);
+  envelope.payload = seal(keys_, id_, to, type, body, config_.compute_macs);
   network_.send(std::move(envelope));
 }
 
@@ -53,7 +53,7 @@ void Replica::send_to_each(const std::vector<NodeId>& peers, net::MessageType ty
   // buffer serves the whole fan-out — N refcount bumps instead of N seals
   // and N payload copies. This is the broadcast hot path of every sweep
   // (sim::default_options runs with compute_macs=false).
-  const net::Payload payload{seal(keys_, id_, NodeId{0}, body, /*compute_macs=*/false)};
+  const net::Payload payload{seal(keys_, id_, NodeId{0}, type, body, /*compute_macs=*/false)};
   for (NodeId peer : peers) {
     if (peer == id_) continue;
     network_.send(net::Envelope{id_, peer, type, payload});
@@ -74,11 +74,12 @@ void Replica::persist_now() {
 }
 
 Bytes Replica::open_or_drop(const net::Envelope& envelope) {
-  auto body = open(keys_, envelope.from, id_, BytesView(envelope.payload.data(),
-                                                        envelope.payload.size()),
+  auto body = open(keys_, envelope.from, id_, envelope.type,
+                   BytesView(envelope.payload.data(), envelope.payload.size()),
                    config_.compute_macs);
   if (!body) {
-    log_debug(id_.str() + ": dropping message with bad seal: " + body.error());
+    log_debug(id_.str() + ": rejecting message with bad seal: " + body.error());
+    network_.note_rejected(envelope.type);
     return {};
   }
   return std::move(body).value();
@@ -91,41 +92,91 @@ void Replica::handle(const net::Envelope& envelope) {
   if (body.empty()) return;  // seal failure (all valid bodies are non-empty)
   const BytesView view(body.data(), body.size());
 
+  // Wire-layer hardening: a body that opened but does not decode as its
+  // claimed type is rejected, accounted, and otherwise ignored — reject,
+  // don't crash (docs/protocol.md §12).
+  const auto reject = [this, &envelope] { network_.note_rejected(envelope.type); };
+
   switch (envelope.type) {
     case msg_type::kClientRequest: {
-      if (auto m = ClientRequest::decode(view)) accept_request(std::move(m.value().transaction));
+      if (auto m = ClientRequest::decode(view)) {
+        accept_request(std::move(m.value().transaction));
+      } else {
+        reject();
+      }
       break;
     }
     case msg_type::kPrePrepare: {
-      if (auto m = PrePrepare::decode(view)) on_preprepare(envelope.from, m.value());
+      if (auto m = PrePrepare::decode(view)) {
+        on_preprepare(envelope.from, m.value());
+      } else {
+        reject();
+      }
       break;
     }
     case msg_type::kPrepare: {
-      if (auto m = Prepare::decode(view)) on_prepare(envelope.from, m.value());
+      if (auto m = Prepare::decode(view)) {
+        on_prepare(envelope.from, m.value());
+      } else {
+        reject();
+      }
       break;
     }
     case msg_type::kCommit: {
-      if (auto m = Commit::decode(view)) on_commit(envelope.from, m.value());
+      if (auto m = Commit::decode(view)) {
+        on_commit(envelope.from, m.value());
+      } else {
+        reject();
+      }
       break;
     }
     case msg_type::kCheckpoint: {
-      if (auto m = CheckpointMsg::decode(view)) on_checkpoint(envelope.from, m.value());
+      if (auto m = CheckpointMsg::decode(view)) {
+        on_checkpoint(envelope.from, m.value());
+      } else {
+        reject();
+      }
       break;
     }
     case msg_type::kViewChange: {
-      if (auto m = ViewChangeMsg::decode(view)) on_view_change(envelope.from, std::move(m.value()));
+      if (auto m = ViewChangeMsg::decode(view)) {
+        on_view_change(envelope.from, std::move(m.value()));
+      } else {
+        reject();
+      }
       break;
     }
     case msg_type::kNewView: {
-      if (auto m = NewViewMsg::decode(view)) on_new_view(envelope.from, m.value());
+      if (auto m = NewViewMsg::decode(view)) {
+        on_new_view(envelope.from, m.value());
+      } else {
+        reject();
+      }
+      break;
+    }
+    case msg_type::kReply: {
+      // Replicas do not track outstanding client requests, but they can
+      // legitimately receive replies: an endorser that originated a config
+      // transaction is that transaction's "client", so the reply cache
+      // echoes replies at it. A well-formed reply is a protocol-level
+      // no-op here; only a malformed one is a wire fault.
+      if (!Reply::decode(view)) reject();
       break;
     }
     case msg_type::kSyncRequest: {
-      if (auto m = SyncRequest::decode(view)) on_sync_request(m.value());
+      if (auto m = SyncRequest::decode(view)) {
+        on_sync_request(m.value());
+      } else {
+        reject();
+      }
       break;
     }
     case msg_type::kSyncResponse: {
-      if (auto m = SyncResponse::decode(view)) on_sync_response(m.value());
+      if (auto m = SyncResponse::decode(view)) {
+        on_sync_response(m.value());
+      } else {
+        reject();
+      }
       break;
     }
     default:
@@ -136,6 +187,7 @@ void Replica::handle(const net::Envelope& envelope) {
 
 void Replica::handle_extra(const net::Envelope& envelope) {
   log_debug(id_.str() + ": unknown message type " + std::to_string(envelope.type));
+  network_.note_rejected(envelope.type);
 }
 
 // --- client requests ---------------------------------------------------------
@@ -178,9 +230,18 @@ std::vector<ledger::Transaction> Replica::select_batch() {
   // An accumulated batch must drain in one proposal even when the close
   // size exceeds the per-block cap tuned for the unbatched path.
   const std::size_t cap = std::max(config_.max_batch_size, config_.batch_close_size);
-  return mempool_.pop_batch(cap, [this](const crypto::Hash256& digest) {
-    return chain_.find_transaction(digest).has_value();
+  std::vector<ledger::Transaction> batch =
+      mempool_.pop_batch(cap, [this](const crypto::Hash256& digest) {
+        return chain_.find_transaction(digest).has_value();
+      });
+  // A configuration transaction must install exactly the next era. A
+  // leftover config tx from an abandoned era switch would otherwise linger
+  // in the mempool and later commit a second, contradictory roster for an
+  // era that already launched; popping it here discards it for good.
+  std::erase_if(batch, [this](const ledger::Transaction& tx) {
+    return tx.kind == ledger::TxKind::Config && tx.era_config.era != current_era() + 1;
   });
+  return batch;
 }
 
 void Replica::on_view_changed(ViewId, ViewId) {}
@@ -472,6 +533,12 @@ void Replica::on_preprepare(NodeId from, const PrePrepare& msg) {
   // While halted for an era switch, only configuration blocks may proceed
   // (§III-E: the switch itself is committed under consensus).
   if (halted_ && !config_only(msg.block)) return;
+  // Blocks are era-stamped at build time: a proposal minted under another
+  // era (a straggling old-era primary, or a new-era one racing ahead of
+  // this replica's own switch) must not enter the log — its roster and
+  // view numbering no longer match ours. Stragglers catch up via chain
+  // sync, which applies era configs through on_executed.
+  if (msg.block.header.era != current_era()) return;
   if (in_view_change_ || msg.view > view_) {
     // Possibly a new primary running ahead of its NEW-VIEW: hold the
     // message and replay once the view settles.
@@ -485,6 +552,13 @@ void Replica::on_preprepare(NodeId from, const PrePrepare& msg) {
   if (!seq_in_window(msg.seq)) return;
   if (msg.digest != msg.block.hash()) return;
   if (msg.block.header.merkle_root != msg.block.compute_merkle_root()) return;
+  // Backup-side twin of the select_batch filter: refuse proposals carrying
+  // a configuration transaction for anything but the next era, so a stale
+  // (or Byzantine) primary cannot commit a contradictory roster for an era
+  // that already launched.
+  for (const ledger::Transaction& tx : msg.block.transactions) {
+    if (tx.kind == ledger::TxKind::Config && tx.era_config.era != current_era() + 1) return;
+  }
 
   Instance& instance = log_[msg.seq];
   if (instance.preprepared && instance.view == msg.view && instance.digest != msg.digest) {
@@ -794,6 +868,12 @@ void Replica::on_view_change(NodeId from, ViewChangeMsg msg) {
   if (msg.last_executed > chain_.height()) request_sync_from(from);
 
   if (msg.new_view <= view_) return;
+  // Votes executed below the current committee's installation height were
+  // built by peers still on a previous roster (pre era switch / epoch
+  // re-election). Counting them would drag this freshly reconfigured
+  // committee to the old roster's view numbers and split it across views
+  // that can never reconverge; the straggler gets a sync above instead.
+  if (msg.last_executed < reconfigured_at_height_) return;
   auto& entries = view_changes_[msg.new_view];
   entries.emplace(from, std::move(msg));
 
@@ -860,7 +940,11 @@ void Replica::on_new_view(NodeId from, const NewViewMsg& msg) {
   const std::size_t f = faults_tolerated();
   std::set<NodeId> distinct;
   for (const ViewChangeMsg& vc : msg.proofs) {
-    if (vc.new_view == msg.new_view) distinct.insert(vc.replica);
+    // Same staleness filter as on_view_change: proofs executed below the
+    // current committee's installation height belong to a previous roster.
+    if (vc.new_view == msg.new_view && vc.last_executed >= reconfigured_at_height_) {
+      distinct.insert(vc.replica);
+    }
   }
   if (distinct.size() < 2 * f + 1) return;
   enter_new_view(msg.new_view, msg.preprepares);
@@ -977,6 +1061,7 @@ void Replica::reconfigure_committee(std::vector<NodeId> committee) {
   committee_ = std::move(committee);
   std::sort(committee_.begin(), committee_.end());
   view_ = 0;
+  reconfigured_at_height_ = chain_.height();
   in_view_change_ = false;
   pending_view_ = 0;
   view_changes_.clear();

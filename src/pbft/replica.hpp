@@ -272,6 +272,13 @@ class Replica : public net::INetNode {
   bool halted_{false};
   bool started_{false};
 
+  // Height at which the current committee was installed (0 = genesis
+  // roster). Consensus wire messages carry no era tag, so a peer's
+  // advertised execution height is the staleness proxy: view-change votes
+  // executed below this height were built under a previous roster and must
+  // not steer the reconfigured committee's view numbering.
+  Height reconfigured_at_height_{0};
+
   std::map<SeqNum, Instance> log_;
   SeqNum stable_seq_{0};
 

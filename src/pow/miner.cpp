@@ -75,8 +75,8 @@ void Miner::on_block_found(std::uint64_t attempt) {
   block.header.timestamp = network_.simulator().now();
   block.header.miner = id_;
   // Skip anything already on the best chain (other miners' blocks carried
-  // it first); simple reorg-loss of transactions is accepted and noted in
-  // the module docs — clients resubmit, as on real PoW chains.
+  // it first); transactions stranded on orphaned branches come back via
+  // sync_mempool_with_best_chain, so nothing is lost to a reorg.
   block.transactions = mempool_.pop_batch(
       config_.max_batch_size, [this](const crypto::Hash256& digest) {
         return chain_.confirmation_depth(digest).has_value();
@@ -93,6 +93,8 @@ void Miner::on_block_found(std::uint64_t attempt) {
   if (auto added = chain_.add_block(block); !added) {
     // Should not happen for a self-built block on the local tip.
     log_warn(id_.str() + ": own block rejected: " + added.error());
+  } else {
+    sync_mempool_with_best_chain();
   }
 
   // One encoded block refcounted across the gossip fan-out.
@@ -118,6 +120,8 @@ void Miner::handle(const net::Envelope& envelope) {
       if (auto block = PowBlock::decode(BytesView(envelope.payload.data(),
                                                   envelope.payload.size()))) {
         on_block_received(std::move(block.value()), envelope.from);
+      } else {
+        network_.note_rejected(envelope.type);
       }
       break;
     }
@@ -126,6 +130,8 @@ void Miner::handle(const net::Envelope& envelope) {
         crypto::Hash256 wanted;
         std::copy(envelope.payload.begin(), envelope.payload.end(), wanted.bytes.begin());
         on_block_requested(wanted, envelope.from);
+      } else {
+        network_.note_rejected(envelope.type);
       }
       break;
     }
@@ -134,21 +140,19 @@ void Miner::handle(const net::Envelope& envelope) {
       if (auto tx = ledger::Transaction::decode(BytesView(envelope.payload.data(),
                                                           envelope.payload.size()))) {
         submit(std::move(tx.value()));
+      } else {
+        network_.note_rejected(envelope.type);
       }
       break;
     }
     default:
+      network_.note_rejected(envelope.type);
       break;
   }
 }
 
 void Miner::on_block_received(PowBlock block, NodeId from) {
   account_mining_time();
-  // Drop the block's transactions from the local mempool so future blocks
-  // do not re-include them (which would keep resetting their confirmation
-  // depth and bloat every block).
-  for (const ledger::Transaction& tx : block.transactions) mempool_.remove(tx.digest());
-
   const crypto::Hash256 block_hash = block.hash();
   const crypto::Hash256 parent = block.header.prev_hash;
   auto added = chain_.add_block(std::move(block));
@@ -156,6 +160,11 @@ void Miner::on_block_received(PowBlock block, NodeId from) {
     log_debug(id_.str() + ": rejected gossip block: " + added.error());
     return;
   }
+  // Mempool maintenance follows the best-chain delta, not the raw block:
+  // only transactions that actually joined the best chain leave the pool
+  // (a side-branch block must not flush pending transactions — it may
+  // never win), and a reorg resurrects the losing branch's transactions.
+  sync_mempool_with_best_chain();
   if (!chain_.contains(block_hash) && !chain_.contains(parent)) {
     // Buffered as an orphan: we missed the parent (crash, partition, loss).
     // Ask the announcer for it; the walk repeats per served ancestor until
@@ -173,6 +182,27 @@ void Miner::on_block_received(PowBlock block, NodeId from) {
     check_confirmations();
     maybe_persist();
     arm_mining();
+  }
+}
+
+void Miner::sync_mempool_with_best_chain() {
+  // Bitcoin-style reorg maintenance over the chain's last add_block delta:
+  // transactions in blocks that left the best chain are resurrected unless
+  // the new branch also confirmed them; transactions in blocks that joined
+  // it leave the mempool. Without the resurrection leg a transaction mined
+  // only on an orphaned branch would be lost forever — harness clients
+  // submit once, so that is a liveness violation, not a nuisance.
+  for (const crypto::Hash256& hash : chain_.last_disconnected()) {
+    const PowBlock* block = chain_.find_block(hash);
+    if (block == nullptr) continue;
+    for (const ledger::Transaction& tx : block->transactions) {
+      if (!chain_.confirmation_depth(tx.digest()).has_value()) (void)mempool_.add(tx);
+    }
+  }
+  for (const crypto::Hash256& hash : chain_.last_connected()) {
+    const PowBlock* block = chain_.find_block(hash);
+    if (block == nullptr) continue;
+    for (const ledger::Transaction& tx : block->transactions) mempool_.remove(tx.digest());
   }
 }
 

@@ -91,6 +91,7 @@ class Miner : public net::INetNode {
   void on_block_requested(const crypto::Hash256& block_hash, NodeId requester);
   void account_mining_time();
   void check_confirmations();
+  void sync_mempool_with_best_chain();
 
   NodeId id_;
   std::vector<NodeId> peers_;

@@ -74,6 +74,9 @@ Result<PowBlock> PowBlock::decode(BytesView data) {
   auto count = r.varint();
   if (!count) return make_error(count.error());
   if (count.value() > 1'000'000) return make_error("pow block: too many transactions");
+  if (count.value() > r.remaining()) {
+    return make_error("pow block: transaction count exceeds payload");
+  }
   for (std::uint64_t i = 0; i < count.value(); ++i) {
     auto tx_bytes = r.bytes();
     if (!tx_bytes) return make_error(tx_bytes.error());
@@ -142,6 +145,8 @@ PowChain::PowChain(PowBlock genesis, std::uint64_t proof_difficulty,
 }
 
 Result<bool> PowChain::add_block(PowBlock block) {
+  last_connected_.clear();
+  last_disconnected_.clear();
   const crypto::Hash256 hash = block.hash();
   if (blocks_.contains(hash)) return false;  // duplicate, tip unchanged
 
@@ -164,7 +169,34 @@ Result<bool> PowChain::add_block(PowBlock block) {
   }
   // connect() recursively attaches buffered orphans; report whether the
   // best tip moved at all (the miners' restart signal).
+  if (best_tip_ != tip_before) record_reorg_deltas(tip_before);
   return best_tip_ != tip_before;
+}
+
+void PowChain::record_reorg_deltas(const crypto::Hash256& old_tip) {
+  // Walk both tips back to their common ancestor: blocks on the old branch
+  // left the best chain, blocks on the new branch joined it. For a plain
+  // extension the old tip IS the ancestor and only the connected leg fills.
+  crypto::Hash256 leaving = old_tip;
+  crypto::Hash256 joining = best_tip_;
+  const auto height_of = [this](const crypto::Hash256& h) {
+    return blocks_.at(h).block.header.height;
+  };
+  while (height_of(leaving) > height_of(joining)) {
+    last_disconnected_.push_back(leaving);
+    leaving = blocks_.at(leaving).block.header.prev_hash;
+  }
+  while (height_of(joining) > height_of(leaving)) {
+    last_connected_.push_back(joining);
+    joining = blocks_.at(joining).block.header.prev_hash;
+  }
+  while (leaving != joining) {
+    last_disconnected_.push_back(leaving);
+    leaving = blocks_.at(leaving).block.header.prev_hash;
+    last_connected_.push_back(joining);
+    joining = blocks_.at(joining).block.header.prev_hash;
+  }
+  std::reverse(last_connected_.begin(), last_connected_.end());
 }
 
 Result<bool> PowChain::connect(PowBlock block) {

@@ -121,6 +121,19 @@ class PowChain {
   /// the genesis difficulty.
   [[nodiscard]] std::uint64_t next_difficulty(const crypto::Hash256& parent) const;
 
+  /// Best-chain delta of the most recent add_block() call: hashes of blocks
+  /// that joined the best chain (ancestor→tip order) and of blocks that
+  /// left it (tip→ancestor order). Both are empty when the tip did not
+  /// move. Powers the miners' reorg-aware mempool maintenance: connected
+  /// transactions leave the mempool, disconnected ones are resurrected
+  /// unless the new branch reconfirmed them.
+  [[nodiscard]] const std::vector<crypto::Hash256>& last_connected() const {
+    return last_connected_;
+  }
+  [[nodiscard]] const std::vector<crypto::Hash256>& last_disconnected() const {
+    return last_disconnected_;
+  }
+
   [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
   /// The connected block with `block_hash`, or nullptr (orphans and unknown
   /// hashes are not served). Powers the parent-fetch sync path in Miner.
@@ -141,6 +154,7 @@ class PowChain {
   [[nodiscard]] Result<bool> connect(PowBlock block);
   void try_connect_orphans(const crypto::Hash256& parent);
   void reindex_best_chain();
+  void record_reorg_deltas(const crypto::Hash256& old_tip);
 
   std::uint64_t proof_difficulty_;
   std::optional<RetargetConfig> retarget_;
@@ -148,6 +162,8 @@ class PowChain {
   std::multimap<crypto::Hash256, PowBlock> orphans_;  // parent hash -> block
   crypto::Hash256 genesis_hash_;
   crypto::Hash256 best_tip_;
+  std::vector<crypto::Hash256> last_connected_;
+  std::vector<crypto::Hash256> last_disconnected_;
   // digest -> (block hash, height) for best-chain confirmation queries.
   std::unordered_map<crypto::Hash256, crypto::Hash256> tx_to_block_;
 };

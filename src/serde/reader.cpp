@@ -59,6 +59,10 @@ Result<std::uint64_t> Reader::varint() {
     if (remaining() < 1) return make_error("serde: truncated varint");
     if (shift >= 64) return make_error("serde: varint overflow");
     const std::uint8_t byte = data_[pos_++];
+    // At shift 63 only the low bit still fits in a u64; higher payload
+    // bits would be shifted out silently, so two distinct encodings
+    // could alias to one value.
+    if (shift == 63 && (byte & 0x7e) != 0) return make_error("serde: varint overflow");
     v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) break;
     shift += 7;
@@ -78,6 +82,10 @@ Result<Bytes> Reader::bytes(std::size_t max_len) {
   auto len = varint();
   if (!len) return make_error(len.error());
   if (len.value() > max_len) return make_error("serde: length exceeds limit");
+  // Clamp the declared length against what is actually left BEFORE any
+  // allocation sized from it: a tampered length prefix must never drive
+  // a reservation larger than the buffer it claims to describe.
+  if (len.value() > remaining()) return make_error("serde: declared length exceeds remaining bytes");
   return raw(static_cast<std::size_t>(len.value()));
 }
 

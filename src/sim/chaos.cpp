@@ -47,6 +47,16 @@ const char* chaos_kind_name(ChaosEvent::Kind kind) {
     case ChaosEvent::Kind::TargetedCrash: return "targeted_crash";
     case ChaosEvent::Kind::OscillateMobility: return "oscillate_mobility";
     case ChaosEvent::Kind::OscillateRestore: return "oscillate_restore";
+    case ChaosEvent::Kind::Tamper: return "tamper";
+    case ChaosEvent::Kind::TamperHeal: return "tamper_heal";
+  }
+  return "unknown";
+}
+
+const char* tamper_mode_name(net::TamperRule::Mode mode) {
+  switch (mode) {
+    case net::TamperRule::Mode::Replace: return "replace";
+    case net::TamperRule::Mode::Inject: return "inject";
   }
   return "unknown";
 }
@@ -131,6 +141,14 @@ std::string ChaosEvent::describe() const {
     case Kind::OscillateRestore:
       out += "oscillate restore node " + nodes_str(nodes);
       break;
+    case Kind::Tamper:
+      std::snprintf(buf, sizeof(buf), "tamper wire mode=%s rate=%.3f",
+                    tamper_mode_name(tamper_rule.mode), tamper_rule.chance);
+      out += buf;
+      break;
+    case Kind::TamperHeal:
+      out += "tamper heal";
+      break;
   }
   return out;
 }
@@ -200,6 +218,12 @@ ChaosEvent ChaosEvent::oscillate_mobility(TimePoint at, NodeId victim) {
 ChaosEvent ChaosEvent::oscillate_restore(TimePoint at, NodeId victim) {
   return ChaosEvent{at, Kind::OscillateRestore, {victim}};
 }
+ChaosEvent ChaosEvent::tamper(TimePoint at, net::TamperRule rule) {
+  ChaosEvent event{at, Kind::Tamper, {}};
+  event.tamper_rule = std::move(rule);
+  return event;
+}
+ChaosEvent ChaosEvent::tamper_heal(TimePoint at) { return ChaosEvent{at, Kind::TamperHeal, {}}; }
 
 // --- ChaosProfile ------------------------------------------------------------------
 
@@ -264,10 +288,13 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const ChaosProfile& profile,
   // Election-attack families likewise draw from their own stream: plans
   // with all attack chances at zero stay byte-identical to older ones.
   Rng election = rng.fork(0x656c6563'74696f6eull);
+  // Wire-tamper windows: same forked-stream discipline ("tamper").
+  Rng wire = rng.fork(0x74616d'706572ull);
 
   std::map<std::uint64_t, std::int64_t> down_until;  // node -> instant it is healthy again
   std::int64_t partition_until = 0;                  // one partition at a time
   std::int64_t targeted_until = 0;  // fire-time-resolved crash window (victim unknown here)
+  std::int64_t tamper_until = 0;    // one wire adversary at a time
 
   const auto faulty_at = [&down_until, &targeted_until](std::int64_t t) {
     std::size_t n = targeted_until > t ? 1 : 0;
@@ -403,6 +430,16 @@ FaultPlan FaultPlan::random(std::uint64_t seed, const ChaosProfile& profile,
       plan.add(ChaosEvent::oscillate_mobility(TimePoint{t}, victim));
       plan.add(ChaosEvent::oscillate_restore(TimePoint{heal_at}, victim));
     }
+    // The wire adversary attacks messages, not nodes: it never consumes the
+    // concurrent-fault budget. One window at a time keeps the installed
+    // rule unambiguous (set_tamper replaces, so overlap would double-heal).
+    if (wire.chance(profile.tamper_chance) && tamper_until <= t) {
+      net::TamperRule rule = profile.tamper_template;
+      rule.chance = wire.uniform_real(0.02, std::max(0.02, profile.max_tamper_rate));
+      plan.add(ChaosEvent::tamper(TimePoint{t}, std::move(rule)));
+      plan.add(ChaosEvent::tamper_heal(TimePoint{heal_at}));
+      tamper_until = heal_at;
+    }
   }
   return plan;
 }
@@ -490,6 +527,12 @@ void FaultPlan::schedule(net::Simulator& sim, net::Network& network,
         case ChaosEvent::Kind::OscillateRestore:
           if (handlers.oscillate) handlers.oscillate(event.nodes.at(0), /*displaced=*/false);
           break;
+        case ChaosEvent::Kind::Tamper:
+          network.set_tamper(event.tamper_rule);
+          break;
+        case ChaosEvent::Kind::TamperHeal:
+          network.clear_tamper();
+          break;
       }
       // Fault injections land in the same telemetry stream the protocols
       // write to, so a trace shows cause (chaos) next to effect (phases).
@@ -509,6 +552,16 @@ ChaosProfile profile_for(const std::string& intensity) {
   if (intensity == "light") return ChaosProfile::light();
   if (intensity == "medium") return ChaosProfile::medium();
   if (intensity == "heavy") return ChaosProfile::heavy();
+  if (intensity == "none") {
+    // All-zero: no family fires until a campaign opts one in on top.
+    ChaosProfile profile;
+    profile.crash_chance = 0.0;
+    profile.partition_chance = 0.0;
+    profile.byzantine_chance = 0.0;
+    profile.link_fault_chance = 0.0;
+    profile.brownout_chance = 0.0;
+    return profile;
+  }
   std::fprintf(stderr, "unknown chaos intensity: %s\n", intensity.c_str());
   std::abort();
 }
@@ -605,9 +658,25 @@ ChaosRunResult run_protocol_chaos(ProtocolKind protocol, const ChaosCampaignOpti
   profile.sybil_burst_chance = options.sybil_burst_chance;
   profile.targeted_crash_chance = options.targeted_crash_chance;
   profile.oscillate_chance = options.oscillate_chance;
+  profile.tamper_chance = options.tamper_chance;
+  profile.tamper_template = options.tamper_template;
   // Miners model no equivocation faults (there is no FaultMode to toggle);
   // PoW runs get the profile's crash/partition/link/brownout families only.
-  if (protocol == ProtocolKind::Pow) profile.byzantine_chance = 0.0;
+  if (protocol == ProtocolKind::Pow) {
+    profile.byzantine_chance = 0.0;
+    // PoW's wire carries no MACs and its client requests no signatures:
+    // tampering a request forges workload (a VALIDITY violation by
+    // construction), and replaying a mined one re-seeds the mempool. Spare
+    // the request plane; the proof/merkle checks cover the block plane.
+    profile.tamper_template.spare_types.push_back(pbft::msg_type::kClientRequest);
+    if (profile.tamper_template.mode == net::TamperRule::Mode::Inject) {
+      // A mutated block header can pass the proof check by sheer luck and
+      // would then be a *valid* sibling block — an outcome MAC-based tip
+      // identity cannot claim anything about. The Inject campaign spares
+      // the gossip plane; Replace storms still cover it (as loss).
+      profile.tamper_template.spare_types.push_back(pow::kPowBlock);
+    }
+  }
   const FaultPlan plan = FaultPlan::random(
       mix_seed(options.base_seed, run_index, std::string(protocol_name(protocol)) + "-" + intensity),
       profile, deployment->fault_targets(), options.horizon);
@@ -642,6 +711,7 @@ ChaosRunResult run_protocol_chaos(ProtocolKind protocol, const ChaosCampaignOpti
     deployment->run_for(spec.engine.request_timeout * 3);
   }
   deployment->stop();
+  result.tip_hex = deployment->tip_hex();
   deployment->finish_invariants(monitor);
   monitor.check_restart_convergence();
 
@@ -700,6 +770,36 @@ ChaosCampaignResult run_chaos_campaign(const ChaosCampaignOptions& options) {
       for (std::uint64_t run = 0; run < options.seeds; ++run) {
         result.runs.push_back(run_protocol_chaos(protocol, options, intensity, run));
       }
+    }
+  }
+  return result;
+}
+
+ChaosCampaignResult run_tamper_campaign(const ChaosCampaignOptions& options) {
+  ChaosCampaignResult result;
+  ChaosCampaignOptions clean = options;
+  clean.tamper_chance = 0.0;
+  ChaosCampaignOptions tampered = options;
+  tampered.tamper_chance = options.tamper_chance > 0.0 ? options.tamper_chance : 0.75;
+  tampered.tamper_template.mode = net::TamperRule::Mode::Inject;
+  // Replays re-deliver *genuine* sealed messages; honest nodes answer them
+  // (reply caches, sync responses), legitimately perturbing the clean
+  // plane. REJECT-SAFE claims silence for forgeries only, so the Inject
+  // pair disables the replay family — Replace storms still exercise it.
+  tampered.tamper_template.replay = 0.0;
+  for (const ProtocolKind protocol : options.protocols) {
+    for (std::uint64_t run = 0; run < options.seeds; ++run) {
+      const ChaosRunResult clean_run = run_protocol_chaos(protocol, clean, "none", run);
+      ChaosRunResult tampered_run = run_protocol_chaos(protocol, tampered, "none", run);
+      tampered_run.intensity = "inject";
+      if (tampered_run.tip_hex != clean_run.tip_hex) {
+        Violation violation;
+        violation.kind = Violation::Kind::RejectSafe;
+        violation.detail = "tampered tip " + tampered_run.tip_hex + " != clean tip " +
+                           clean_run.tip_hex + " at seed " + std::to_string(tampered_run.seed);
+        tampered_run.violations.push_back(std::move(violation));
+      }
+      result.runs.push_back(std::move(tampered_run));
     }
   }
   return result;

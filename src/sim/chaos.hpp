@@ -61,6 +61,10 @@ struct ChaosEvent {
                        // elected endorser); recovers after `hold`
     OscillateMobility,  // nodes: {victim}; displaces its reported cell
     OscillateRestore,   // nodes: {victim}; moves it back
+    // Wire-tamper family (a network-wide in-flight adversary, not a node
+    // fault — it never consumes the concurrent-fault budget):
+    Tamper,      // nodes empty; tamper_rule: the adversary installed
+    TamperHeal,  // removes the adversary
   };
 
   TimePoint at;
@@ -71,6 +75,7 @@ struct ChaosEvent {
   pbft::FaultMode mode{pbft::FaultMode::None};
   DiskFaultKind disk{DiskFaultKind::TornWrite};
   Duration hold{};  // TargetedCrash: downtime before the scheduled recover
+  net::TamperRule tamper_rule{};  // Tamper: the rule to install
 
   /// Deterministic one-line rendering ("t=12.000s crash node 3").
   [[nodiscard]] std::string describe() const;
@@ -93,6 +98,8 @@ struct ChaosEvent {
   static ChaosEvent targeted_crash(TimePoint at, Duration hold);
   static ChaosEvent oscillate_mobility(TimePoint at, NodeId victim);
   static ChaosEvent oscillate_restore(TimePoint at, NodeId victim);
+  static ChaosEvent tamper(TimePoint at, net::TamperRule rule);
+  static ChaosEvent tamper_heal(TimePoint at);
 };
 
 /// Intensity profile for random plan generation. Every `step`, each fault
@@ -121,6 +128,16 @@ struct ChaosProfile {
   double sybil_burst_chance{0.0};
   double targeted_crash_chance{0.0};
   double oscillate_chance{0.0};
+
+  /// Wire-tamper windows (in-flight bit flips, truncation, type confusion,
+  /// oversized payloads, replays); zero in the built-in profiles. Like the
+  /// other opt-in families the draws come from a forked stream, so
+  /// zero-chance plans are byte-identical to pre-tamper ones. A fired
+  /// window installs `tamper_template` with a per-message mutation rate
+  /// drawn up to `max_tamper_rate`; one window is live at a time.
+  double tamper_chance{0.0};
+  double max_tamper_rate{0.25};
+  net::TamperRule tamper_template{};
 
   double max_loss{0.15};
   Duration max_extra_latency = Duration::millis(40);
@@ -192,7 +209,9 @@ class FaultPlan {
 
 // --- seeded campaigns ---------------------------------------------------------------
 
-/// Profile by name; aborts on an unknown intensity.
+/// Profile by name; aborts on an unknown intensity. "none" yields an
+/// all-zero profile — no fault family fires — so campaigns can isolate an
+/// opt-in family (tamper storms, REJECT-SAFE pairs) from node faults.
 [[nodiscard]] ChaosProfile profile_for(const std::string& intensity);
 
 struct ChaosCampaignOptions {
@@ -230,6 +249,13 @@ struct ChaosCampaignOptions {
   double targeted_crash_chance{0.0};
   double oscillate_chance{0.0};
 
+  /// Wire-tamper chaos: per step, the chance a tamper window opens (the
+  /// in-flight adversary of `tamper_template` with a drawn mutation rate).
+  /// Campaigns spare PoW client requests automatically — nothing end-to-end
+  /// authenticates them, so tampering there forges workload, not wire noise.
+  double tamper_chance{0.0};
+  net::TamperRule tamper_template{};
+
   /// Enables the reputation-weighted election (G-PBFT deployments): scores
   /// shape the roster, quarantine demotes attackers, configuration blocks
   /// carry the score snapshot.
@@ -246,6 +272,9 @@ struct ChaosRunResult {
   std::uint64_t restarts{0};
   std::uint64_t blocks_checked{0};
   std::vector<Violation> violations;
+  /// Hex hash of node 0's chain tip at run end — the REJECT-SAFE campaign
+  /// compares it across a clean/tampered pair.
+  std::string tip_hex;
 
   [[nodiscard]] bool passed() const { return violations.empty(); }
 };
@@ -259,5 +288,17 @@ struct ChaosCampaignResult {
 };
 
 [[nodiscard]] ChaosCampaignResult run_chaos_campaign(const ChaosCampaignOptions& options);
+
+/// The REJECT-SAFE campaign: for every protocol x seed it runs the scenario
+/// twice at the same seed — once clean, once with an Inject-mode tamper
+/// storm (man-on-the-side ghosts; replay disabled because replayed genuine
+/// messages legitimately elicit responses) — and requires the tampered
+/// run's chain tip to be byte-identical to the clean run's. With MACs on,
+/// every forged ghost must be rejected at the wire layer without perturbing
+/// the genuine plane; a tip mismatch records a RejectSafe violation. Runs
+/// with `options.intensities` ignored ("none" is used so node faults stay
+/// out of the picture); a non-positive options.tamper_chance defaults to
+/// windows opening on three quarters of the steps.
+[[nodiscard]] ChaosCampaignResult run_tamper_campaign(const ChaosCampaignOptions& options);
 
 }  // namespace gpbft::sim

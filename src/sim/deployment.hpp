@@ -99,6 +99,11 @@ class Deployment {
   [[nodiscard]] WorkloadPlane* plane() { return plane_.get(); }
   [[nodiscard]] const WorkloadPlane* plane() const { return plane_.get(); }
 
+  /// Hex hash of node 0's chain tip (PoW: miner 0's best tip) — the
+  /// byte-level fingerprint the REJECT-SAFE tamper campaign compares
+  /// across a clean/tampered pair at the same seed.
+  [[nodiscard]] virtual std::string tip_hex() const = 0;
+
   /// Transactions committed (PoW: confirmed at depth) across all clients.
   [[nodiscard]] virtual std::uint64_t committed_count() const;
   [[nodiscard]] virtual std::uint64_t era_switches() const { return 0; }
@@ -214,6 +219,9 @@ class PbftCluster : public Deployment {
 
   [[nodiscard]] pbft::Replica& replica(std::size_t i) { return *replicas_.at(i); }
   [[nodiscard]] std::size_t replica_count() const { return replicas_.size(); }
+  [[nodiscard]] std::string tip_hex() const override {
+    return replicas_.at(0)->chain().tip().hash().hex();
+  }
 
  protected:
   void start_nodes() override;
@@ -264,6 +272,9 @@ class GpbftCluster : public Deployment {
 
   [[nodiscard]] ::gpbft::gpbft::Endorser& endorser(std::size_t i) { return *endorsers_.at(i); }
   [[nodiscard]] std::size_t endorser_count() const { return endorsers_.size(); }
+  [[nodiscard]] std::string tip_hex() const override {
+    return endorsers_.at(0)->chain().tip().hash().hex();
+  }
   [[nodiscard]] ::gpbft::gpbft::AreaRegistry& area() { return area_; }
   [[nodiscard]] const std::vector<NodeId>& roster() const { return roster_; }
   [[nodiscard]] EraId era() const { return era_; }
@@ -315,6 +326,9 @@ class DbftCluster : public Deployment {
 
   [[nodiscard]] dbft::Delegate& delegate(std::size_t i) { return *members_.at(i); }
   [[nodiscard]] std::size_t delegate_count() const { return members_.size(); }
+  [[nodiscard]] std::string tip_hex() const override {
+    return members_.at(0)->chain().tip().hash().hex();
+  }
 
  protected:
   void start_nodes() override;
@@ -370,6 +384,9 @@ class PowCluster : public Deployment {
 
   [[nodiscard]] pow::Miner& miner(std::size_t i) { return *miners_.at(i); }
   [[nodiscard]] std::size_t miner_count() const { return miners_.size(); }
+  [[nodiscard]] std::string tip_hex() const override {
+    return miners_.at(0)->chain().tip_hash().hex();
+  }
 
  protected:
   void start_nodes() override;

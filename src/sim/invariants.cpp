@@ -38,6 +38,7 @@ const char* violation_kind_name(Violation::Kind kind) {
     case Violation::Kind::CommitteeQuality: return "COMMITTEE-QUALITY";
     case Violation::Kind::SybilSeated: return "SYBIL-SEATED";
     case Violation::Kind::EraConvergence: return "ERA-CONVERGENCE";
+    case Violation::Kind::RejectSafe: return "REJECT-SAFE";
   }
   return "UNKNOWN";
 }

@@ -49,6 +49,9 @@ struct Violation {
                        // forged geo reports (fed by note_sybil)
     EraConvergence,    // an honest node applied an era's config later than
                        // the convergence bound after its first application
+    RejectSafe,        // a tampered (Inject-mode, MACs on) run's chain tip
+                       // diverged from the clean run at the same seed —
+                       // some forged message must have been accepted
   };
 
   Kind kind{Kind::Agreement};

@@ -414,6 +414,18 @@ const std::vector<Field>& field_table() {
                              &ChaosSpec::targeted_crash_chance));
     f.push_back(double_field("chaos.oscillate_chance", &ScenarioSpec::chaos,
                              &ChaosSpec::oscillate_chance));
+    f.push_back(double_field("chaos.tamper_chance", &ScenarioSpec::chaos,
+                             &ChaosSpec::tamper_chance));
+    f.push_back({"chaos.tamper_mode",
+                 [](const ScenarioSpec& s) { return s.chaos.tamper_mode; },
+                 [](ScenarioSpec& s, const std::string& v) -> Result<void> {
+                   if (v != "replace" && v != "inject") {
+                     return make_error("chaos.tamper_mode must be replace|inject, got \"" + v +
+                                       "\"");
+                   }
+                   s.chaos.tamper_mode = v;
+                   return {};
+                 }});
 
     f.push_back(bool_field("reputation.enabled", &ScenarioSpec::reputation,
                            &ReputationSpec::enabled));

@@ -175,6 +175,15 @@ struct ChaosSpec {
   double sybil_burst_chance{0.0};
   double targeted_crash_chance{0.0};
   double oscillate_chance{0.0};
+  /// Wire-tamper chaos (per decision step, own forked RNG stream): the
+  /// chance a tamper window opens — an in-flight adversary mutating
+  /// envelopes with bit flips, truncation, extension, type confusion,
+  /// oversized payloads and replays. `tamper_mode` picks the adversary
+  /// model: "replace" (MITM: the mutant takes the genuine message's place)
+  /// or "inject" (man-on-the-side: the genuine message is untouched and the
+  /// mutant arrives as an extra edge-injected ghost).
+  double tamper_chance{0.0};
+  std::string tamper_mode{"replace"};
 
   friend bool operator==(const ChaosSpec&, const ChaosSpec&) = default;
 };

@@ -82,6 +82,8 @@ TEST(FaultPlan, BudgetRespectedAndEveryFaultHealed) {
         case ChaosEvent::Kind::Restart:
         case ChaosEvent::Kind::DiskFault:
           break;  // durability events are instantaneous; nothing to heal
+        default:
+          break;  // attack/tamper families never consume the fault budget
       }
       // The hard budget: concurrently crashed + Byzantine + partitioned.
       std::set<std::uint64_t> faulty = crashed;

@@ -157,7 +157,9 @@ DbftConfig fast_dbft() {
   return config;
 }
 
-TEST(Delegate, CommitsWithTwoPhasesOnly) {
+TEST(Delegate, DefaultRuleRunsCommitPhase) {
+  // dBFT 2.0 by default: finality takes the full PREPARE + COMMIT exchange
+  // (the 1.0 two-phase rule forks under loss + view change).
   DbftNet net(4, 4, fast_dbft());
   net.start();
   net.clients[0]->set_commit_callback([](const crypto::Hash256&, Height, Duration) {});
@@ -166,7 +168,23 @@ TEST(Delegate, CommitsWithTwoPhasesOnly) {
 
   EXPECT_EQ(net.clients[0]->committed_count(), 1u);
   EXPECT_EQ(net.nodes[0]->chain().height(), 1u);
-  // No COMMIT-phase traffic at all: dBFT finalizes on the PREPARE quorum.
+  const auto& by_type = net.network->stats().bytes_by_type;
+  EXPECT_TRUE(by_type.contains(pbft::msg_type::kCommit));
+  EXPECT_TRUE(by_type.contains(pbft::msg_type::kPrepare));
+}
+
+TEST(Delegate, LegacyTwoPhaseCommitsWithoutCommitRound) {
+  DbftConfig config = fast_dbft();
+  config.legacy_two_phase = true;  // dBFT 1.0 ablation
+  DbftNet net(4, 4, config);
+  net.start();
+  net.clients[0]->set_commit_callback([](const crypto::Hash256&, Height, Duration) {});
+  net.clients[0]->submit(net.tx(0, 1));
+  net.run_for(Duration::seconds(10));
+
+  EXPECT_EQ(net.clients[0]->committed_count(), 1u);
+  EXPECT_EQ(net.nodes[0]->chain().height(), 1u);
+  // No COMMIT-phase traffic at all: 1.0 finalizes on the PREPARE quorum.
   const auto& by_type = net.network->stats().bytes_by_type;
   EXPECT_FALSE(by_type.contains(pbft::msg_type::kCommit));
   EXPECT_TRUE(by_type.contains(pbft::msg_type::kPrepare));

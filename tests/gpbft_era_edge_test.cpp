@@ -57,6 +57,7 @@ TEST(EraEdge, ForgedHaltFromNonLeadIgnored) {
     envelope.to = cluster.endorser(i).id();
     envelope.type = pbft::msg_type::kEraHalt;
     envelope.payload = pbft::seal(cluster.keys(), forger, cluster.endorser(i).id(),
+                                  pbft::msg_type::kEraHalt,
                                   BytesView(body.data(), body.size()), true);
     cluster.network().send(std::move(envelope));
   }

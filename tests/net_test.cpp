@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <tuple>
 #include <utility>
+#include <vector>
 
 #include "net/network.hpp"
 #include "net/simulator.hpp"
@@ -717,6 +719,188 @@ TEST(Network, DeterministicAcrossIdenticalRuns) {
   };
   EXPECT_EQ(run_once(5), run_once(5));
   EXPECT_NE(run_once(5), run_once(6));
+}
+
+// --- wire tampering --------------------------------------------------------
+
+TamperRule bitflip_only_rule(TamperRule::Mode mode) {
+  TamperRule rule;
+  rule.mode = mode;
+  rule.chance = 1.0;
+  rule.truncate = rule.extend = rule.retype = rule.oversize = rule.replay = 0.0;
+  rule.max_flips = 1;  // a single flip can never cancel itself out
+  return rule;
+}
+
+TEST(Network, TamperZeroChanceRuleIsNeutral) {
+  auto run_once = [](bool install_rule) {
+    Simulator sim(11);
+    Network network(sim, quiet_config());
+    RecordingNode a(NodeId{1}), b(NodeId{2});
+    network.attach(&a);
+    network.attach(&b);
+    if (install_rule) network.set_tamper(TamperRule{});  // chance 0
+    for (int i = 0; i < 5; ++i) {
+      network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{static_cast<std::uint8_t>(i)}});
+    }
+    sim.run();
+    return std::make_tuple(sim.now().ns, b.received.size(), network.stats().tampered_messages);
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
+TEST(Network, ClearTamperRestoresCleanWire) {
+  Simulator sim(3);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+
+  network.set_tamper(bitflip_only_rule(TamperRule::Mode::Replace));
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1, 2, 3, 4}});
+  sim.run();
+  EXPECT_EQ(network.stats().tampered_messages, 1u);
+
+  network.clear_tamper();
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1, 2, 3, 4}});
+  sim.run();
+  EXPECT_EQ(network.stats().tampered_messages, 1u);
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(b.received[1].payload, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Network, ReplaceModeMutatesTheDeliveredEnvelope) {
+  Simulator sim(3);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+  network.set_tamper(bitflip_only_rule(TamperRule::Mode::Replace));
+
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1, 2, 3, 4}});
+  sim.run();
+
+  // MITM: the mutant takes the genuine message's place — one delivery,
+  // bytes differ.
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_NE(b.received[0].payload, (Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(network.stats().tampered_messages, 1u);
+  EXPECT_EQ(network.stats().per_node.at(NodeId{2}).messages_received, 1u);
+}
+
+TEST(Network, InjectModeDeliversGhostAlongsideOriginal) {
+  Simulator sim(3);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+  network.set_tamper(bitflip_only_rule(TamperRule::Mode::Inject));
+
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1, 2, 3, 4}});
+  sim.run();
+
+  // Man-on-the-side: the genuine envelope arrives untouched, the mutant
+  // rides along as an edge-injected ghost. Both count as received traffic.
+  ASSERT_EQ(b.received.size(), 2u);
+  const int genuine = static_cast<int>(b.received[0].payload == Bytes{1, 2, 3, 4}) +
+                      static_cast<int>(b.received[1].payload == Bytes{1, 2, 3, 4});
+  EXPECT_EQ(genuine, 1);
+  EXPECT_EQ(network.stats().tampered_messages, 1u);
+  EXPECT_EQ(network.stats().per_node.at(NodeId{2}).messages_received, 2u);
+}
+
+TEST(Network, ReplayRedeliversGenuineBytes) {
+  Simulator sim(3);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+  TamperRule rule;
+  rule.mode = TamperRule::Mode::Inject;
+  rule.chance = 1.0;
+  rule.bitflip = rule.truncate = rule.extend = rule.retype = rule.oversize = 0.0;
+  rule.replay = 1.0;
+  rule.replay_delay_max = Duration::millis(5);
+  network.set_tamper(rule);
+
+  network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{9, 9, 9}});
+  sim.run();
+
+  // The replayed ghost is a verbatim copy of captured genuine traffic.
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(b.received[0].payload, (Bytes{9, 9, 9}));
+  EXPECT_EQ(b.received[1].payload, (Bytes{9, 9, 9}));
+  EXPECT_EQ(network.stats().replayed_messages, 1u);
+  EXPECT_EQ(network.stats().tampered_messages, 1u);
+}
+
+TEST(Network, SparedTypesPassUntouched) {
+  Simulator sim(3);
+  Network network(sim, quiet_config());
+  RecordingNode a(NodeId{1}), b(NodeId{2});
+  network.attach(&a);
+  network.attach(&b);
+  TamperRule rule = bitflip_only_rule(TamperRule::Mode::Replace);
+  rule.spare_types = {7};
+  network.set_tamper(rule);
+
+  network.send(Envelope{NodeId{1}, NodeId{2}, 7, Bytes{1, 2, 3, 4}});
+  sim.run();
+
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].payload, (Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(network.stats().tampered_messages, 0u);
+}
+
+TEST(Network, TamperDeterministicAcrossIdenticalRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    NetConfig config = quiet_config();
+    config.jitter = Duration::millis(5);
+    Network network(sim, config);
+    RecordingNode a(NodeId{1}), b(NodeId{2});
+    network.attach(&a);
+    network.attach(&b);
+    TamperRule rule;
+    rule.mode = TamperRule::Mode::Replace;
+    rule.chance = 0.5;
+    network.set_tamper(rule);
+    for (int i = 0; i < 40; ++i) {
+      network.send(Envelope{NodeId{1}, NodeId{2}, 1, Bytes{1, 2, 3, 4, 5, 6}});
+    }
+    sim.run();
+    std::vector<std::size_t> sizes;
+    for (const auto& envelope : b.received) sizes.push_back(envelope.payload.size());
+    return std::make_tuple(sim.now().ns, network.stats().tampered_messages, sizes);
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  const auto tampered = std::get<1>(run_once(5));
+  EXPECT_GT(tampered, 0u);
+  EXPECT_LT(tampered, 40u);
+}
+
+TEST(Network, RejectionAccountingMatchesTelemetry) {
+  // note_rejected must move NetStats::rejected_messages, the per-type map,
+  // and the `net.msgs_rejected` telemetry counters (total + per-type) in
+  // lockstep — the reject-side mirror of drop accounting.
+  Simulator sim(1);
+  Network network(sim, quiet_config());
+  obs::Telemetry telemetry;
+  network.set_telemetry(telemetry);
+
+  network.note_rejected(3);
+  network.note_rejected(3);
+  network.note_rejected(4);
+
+  EXPECT_EQ(network.stats().rejected_messages, 3u);
+  EXPECT_EQ(network.stats().rejected_by_type.at(3), 2u);
+  EXPECT_EQ(network.stats().rejected_by_type.at(4), 1u);
+  EXPECT_EQ(telemetry.metrics().counter_total("net.msgs_rejected"),
+            network.stats().rejected_messages);
+  EXPECT_EQ(telemetry.metrics().counter_total("net.msgs_rejected." + telemetry.message_name(3)),
+            2u);
+  EXPECT_EQ(telemetry.metrics().counter_total("net.msgs_rejected." + telemetry.message_name(4)),
+            1u);
 }
 
 }  // namespace

@@ -204,8 +204,9 @@ TEST(Messages, TypeNamesKnown) {
 TEST(Seal, RoundtripWithMacs) {
   crypto::KeyRegistry keys(11);
   const Bytes body = {1, 2, 3, 4};
-  const Bytes sealed = seal(keys, NodeId{1}, NodeId{2}, BytesView(body.data(), body.size()), true);
-  const auto opened = open(keys, NodeId{1}, NodeId{2},
+  const Bytes sealed = seal(keys, NodeId{1}, NodeId{2}, msg_type::kPrepare,
+                            BytesView(body.data(), body.size()), true);
+  const auto opened = open(keys, NodeId{1}, NodeId{2}, msg_type::kPrepare,
                            BytesView(sealed.data(), sealed.size()), true);
   ASSERT_TRUE(opened.ok());
   EXPECT_EQ(opened.value(), body);
@@ -214,38 +215,74 @@ TEST(Seal, RoundtripWithMacs) {
 TEST(Seal, TamperedBodyRejected) {
   crypto::KeyRegistry keys(11);
   const Bytes body = {1, 2, 3, 4};
-  Bytes sealed = seal(keys, NodeId{1}, NodeId{2}, BytesView(body.data(), body.size()), true);
+  Bytes sealed = seal(keys, NodeId{1}, NodeId{2}, msg_type::kPrepare,
+                      BytesView(body.data(), body.size()), true);
   sealed[1] ^= 0x01;  // flips a body byte (offset 0 is the length varint)
-  EXPECT_FALSE(open(keys, NodeId{1}, NodeId{2}, BytesView(sealed.data(), sealed.size()), true).ok());
+  EXPECT_FALSE(open(keys, NodeId{1}, NodeId{2}, msg_type::kPrepare,
+                    BytesView(sealed.data(), sealed.size()), true)
+                   .ok());
 }
 
 TEST(Seal, SpoofedSenderRejected) {
   crypto::KeyRegistry keys(11);
   const Bytes body = {1};
-  const Bytes sealed = seal(keys, NodeId{1}, NodeId{2}, BytesView(body.data(), body.size()), true);
+  const Bytes sealed = seal(keys, NodeId{1}, NodeId{2}, msg_type::kPrepare,
+                            BytesView(body.data(), body.size()), true);
   // The envelope claims sender 3 but the sealed frame says 1.
-  EXPECT_FALSE(open(keys, NodeId{3}, NodeId{2}, BytesView(sealed.data(), sealed.size()), true).ok());
+  EXPECT_FALSE(open(keys, NodeId{3}, NodeId{2}, msg_type::kPrepare,
+                    BytesView(sealed.data(), sealed.size()), true)
+                   .ok());
 }
 
 TEST(Seal, WrongReceiverRejected) {
   crypto::KeyRegistry keys(11);
   const Bytes body = {1};
-  const Bytes sealed = seal(keys, NodeId{1}, NodeId{2}, BytesView(body.data(), body.size()), true);
-  EXPECT_FALSE(open(keys, NodeId{1}, NodeId{9}, BytesView(sealed.data(), sealed.size()), true).ok());
+  const Bytes sealed = seal(keys, NodeId{1}, NodeId{2}, msg_type::kPrepare,
+                            BytesView(body.data(), body.size()), true);
+  EXPECT_FALSE(open(keys, NodeId{1}, NodeId{9}, msg_type::kPrepare,
+                    BytesView(sealed.data(), sealed.size()), true)
+                   .ok());
 }
 
 TEST(Seal, MacsOffStillFramesAndSizesEqually) {
   crypto::KeyRegistry keys(11);
   const Bytes body = {5, 6, 7};
-  const Bytes with_macs =
-      seal(keys, NodeId{1}, NodeId{2}, BytesView(body.data(), body.size()), true);
-  const Bytes without =
-      seal(keys, NodeId{1}, NodeId{2}, BytesView(body.data(), body.size()), false);
+  const Bytes with_macs = seal(keys, NodeId{1}, NodeId{2}, msg_type::kPrepare,
+                               BytesView(body.data(), body.size()), true);
+  const Bytes without = seal(keys, NodeId{1}, NodeId{2}, msg_type::kPrepare,
+                             BytesView(body.data(), body.size()), false);
   EXPECT_EQ(with_macs.size(), without.size());  // byte accounting must match
   const auto opened =
-      open(keys, NodeId{1}, NodeId{2}, BytesView(without.data(), without.size()), false);
+      open(keys, NodeId{1}, NodeId{2}, msg_type::kPrepare,
+           BytesView(without.data(), without.size()), false);
   ASSERT_TRUE(opened.ok());
   EXPECT_EQ(opened.value(), body);
+}
+
+TEST(Seal, RetypedEnvelopeRejected) {
+  // Prepare and Commit share one field layout, so a MAC over the body
+  // alone would let the wire adversary's type-confusion family turn a
+  // genuine Prepare into a forged Commit. The MAC binds the envelope type:
+  // the same sealed bytes must only open under the type they were sealed
+  // for.
+  crypto::KeyRegistry keys(11);
+  Prepare prepare;
+  prepare.view = 1;
+  prepare.seq = 2;
+  prepare.replica = NodeId{3};
+  const Bytes body = prepare.encode();
+  const Bytes sealed = seal(keys, NodeId{1}, NodeId{2}, msg_type::kPrepare,
+                            BytesView(body.data(), body.size()), true);
+  // Same bytes, retyped claim: must fail verification...
+  EXPECT_FALSE(open(keys, NodeId{1}, NodeId{2}, msg_type::kCommit,
+                    BytesView(sealed.data(), sealed.size()), true)
+                   .ok());
+  // ...even though the body itself would decode fine as a Commit.
+  ASSERT_TRUE(Commit::decode(BytesView(body.data(), body.size())).ok());
+  // The genuine type still opens.
+  EXPECT_TRUE(open(keys, NodeId{1}, NodeId{2}, msg_type::kPrepare,
+                   BytesView(sealed.data(), sealed.size()), true)
+                  .ok());
 }
 
 }  // namespace

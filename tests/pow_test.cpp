@@ -202,6 +202,33 @@ TEST(PowChain, ReorgRemovesUnconfirmedTransaction) {
   EXPECT_FALSE(chain.confirmation_depth(tx.digest()).has_value());
 }
 
+TEST(PowChain, ReorgDeltasListConnectedAndDisconnectedBlocks) {
+  const PowBlock genesis = make_pow_genesis(100, kProof);
+  PowChain chain(genesis, kProof);
+
+  // Plain extension: only the connected leg fills.
+  const PowBlock a1 = child_of(genesis, 100, NodeId{1});
+  ASSERT_TRUE(chain.add_block(a1).ok());
+  ASSERT_EQ(chain.last_connected().size(), 1u);
+  EXPECT_EQ(chain.last_connected()[0], a1.hash());
+  EXPECT_TRUE(chain.last_disconnected().empty());
+
+  // Equal-length sibling: tip unmoved, both legs empty.
+  const PowBlock b1 = child_of(genesis, 100, NodeId{2}, {}, 999);
+  ASSERT_TRUE(chain.add_block(b1).ok());
+  EXPECT_TRUE(chain.last_connected().empty());
+  EXPECT_TRUE(chain.last_disconnected().empty());
+
+  // The sibling's branch overtakes: a1 leaves, b1+b2 join (ancestor→tip).
+  const PowBlock b2 = child_of(b1, 100, NodeId{2});
+  ASSERT_TRUE(chain.add_block(b2).ok());
+  ASSERT_EQ(chain.last_connected().size(), 2u);
+  EXPECT_EQ(chain.last_connected()[0], b1.hash());
+  EXPECT_EQ(chain.last_connected()[1], b2.hash());
+  ASSERT_EQ(chain.last_disconnected().size(), 1u);
+  EXPECT_EQ(chain.last_disconnected()[0], a1.hash());
+}
+
 // --- difficulty retargeting ---------------------------------------------------------
 
 PowBlock timed_child(const PowBlock& parent, const PowChain& chain, Duration gap,

@@ -190,6 +190,7 @@ TEST(Robustness, SpoofedSenderEnvelopesRejected) {
   // Sealed under the *attacker's* identity (node 9999): tag cannot verify
   // for the claimed sender.
   envelope.payload = pbft::seal(cluster.keys(), NodeId{9999}, cluster.replica(0).id(),
+                                pbft::msg_type::kPrepare,
                                 BytesView(body.data(), body.size()), true);
   cluster.network().send(std::move(envelope));
   cluster.run_for(Duration::seconds(1));
@@ -240,8 +241,8 @@ TEST(Robustness, ConflictingSyncResponseRejected) {
   envelope.to = cluster.replica(0).id();
   envelope.type = pbft::msg_type::kSyncResponse;
   envelope.payload = pbft::seal(cluster.keys(), cluster.replica(1).id(),
-                                cluster.replica(0).id(), BytesView(body.data(), body.size()),
-                                true);
+                                cluster.replica(0).id(), pbft::msg_type::kSyncResponse,
+                                BytesView(body.data(), body.size()), true);
   cluster.network().send(std::move(envelope));
   cluster.run_for(Duration::seconds(2));
 
@@ -274,7 +275,7 @@ TEST(Robustness, CandidateIgnoresConsensusTraffic) {
     envelope.to = cluster.endorser(5).id();
     envelope.type = pbft::msg_type::kCommit;
     envelope.payload = pbft::seal(cluster.keys(), cluster.endorser(0).id(),
-                                  cluster.endorser(5).id(),
+                                  cluster.endorser(5).id(), pbft::msg_type::kCommit,
                                   BytesView(body.data(), body.size()), true);
     cluster.network().send(std::move(envelope));
   }

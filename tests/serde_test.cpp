@@ -130,6 +130,43 @@ TEST(Serde, EmptyInputErrorsOnEverything) {
   EXPECT_TRUE(r.exhausted());
 }
 
+TEST(Serde, VarintShift63AliasRejected) {
+  // The 10th varint group can only contribute its low bit to a u64; any
+  // higher payload bit would be shifted out silently, letting two distinct
+  // encodings alias to one value.
+  Bytes overflow(9, 0x80);
+  overflow.push_back(0x02);
+  Reader bad(BytesView(overflow.data(), overflow.size()));
+  EXPECT_FALSE(bad.varint().ok());
+
+  Bytes top_bit(9, 0x80);
+  top_bit.push_back(0x01);
+  Reader good(BytesView(top_bit.data(), top_bit.size()));
+  auto v = good.varint();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 1ull << 63);
+}
+
+TEST(Serde, OversizeDeclaredLengthRejectedBeforeAllocation) {
+  // A forged ~2^34-byte length prefix (the tamper adversary's oversize
+  // family) must fall to the length checks alone — no allocation sized
+  // from attacker-controlled bytes.
+  const Bytes data{0xff, 0xff, 0xff, 0xff, 0x3f, 0xaa, 0xbb};
+  Reader r(BytesView(data.data(), data.size()));
+  EXPECT_FALSE(r.bytes().ok());
+  Reader s(BytesView(data.data(), data.size()));
+  EXPECT_FALSE(s.string().ok());
+}
+
+TEST(Serde, RawBeyondRemainingRejectedWithoutConsuming) {
+  const Bytes data{1, 2, 3};
+  Reader r(BytesView(data.data(), data.size()));
+  EXPECT_FALSE(r.raw(4).ok());
+  auto ok = r.raw(3);  // the failed read must not have moved the cursor
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), (Bytes{1, 2, 3}));
+}
+
 // --- property: roundtrips over random payloads -----------------------------------
 
 class SerdeRoundtrip : public ::testing::TestWithParam<std::uint64_t> {};

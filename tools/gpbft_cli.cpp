@@ -69,6 +69,9 @@ struct CliOptions {
   double disk_fault_chance = 0.0; // chaos: disk corruption chance per step
   bool attack_election = false;   // chaos: election-attack pack (G-PBFT)
   bool stock_election = false;    // chaos: keep the stock geo-timer election
+  bool tamper = false;            // chaos: wire-tamper storm (Replace-mode adversary)
+  bool reject_safe = false;       // chaos: REJECT-SAFE clean/Inject tip-identity pairs
+  double tamper_chance = 0.0;     // chaos: tamper-window chance per step (0 = default)
   std::string scenario_path;      // run: scenario file
   std::string trace_out;          // run/report: Perfetto trace destination
   std::string metrics_out;        // run/report: metrics JSONL destination
@@ -98,6 +101,13 @@ void print_usage() {
                "                                   unless --protocol says otherwise\n"
                "  --stock-election                 with --attack-election: keep the stock\n"
                "                                   geo-timer election (expected to fail)\n"
+               "  --tamper                         wire-tamper storm: an in-flight adversary\n"
+               "                                   flips bits, truncates/extends, retypes,\n"
+               "                                   oversizes and replays messages (MITM mode)\n"
+               "  --tamper-chance P                tamper-window chance per step\n"
+               "  --reject-safe                    REJECT-SAFE pairs: each seed runs clean and\n"
+               "                                   under a man-on-the-side Inject storm; with\n"
+               "                                   MACs on the chain tips must be identical\n"
                "  --seed S --txs K\n"
                "run/report options:\n"
                "  --scenario FILE                  declarative scenario (key=value)\n"
@@ -141,6 +151,14 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
     }
     if (flag == "--stock-election") {
       options.stock_election = true;
+      continue;
+    }
+    if (flag == "--tamper") {
+      options.tamper = true;
+      continue;
+    }
+    if (flag == "--reject-safe") {
+      options.reject_safe = true;
       continue;
     }
     if (i + 1 >= argc) return false;
@@ -188,6 +206,9 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
     } else if (flag == "--disk-faults") {
       options.disk_fault_chance = std::atof(value.c_str());
       if (options.disk_fault_chance < 0.0 || options.disk_fault_chance > 1.0) return false;
+    } else if (flag == "--tamper-chance") {
+      options.tamper_chance = std::atof(value.c_str());
+      if (options.tamper_chance < 0.0 || options.tamper_chance > 1.0) return false;
     } else if (flag == "--scenario") {
       options.scenario_path = value;
     } else if (flag == "--trace-out") {
@@ -204,8 +225,9 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
     if (options.protocol != "all" && !sim::protocol_from_name(options.protocol).ok()) {
       return false;
     }
-    if (options.intensity != "light" && options.intensity != "medium" &&
-        options.intensity != "heavy" && options.intensity != "all") {
+    if (options.intensity != "none" && options.intensity != "light" &&
+        options.intensity != "medium" && options.intensity != "heavy" &&
+        options.intensity != "all") {
       return false;
     }
     return true;
@@ -239,6 +261,18 @@ int run_chaos(const CliOptions& options) {
     // The attacks target the endorser election; torture G-PBFT unless the
     // user named a protocol explicitly.
     if (!options.protocol_set) campaign.protocols = {sim::ProtocolKind::Gpbft};
+  }
+  if (options.reject_safe) {
+    // Clean/Inject pairs at each seed; intensities are ignored ("none" is
+    // used so node faults stay out of the tip-identity comparison).
+    campaign.tamper_chance = options.tamper_chance;
+    const sim::ChaosCampaignResult result = sim::run_tamper_campaign(campaign);
+    std::fputs(result.summary().c_str(), stdout);
+    return result.failed_runs() == 0 ? 0 : 1;
+  }
+  if (options.tamper || options.tamper_chance > 0.0) {
+    campaign.tamper_chance = options.tamper_chance > 0.0 ? options.tamper_chance : 0.5;
+    campaign.tamper_template.mode = net::TamperRule::Mode::Replace;
   }
 
   const sim::ChaosCampaignResult result = sim::run_chaos_campaign(campaign);
@@ -313,7 +347,8 @@ int run_scenario(const CliOptions& options) {
   const bool attacks = spec.chaos.sybil_burst_chance > 0.0 ||
                        spec.chaos.targeted_crash_chance > 0.0 ||
                        spec.chaos.oscillate_chance > 0.0;
-  const bool chaos = spec.chaos.intensity != "none" || durability || attacks;
+  const bool tampering = spec.chaos.tamper_chance > 0.0;
+  const bool chaos = spec.chaos.intensity != "none" || durability || attacks || tampering;
   sim::FaultPlan plan;
   if (chaos) {
     deployment->watch(monitor);
@@ -339,9 +374,21 @@ int run_scenario(const CliOptions& options) {
     profile.sybil_burst_chance = spec.chaos.sybil_burst_chance;
     profile.targeted_crash_chance = spec.chaos.targeted_crash_chance;
     profile.oscillate_chance = spec.chaos.oscillate_chance;
+    profile.tamper_chance = spec.chaos.tamper_chance;
+    profile.tamper_template.mode = spec.chaos.tamper_mode == "inject"
+                                       ? net::TamperRule::Mode::Inject
+                                       : net::TamperRule::Mode::Replace;
     const std::vector<NodeId> victims = deployment->fault_targets();
     profile.max_faulty = victims.empty() ? 0 : (victims.size() - 1) / 3;
-    if (spec.protocol == sim::ProtocolKind::Pow) profile.byzantine_chance = 0.0;
+    if (spec.protocol == sim::ProtocolKind::Pow) {
+      profile.byzantine_chance = 0.0;
+      // PoW client requests carry no end-to-end authenticator; tampering
+      // them forges workload, not wire noise (see run_protocol_chaos).
+      profile.tamper_template.spare_types.push_back(pbft::msg_type::kClientRequest);
+      if (profile.tamper_template.mode == net::TamperRule::Mode::Inject) {
+        profile.tamper_template.spare_types.push_back(pow::kPowBlock);
+      }
+    }
     plan = sim::FaultPlan::random(spec.seed, profile, victims, spec.chaos.horizon);
     sim::FaultPlan::ChaosHandlers handlers;
     handlers.set_byzantine = [&deployment, &monitor](NodeId id, pbft::FaultMode mode) {

@@ -1,0 +1,29 @@
+// libFuzzer entry point over the fuzz::FuzzTarget registry (GPBFT_FUZZ=ON;
+// requires Clang — GCC ships no libFuzzer runtime, so CMake gates this
+// translation unit on the compiler and CI falls back to the corpus-replay
+// driver, gpbft_fuzz, which exercises the same targets).
+//
+// Target selection is by environment variable, one process per target:
+//
+//   GPBFT_FUZZ_TARGET=preprepare ./gpbft_fuzz_lf fuzz/corpus/preprepare
+//
+// Unset defaults to serde_walk (the widest net over the Reader primitives).
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "fuzz/targets.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  static const gpbft::fuzz::FuzzTarget* target = [] {
+    const char* name = std::getenv("GPBFT_FUZZ_TARGET");
+    const auto* found = gpbft::fuzz::find_target(name != nullptr ? name : "serde_walk");
+    if (found == nullptr) {
+      std::fprintf(stderr, "unknown GPBFT_FUZZ_TARGET=%s (see `gpbft_fuzz list`)\n", name);
+      std::abort();
+    }
+    return found;
+  }();
+  target->run(gpbft::BytesView(data, size));
+  return 0;
+}
