@@ -84,6 +84,11 @@ struct ScaleResult {
   std::uint64_t sim_events{0};
   std::uint64_t wire_messages{0};
   double wall_seconds{0};
+  /// Recorded into the scale JSONL so rows with different pipelines and
+  /// denominators stay comparable at a glance (the PR 7 denominator bug
+  /// class): the consensus batch close size and the workload mode.
+  std::size_t batch_close{1};
+  const char* workload{"fig3"};
 
   [[nodiscard]] double events_per_sec() const {
     return wall_seconds <= 0 ? 0.0 : static_cast<double>(sim_events) / wall_seconds;
@@ -138,6 +143,7 @@ ScaleResult run_point(const ScalePoint& point) {
   result.wire_messages = deployment->stats().total_messages;
   result.wall_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(wall_end - wall_start).count();
+  result.batch_close = point.batch_close;
 
   if (auto* pbft = dynamic_cast<sim::PbftCluster*>(deployment.get())) {
     result.tip_hex = pbft->replica(0).chain().tip().hash().hex();
@@ -159,10 +165,12 @@ void append_scale_record(const char* series, const ScaleResult& r) {
   }
   std::fprintf(out,
                "{\"bench\":\"bench_scale\",\"build\":\"%s\",\"series\":\"%s\","
-               "\"nodes\":%zu,\"committee\":%zu,\"committed\":%llu,"
+               "\"nodes\":%zu,\"committee\":%zu,\"batch_close\":%zu,\"workload\":\"%s\","
+               "\"committed\":%llu,"
                "\"sim_seconds\":%.17g,\"sim_events\":%llu,\"wire_messages\":%llu,"
                "\"wall_seconds\":%.3f,\"events_per_sec\":%.0f,\"tip\":\"%s\"}\n",
-               label, series, r.experiment.nodes, r.experiment.committee,
+               label, series, r.experiment.nodes, r.experiment.committee, r.batch_close,
+               r.workload,
                static_cast<unsigned long long>(r.experiment.committed), r.experiment.sim_seconds,
                static_cast<unsigned long long>(r.sim_events),
                static_cast<unsigned long long>(r.wire_messages), r.wall_seconds,
@@ -271,6 +279,8 @@ ScaleResult run_plane_once(const sim::ScenarioSpec& spec) {
   result.wire_messages = deployment->stats().total_messages;
   result.wall_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(wall_end - wall_start).count();
+  result.batch_close = spec.batch.size;
+  result.workload = "plane";
   auto* pbft = dynamic_cast<sim::PbftCluster*>(deployment.get());
   result.tip_hex = pbft->replica(0).chain().tip().hash().hex();
   return result;

@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Bench-trajectory report and perf-regression gate over BENCH_scale.json.
+
+The repo records one JSONL row per bench_scale point per recorded build
+label (GPBFT_BENCH_SCALE_LABEL). This tool turns that history into the
+trend view the perf-parity goldens cannot give: goldens pin *what* was
+computed, this pins *how fast* it was computed, per build, per series.
+
+Modes
+-----
+report (default):
+    Markdown trend table of events/sec per (series, nodes) across build
+    labels (label order = first appearance in the file), with the delta
+    versus the previous label in each cell. This is how the known
+    batched-pipeline regression reads straight out of the checked-in
+    history: scale.pbft n=202 478178 -> 260218 events/sec (-45.6%).
+
+        bench_report.py report [--json BENCH_scale.json] [--series REGEX]
+
+gate:
+    Perf-regression gate for CI. Compares the newest rows of the current
+    label (--current-label, default the newest label in the file) against
+    the previous recorded label per (series, nodes) key and fails (exit 1)
+    when events/sec dropped by more than --max-drop (fraction, default
+    0.60 — generous because CI machines differ; override with
+    GPBFT_PERF_MAX_DROP). Keys present in only one label are reported but
+    never fail the gate.
+
+        bench_report.py gate --json merged.jsonl [--max-drop 0.6]
+
+self-test:
+    Proves the gate trips: synthesizes a history with an injected 2x
+    slowdown and asserts gate() fails on it, then synthesizes a flat
+    history and asserts gate() passes. Exits 0 only if both hold.
+
+Rows older than the PR 7 time-to-done fix carry sim_seconds=1000 (idle
+tail included); newer rows carry time-to-done. events_per_sec uses wall
+seconds only, so the trend stays comparable across that fix; committed/s
+does not, which is why this tool gates on events/sec.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+DEFAULT_MAX_DROP = 0.60
+
+
+def load_rows(path):
+    rows = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}:{line_no}: bad JSON: {err}")
+            if row.get("bench") != "bench_scale":
+                continue
+            for field in ("build", "series", "nodes", "events_per_sec"):
+                if field not in row:
+                    raise SystemExit(f"{path}:{line_no}: missing field {field!r}")
+            rows.append(row)
+    return rows
+
+
+def label_order(rows):
+    """Build labels in first-appearance order (the recording order)."""
+    order = []
+    for row in rows:
+        if row["build"] not in order:
+            order.append(row["build"])
+    return order
+
+
+def series_key(row):
+    return (row["series"], row["nodes"])
+
+
+def latest_by_key(rows):
+    """label -> {(series, nodes) -> row}, keeping the last row per key
+    (re-recorded points supersede earlier rows under the same label)."""
+    table = {}
+    for row in rows:
+        table.setdefault(row["build"], {})[series_key(row)] = row
+    return table
+
+
+def fmt_rate(value):
+    return f"{value:,.0f}".replace(",", " ")
+
+
+def report(rows, series_filter=None):
+    if series_filter:
+        pattern = re.compile(series_filter)
+        rows = [r for r in rows if pattern.search(r["series"])]
+    if not rows:
+        print("bench_report: no matching rows")
+        return 0
+    labels = label_order(rows)
+    table = latest_by_key(rows)
+    keys = sorted({series_key(r) for r in rows})
+
+    header = ["series", "nodes"] + [f"`{label}`" for label in labels]
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join(["---"] * len(header)) + "|"]
+    for key in keys:
+        series, nodes = key
+        cells = [series, str(nodes)]
+        previous = None
+        for label in labels:
+            row = table.get(label, {}).get(key)
+            if row is None:
+                cells.append("—")
+                continue
+            rate = row["events_per_sec"]
+            cell = fmt_rate(rate)
+            if previous not in (None, 0):
+                delta = (rate - previous) / previous
+                cell += f" ({delta:+.1%})"
+            previous = rate
+            cells.append(cell)
+        lines.append("| " + " | ".join(cells) + " |")
+    print("\n".join(lines))
+    print(f"\nevents/sec per build label; delta vs previous label in parentheses.")
+    print(f"labels (recording order): {', '.join(labels)}")
+    return 0
+
+
+def gate(rows, max_drop, current_label=None):
+    labels = label_order(rows)
+    if len(labels) < 2:
+        print(f"bench_report gate: need >= 2 build labels, have {labels} — nothing to gate")
+        return 0
+    table = latest_by_key(rows)
+    if current_label is None:
+        current_label = labels[-1]
+    if current_label not in table:
+        raise SystemExit(f"bench_report gate: label {current_label!r} not in history")
+    previous_labels = [l for l in labels if l != current_label]
+    baseline_label = previous_labels[-1]
+
+    current = table[current_label]
+    baseline = table[baseline_label]
+    failures = []
+    print(f"bench_report gate: {current_label!r} vs {baseline_label!r} "
+          f"(max allowed events/sec drop {max_drop:.0%})")
+    for key in sorted(current):
+        series, nodes = key
+        cur = current[key]["events_per_sec"]
+        base_row = baseline.get(key)
+        if base_row is None:
+            print(f"  {series} n={nodes}: {fmt_rate(cur)} (new point, no baseline)")
+            continue
+        base = base_row["events_per_sec"]
+        if base <= 0:
+            continue
+        delta = (cur - base) / base
+        verdict = "ok"
+        if delta < -max_drop:
+            verdict = "REGRESSION"
+            failures.append((series, nodes, base, cur, delta))
+        print(f"  {series} n={nodes}: {fmt_rate(base)} -> {fmt_rate(cur)} "
+              f"({delta:+.1%}) {verdict}")
+    if failures:
+        print(f"bench_report gate: {len(failures)} series regressed beyond "
+              f"{max_drop:.0%} — investigate with `gpbft_cli profile` "
+              "(docs/observability.md)")
+        return 1
+    print("bench_report gate: OK")
+    return 0
+
+
+def synth_rows(slowdown):
+    """Two-label synthetic history; the second label is `slowdown`x slower."""
+    rows = []
+    for label, factor in (("base", 1.0), ("current", 1.0 / slowdown)):
+        for series, nodes, rate in (("scale.pbft", 20, 600000),
+                                    ("scale.gpbft", 20, 580000)):
+            rows.append({"bench": "bench_scale", "build": label, "series": series,
+                         "nodes": nodes, "events_per_sec": rate * factor})
+    return rows
+
+
+def self_test(max_drop):
+    # The injected slowdown scales with the threshold: its drop (1 - 1/s)
+    # always lands well beyond max_drop, however generous the gate is.
+    slowdown = 2.0 / (1.0 - max_drop) if max_drop < 1.0 else 100.0
+    print(f"bench_report self-test: injected {slowdown:.1f}x slowdown must trip the gate")
+    if gate(synth_rows(slowdown), max_drop) != 1:
+        print(f"self-test FAILED: gate passed an injected {slowdown:.1f}x slowdown")
+        return 1
+    print("\nbench_report self-test: flat history must pass the gate")
+    if gate(synth_rows(1.0), max_drop) != 0:
+        print("self-test FAILED: gate rejected a flat history")
+        return 1
+    print("\nbench_report self-test: OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("mode", nargs="?", default="report",
+                        choices=["report", "gate", "self-test"])
+    parser.add_argument("--json", default="BENCH_scale.json",
+                        help="bench_scale JSONL history (default BENCH_scale.json)")
+    parser.add_argument("--series", default=None,
+                        help="report: regex filter on series names")
+    parser.add_argument("--current-label", default=None,
+                        help="gate: label under test (default: newest in file)")
+    parser.add_argument("--max-drop", type=float,
+                        default=float(os.environ.get("GPBFT_PERF_MAX_DROP",
+                                                     DEFAULT_MAX_DROP)),
+                        help="gate: max allowed fractional events/sec drop "
+                             f"(default {DEFAULT_MAX_DROP}, env GPBFT_PERF_MAX_DROP)")
+    args = parser.parse_args()
+
+    if args.mode == "self-test":
+        return self_test(args.max_drop)
+    rows = load_rows(args.json)
+    if args.mode == "report":
+        return report(rows, args.series)
+    return gate(rows, args.max_drop, args.current_label)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,8 @@
 """Schema check for the telemetry exporters (stdlib only).
 
 Usage: check_trace.py TRACE_JSON METRICS_JSONL
+           [--profile PROFILE_JSON]...
+           [--profile-same A_JSON B_JSON]
 
 Validates that
   - TRACE_JSON is valid JSON with a non-empty "traceEvents" array, every
@@ -11,11 +13,21 @@ Validates that
     thread-name metadata covers every tid that emits events;
   - METRICS_JSONL is one JSON object per line, each with a metric "name",
     a "node" id and a "kind" in {counter, gauge, histogram}, sorted by
-    (name, node) within each kind block the exporter writes.
+    (name, node) within each kind block the exporter writes;
+  - each --profile PROFILE_JSON (gpbft_cli profile --profile-out) is a
+    {"profiler": {"sites": N, "tree": ...}} document whose tree nodes all
+    carry name/calls/wall_ns/self_ns/children with self_ns <= wall_ns;
+  - --profile-same A B: the two profile exports agree on every
+    DETERMINISTIC field (tree shape, site names, call counts). Wall-clock
+    fields (wall_ns / self_ns) are machine noise by design and are
+    excluded — this is the double-run gate for profiling itself: same
+    seed profiled twice must visit the identical call tree the identical
+    number of times.
 
 Exit status 0 on success; 1 with a diagnostic on the first violation.
 """
 
+import argparse
 import json
 import sys
 
@@ -103,11 +115,87 @@ def check_metrics(path: str) -> None:
     print(f"check_trace: {path}: {len(rows)} metric rows")
 
 
+PROFILE_NODE_FIELDS = {"name": str, "calls": int, "wall_ns": int, "self_ns": int,
+                       "children": list}
+
+
+def load_profile(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            fail(f"{path}: not valid JSON: {err}")
+    profiler = doc.get("profiler")
+    if not isinstance(profiler, dict):
+        fail(f"{path}: missing top-level 'profiler' object")
+    if not isinstance(profiler.get("sites"), int) or profiler["sites"] < 0:
+        fail(f"{path}: profiler.sites must be a non-negative integer")
+    if "tree" not in profiler:
+        fail(f"{path}: profiler lacks 'tree'")
+    return doc
+
+
+def check_profile(path: str) -> None:
+    doc = load_profile(path)
+    nodes = 0
+
+    def walk(node, trail):
+        nonlocal nodes
+        nodes += 1
+        if not isinstance(node, dict):
+            fail(f"{path}: node at {trail} is not an object")
+        for field, kind in PROFILE_NODE_FIELDS.items():
+            if not isinstance(node.get(field), kind):
+                fail(f"{path}: node at {trail} lacks {kind.__name__} field {field!r}")
+        if node["self_ns"] > node["wall_ns"]:
+            fail(f"{path}: node {node['name']!r} at {trail}: self_ns > wall_ns")
+        if min(node["calls"], node["wall_ns"], node["self_ns"]) < 0:
+            fail(f"{path}: node {node['name']!r} at {trail}: negative sample field")
+        for i, child in enumerate(node["children"]):
+            walk(child, f"{trail}/{i}")
+
+    walk(doc["profiler"]["tree"], "tree")
+    print(f"check_trace: {path}: profile OK, {nodes} tree nodes")
+
+
+def profile_shape(node):
+    """The deterministic projection of a profile tree: names, call counts
+    and structure survive a same-seed re-run; wall_ns/self_ns do not."""
+    return (node["name"], node["calls"],
+            [profile_shape(c) for c in node["children"]])
+
+
+def check_profile_same(path_a: str, path_b: str) -> None:
+    doc_a, doc_b = load_profile(path_a), load_profile(path_b)
+    if doc_a["profiler"]["sites"] != doc_b["profiler"]["sites"]:
+        fail(f"profile mismatch: sites {doc_a['profiler']['sites']} != "
+             f"{doc_b['profiler']['sites']} ({path_a} vs {path_b})")
+    shape_a = profile_shape(doc_a["profiler"]["tree"])
+    shape_b = profile_shape(doc_b["profiler"]["tree"])
+    if shape_a != shape_b:
+        fail(f"profile mismatch: deterministic fields (tree shape / names / "
+             f"call counts) differ between {path_a} and {path_b}")
+    print(f"check_trace: {path_a} == {path_b} on deterministic profile fields")
+
+
 def main() -> None:
-    if len(sys.argv) != 3:
-        fail("usage: check_trace.py TRACE_JSON METRICS_JSONL")
-    check_trace(sys.argv[1])
-    check_metrics(sys.argv[2])
+    parser = argparse.ArgumentParser(add_help=False)
+    parser.add_argument("trace")
+    parser.add_argument("metrics")
+    parser.add_argument("--profile", action="append", default=[])
+    parser.add_argument("--profile-same", nargs=2, default=None,
+                        metavar=("A_JSON", "B_JSON"))
+    try:
+        args = parser.parse_args()
+    except SystemExit:
+        fail("usage: check_trace.py TRACE_JSON METRICS_JSONL "
+             "[--profile P]... [--profile-same A B]")
+    check_trace(args.trace)
+    check_metrics(args.metrics)
+    for path in args.profile:
+        check_profile(path)
+    if args.profile_same:
+        check_profile_same(*args.profile_same)
 
 
 if __name__ == "__main__":

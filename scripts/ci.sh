@@ -94,18 +94,63 @@ else
   echo "ci: python3 not found; skipping telemetry schema check"
 fi
 
+# Profiler gate (docs/observability.md "Profiling & perf analytics").
+# Label re-selection first (same rationale as the legs above): the probe
+# unit tests plus the guard test proving a profiled run's chain tip,
+# metrics and trace are byte-identical to an unprofiled run. Then the
+# end-to-end check: the same seeded scenario profiled twice must produce
+# byte-identical telemetry AND profile exports that agree on every
+# deterministic field (tree shape, site names, call counts — wall-clock
+# ns are machine noise and excluded by check_trace.py --profile-same).
+ctest --test-dir "${BUILD_DIR}" -L tier1-profile -j "${JOBS}" --output-on-failure
+PROF_DIR="${BUILD_DIR}/profile-ci"
+mkdir -p "${PROF_DIR}"
+for run in 1 2; do
+  "${BUILD_DIR}/tools/gpbft_cli" profile --scenario scenarios/profile_pbft20.scenario \
+    --profile-out "${PROF_DIR}/profile.${run}.json" \
+    --collapsed-out "${PROF_DIR}/collapsed.${run}.txt" \
+    --trace-out "${PROF_DIR}/trace.${run}.json" \
+    --metrics-out "${PROF_DIR}/metrics.${run}.jsonl" >/dev/null
+done
+cmp "${PROF_DIR}/trace.1.json" "${PROF_DIR}/trace.2.json"
+cmp "${PROF_DIR}/metrics.1.jsonl" "${PROF_DIR}/metrics.2.jsonl"
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/check_trace.py "${PROF_DIR}/trace.1.json" "${PROF_DIR}/metrics.1.jsonl" \
+    --profile "${PROF_DIR}/profile.1.json" --profile "${PROF_DIR}/profile.2.json" \
+    --profile-same "${PROF_DIR}/profile.1.json" "${PROF_DIR}/profile.2.json"
+else
+  echo "ci: python3 not found; skipping profile schema check"
+fi
+
 # One declarative-harness bench end to end: the Fig. 3(b) harness drives
 # G-PBFT deployments through the ScenarioSpec factory on the coarse grid,
 # single run per point (~7 s).
 GPBFT_BENCH_QUICK=1 GPBFT_BENCH_RUNS=1 "${BUILD_DIR}/bench/fig3b_gpbft_latency"
 
-# Perf smoke: the message-plane scaling harness at its smallest point
-# (n=20, both protocols, ~1 s). Throughput numbers are informational —
-# machine-dependent, so never a gate — but the harness exits nonzero if a
-# seeded run's chain tip drifts from its golden hash, and THAT gates: a
-# perf-motivated change to net/sim must not change observable behaviour.
-# See docs/performance.md.
-"${BUILD_DIR}/bench/bench_scale" --smoke
+# Perf smoke + regression gate: the message-plane scaling harness at its
+# smallest point (n=20, both protocols, ~1 s). The harness itself exits
+# nonzero if a seeded run's chain tip drifts from its golden hash; on top
+# of that, the fresh events/sec rows are appended (under an ephemeral
+# "ci-smoke" label, to a COPY of the checked-in history — the repo file
+# only gains rows deliberately, via GPBFT_BENCH_SCALE_LABEL) and
+# bench_report.py gates the trajectory: a drop beyond GPBFT_PERF_MAX_DROP
+# (default 60% — generous, CI machines differ) vs the last recorded label
+# fails the build. The self-test leg proves the gate actually trips on an
+# injected slowdown, so a silently-broken gate cannot pass. See
+# docs/performance.md.
+PERF_DIR="${BUILD_DIR}/perf-ci"
+mkdir -p "${PERF_DIR}"
+cp BENCH_scale.json "${PERF_DIR}/history.jsonl"
+GPBFT_BENCH_SCALE_JSON="${PERF_DIR}/history.jsonl" \
+  GPBFT_BENCH_SCALE_LABEL=ci-smoke \
+  "${BUILD_DIR}/bench/bench_scale" --smoke
+if command -v python3 >/dev/null 2>&1; then
+  python3 scripts/bench_report.py self-test
+  python3 scripts/bench_report.py gate --json "${PERF_DIR}/history.jsonl" \
+    --current-label ci-smoke
+else
+  echo "ci: python3 not found; skipping perf-regression gate"
+fi
 
 # Million-device plane smoke: a 10^6-virtual-device diurnal workload over
 # O(regions) concrete endpoints, run twice from the same seed. Gates on

@@ -1,5 +1,7 @@
 #include "dbft/delegate.hpp"
 
+#include "obs/profiler.hpp"
+
 #include <algorithm>
 
 #include "common/logging.hpp"
@@ -156,6 +158,7 @@ void Delegate::publish_block(const ledger::Block& block) {
 }
 
 void Delegate::handle_extra(const net::Envelope& envelope) {
+  GPBFT_PROFILE_SCOPE("dbft.delegate.handle");
   if (envelope.type != kPublishedBlock) {
     Replica::handle_extra(envelope);
     return;

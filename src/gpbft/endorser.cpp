@@ -1,5 +1,7 @@
 #include "gpbft/endorser.hpp"
 
+#include "obs/profiler.hpp"
+
 #include <algorithm>
 
 #include "common/logging.hpp"
@@ -440,6 +442,7 @@ void Endorser::apply_era_config(const ledger::EraConfig& config, Height config_h
 // --- extra message handling -----------------------------------------------------
 
 void Endorser::handle_extra(const net::Envelope& envelope) {
+  GPBFT_PROFILE_SCOPE("gpbft.endorser.handle");
   // The base class already verified the seal; re-open without verification
   // to extract the body (cheap: just framing).
   auto body = pbft::open(keys(), envelope.from, id(), envelope.type,

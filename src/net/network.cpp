@@ -291,10 +291,19 @@ void Network::deliver_injected(Envelope envelope, std::size_t size) {
     receiver.msgs_received->add();
     receiver.bytes_received->add(size);
   }
+#ifndef GPBFT_PROF_DISABLED
+  TypeHandles& by_type = type_handles(envelope.type);
+  if (by_type.deliver_site == obs::Profiler::kNoSite) {
+    by_type.deliver_site = obs::Profiler::instance().register_site(
+        "net.deliver." + telemetry_->message_name(envelope.type));
+  }
+  obs::ScopedProbe deliver_probe(by_type.deliver_site);
+#endif
   node_it->second->handle(envelope);
 }
 
 void Network::send(Envelope envelope) {
+  GPBFT_PROFILE_SCOPE("net.send");
   std::size_t size = envelope.wire_size();
 
   // Sender-side accounting: bytes leave the NIC regardless of what happens
@@ -399,6 +408,7 @@ void Network::schedule_delivery(TimePoint arrival, Envelope envelope, std::size_
 }
 
 void Network::on_arrival(Envelope envelope, std::size_t size) {
+  GPBFT_PROFILE_SCOPE("net.arrival");
   const NodeId to = envelope.to;
   if (!nodes_.contains(to) || crashed_.contains(to)) {
     note_dropped();
@@ -457,6 +467,16 @@ void Network::process_next(NodeId to) {
     receiver.msgs_received->add();
     receiver.bytes_received->add(pending.size);
   }
+#ifndef GPBFT_PROF_DISABLED
+  // Per-event-type attribution: the whole handler invocation is accounted
+  // to one "net.deliver.<TYPE>" site, resolved once per message type.
+  TypeHandles& by_type = type_handles(pending.envelope.type);
+  if (by_type.deliver_site == obs::Profiler::kNoSite) {
+    by_type.deliver_site = obs::Profiler::instance().register_site(
+        "net.deliver." + telemetry_->message_name(pending.envelope.type));
+  }
+  obs::ScopedProbe deliver_probe(by_type.deliver_site);
+#endif
   node_it->second->handle(pending.envelope);
 }
 

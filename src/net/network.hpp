@@ -38,6 +38,7 @@
 
 #include "net/message.hpp"
 #include "net/simulator.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 
 namespace gpbft::net {
@@ -297,6 +298,9 @@ class Network {
     obs::Counter* msgs{nullptr};
     obs::Counter* bytes{nullptr};
     obs::Counter* rejected{nullptr};
+    /// Profiler site "net.deliver.<TYPE>" — per-event-type wall-clock
+    /// attribution, resolved once per type like the counters above.
+    obs::Profiler::SiteId deliver_site{obs::Profiler::kNoSite};
   };
   struct NodeHandles {
     NodeTraffic* traffic{nullptr};  // into stats_.per_node

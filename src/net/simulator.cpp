@@ -1,6 +1,7 @@
 #include "net/simulator.hpp"
 
 #include "common/logging.hpp"
+#include "obs/profiler.hpp"
 
 namespace gpbft::net {
 
@@ -25,7 +26,10 @@ bool Simulator::step() {
   now_ = event.when;
   Logger::instance().set_sim_time_seconds(now_.to_seconds());
   ++events_processed_;
-  event.fn();
+  {
+    GPBFT_PROFILE_SCOPE("sim.event");
+    event.fn();
+  }
   return true;
 }
 

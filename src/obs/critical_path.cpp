@@ -1,0 +1,224 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+namespace gpbft::obs {
+
+namespace {
+
+std::optional<std::uint64_t> arg_u64(const TraceEvent& event, const char* key) {
+  for (const auto& [k, v] : event.args) {
+    if (k == key) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+      if (end == v.c_str() || *end != '\0') return std::nullopt;
+      return static_cast<std::uint64_t>(parsed);
+    }
+  }
+  return std::nullopt;
+}
+
+double to_ms(std::int64_t ns) { return static_cast<double>(ns) / 1e6; }
+
+// Type-7 (linear interpolation) percentile over an already-sorted vector,
+// matching sim::LatencyRecorder's convention.
+double percentile_sorted_ms(const std::vector<std::int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return to_ms(sorted.front());
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return to_ms(sorted[lo]) + frac * (to_ms(sorted[hi]) - to_ms(sorted[lo]));
+}
+
+struct PhaseSpan {
+  std::int64_t begin_ns{0};
+  std::int64_t end_ns{0};
+};
+
+}  // namespace
+
+CriticalPathReport CriticalPathReport::analyze(const TraceRecorder& trace) {
+  CriticalPathReport report;
+
+  // Pass 1: index the block-level structure.
+  //   height -> proposing node (first "propose" instant wins; a re-proposal
+  //   after a view change replaces it, so we keep the *last*, which is the
+  //   one whose phase spans actually committed).
+  std::map<std::uint64_t, std::uint64_t> primary_of;
+  struct BlockPhases {
+    std::optional<PhaseSpan> prepare, commit, execute;
+  };
+  // (height, node) -> spans; resolved against primary_of in pass 2.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, BlockPhases> phases;
+  struct PendingRequest {
+    std::int64_t submit_ns{0};
+    bool open{false};
+  };
+  std::map<std::uint64_t, PendingRequest> pending;
+
+  for (const TraceEvent& event : trace.events()) {
+    if (event.phase == 'i' && event.name == "propose") {
+      if (const auto seq = arg_u64(event, "seq")) primary_of[*seq] = event.tid;
+    } else if (event.phase == 'X' && event.name.rfind("phase.", 0) == 0) {
+      const auto height = arg_u64(event, "height");
+      if (!height) continue;
+      BlockPhases& block = phases[{*height, event.tid}];
+      const PhaseSpan span{event.ts_ns, event.ts_ns + event.dur_ns};
+      if (event.name == "phase.prepare") block.prepare = span;
+      else if (event.name == "phase.commit") block.commit = span;
+      else if (event.name == "phase.execute") block.execute = span;
+    } else if (event.phase == 'b' && event.name == "request") {
+      pending[event.async_id] = PendingRequest{event.ts_ns, true};
+    }
+  }
+
+  // Pass 2: resolve each completed request against its carrying block.
+  for (const TraceEvent& event : trace.events()) {
+    if (event.phase != 'e' || event.name != "request") continue;
+    const auto it = pending.find(event.async_id);
+    if (it == pending.end() || !it->second.open) continue;
+    it->second.open = false;
+
+    const auto height = arg_u64(event, "height");
+    if (!height) {
+      ++report.unresolved_;
+      continue;
+    }
+    const auto primary_it = primary_of.find(*height);
+    if (primary_it == primary_of.end()) {
+      ++report.unresolved_;
+      continue;
+    }
+    const auto phase_it = phases.find({*height, primary_it->second});
+    if (phase_it == phases.end() || !phase_it->second.prepare || !phase_it->second.commit ||
+        !phase_it->second.execute) {
+      ++report.unresolved_;
+      continue;
+    }
+    const BlockPhases& block = phase_it->second;
+
+    RequestBreakdown r;
+    r.trace_id = event.async_id;
+    r.height = *height;
+    r.primary = primary_it->second;
+    r.submit_ns = it->second.submit_ns;
+    r.reply_ns = event.ts_ns;
+    r.preprepare_wait = std::max<std::int64_t>(0, block.prepare->begin_ns - r.submit_ns);
+    r.prepare = block.prepare->end_ns - block.prepare->begin_ns;
+    r.commit = block.commit->end_ns - block.commit->begin_ns;
+    r.execute = block.execute->end_ns - block.execute->begin_ns;
+    r.reply = std::max<std::int64_t>(0, r.reply_ns - block.execute->end_ns);
+    report.requests_.push_back(r);
+  }
+
+  return report;
+}
+
+std::vector<PhasePercentiles> CriticalPathReport::phase_stats() const {
+  struct Series {
+    const char* name;
+    std::int64_t RequestBreakdown::* field;
+  };
+  static constexpr Series kSeries[] = {
+      {"preprepare_wait", &RequestBreakdown::preprepare_wait},
+      {"prepare", &RequestBreakdown::prepare},
+      {"commit", &RequestBreakdown::commit},
+      {"execute", &RequestBreakdown::execute},
+      {"reply", &RequestBreakdown::reply},
+  };
+
+  std::vector<PhasePercentiles> out;
+  std::vector<std::int64_t> samples;
+  samples.reserve(requests_.size());
+  for (const Series& series : kSeries) {
+    samples.clear();
+    double total_ms = 0;
+    for (const RequestBreakdown& r : requests_) {
+      const std::int64_t v = r.*series.field;
+      samples.push_back(v);
+      total_ms += to_ms(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    PhasePercentiles p;
+    p.name = series.name;
+    p.p50_ms = percentile_sorted_ms(samples, 50);
+    p.p90_ms = percentile_sorted_ms(samples, 90);
+    p.p99_ms = percentile_sorted_ms(samples, 99);
+    p.max_ms = samples.empty() ? 0.0 : to_ms(samples.back());
+    p.total_ms = total_ms;
+    out.push_back(std::move(p));
+  }
+
+  samples.clear();
+  double total_ms = 0;
+  for (const RequestBreakdown& r : requests_) {
+    samples.push_back(r.total_ns());
+    total_ms += to_ms(r.total_ns());
+  }
+  std::sort(samples.begin(), samples.end());
+  PhasePercentiles e2e;
+  e2e.name = "end_to_end";
+  e2e.p50_ms = percentile_sorted_ms(samples, 50);
+  e2e.p90_ms = percentile_sorted_ms(samples, 90);
+  e2e.p99_ms = percentile_sorted_ms(samples, 99);
+  e2e.max_ms = samples.empty() ? 0.0 : to_ms(samples.back());
+  e2e.total_ms = total_ms;
+  out.push_back(std::move(e2e));
+  return out;
+}
+
+std::string CriticalPathReport::phase_table() const {
+  const std::vector<PhasePercentiles> stats = phase_stats();
+  const double e2e_total = stats.back().total_ms;
+
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "commit critical path (%zu requests, %zu unresolved)\n",
+                requests_.size(), unresolved_);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%-16s %8s %10s %10s %10s %10s\n", "phase", "share",
+                "p50(ms)", "p90(ms)", "p99(ms)", "max(ms)");
+  out += buf;
+  for (const PhasePercentiles& p : stats) {
+    const double share = e2e_total <= 0 ? 0.0 : 100.0 * p.total_ms / e2e_total;
+    std::snprintf(buf, sizeof(buf), "%-16s %7.2f%% %10.3f %10.3f %10.3f %10.3f\n",
+                  p.name.c_str(), share, p.p50_ms, p.p90_ms, p.p99_ms, p.max_ms);
+    out += buf;
+  }
+  return out;
+}
+
+std::string CriticalPathReport::slowest_table(std::size_t top_n) const {
+  std::vector<const RequestBreakdown*> order;
+  order.reserve(requests_.size());
+  for (const RequestBreakdown& r : requests_) order.push_back(&r);
+  std::sort(order.begin(), order.end(), [](const RequestBreakdown* a, const RequestBreakdown* b) {
+    if (a->total_ns() != b->total_ns()) return a->total_ns() > b->total_ns();
+    return a->trace_id < b->trace_id;  // deterministic tie-break
+  });
+  if (order.size() > top_n) order.resize(top_n);
+
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-18s %8s %10s %10s %9s %9s %9s %9s\n", "request", "height",
+                "total(ms)", "ppwait(ms)", "prep(ms)", "comm(ms)", "exec(ms)", "reply(ms)");
+  out += buf;
+  for (const RequestBreakdown* r : order) {
+    std::snprintf(buf, sizeof(buf), "%016llx %8llu %10.3f %10.3f %9.3f %9.3f %9.3f %9.3f\n",
+                  static_cast<unsigned long long>(r->trace_id),
+                  static_cast<unsigned long long>(r->height), to_ms(r->total_ns()),
+                  to_ms(r->preprepare_wait), to_ms(r->prepare), to_ms(r->commit),
+                  to_ms(r->execute), to_ms(r->reply));
+    out += buf;
+  }
+  if (order.empty()) out += "(no resolved requests in trace)\n";
+  return out;
+}
+
+}  // namespace gpbft::obs

@@ -1,0 +1,89 @@
+// Commit critical-path analyzer over the causal Perfetto trace.
+//
+// Walks a recorded TraceRecorder stream causally from client request to
+// commit and attributes each request's end-to-end latency to protocol
+// phases — the per-phase timing breakdown the constrained-device PBFT
+// study (arXiv 2104.05026) uses to make latency claims inspectable.
+//
+// Event conventions consumed (emitted by the PBFT-family stacks; PoW has
+// no three-phase structure and yields no resolved requests):
+//   async 'b' "request"       client submit, id = first 8 digest bytes;
+//   async 'e' "request"       reply quorum at the client, args carry the
+//                             committing `height`;
+//   instant  "propose"        the primary minting a block, args `seq`/`txs`
+//                             (seq == the block height it will commit at);
+//   span     "phase.prepare"  primary pre-prepared -> prepare certificate;
+//   span     "phase.commit"   prepare -> commit certificate;
+//   span     "phase.execute"  commit -> executed, args carry `height`.
+//
+// The five attributed phases per request:
+//   preprepare_wait  client submit -> primary pre-prepares the carrying
+//                    block (client->primary wire + receive queue + batch
+//                    accumulation wait);
+//   prepare          the primary's prepare-quorum span;
+//   commit           the primary's commit-quorum span;
+//   execute          the primary's execute span;
+//   reply            execute end -> reply quorum at the client.
+//
+// Requests whose carrying block cannot be resolved (trace-capacity drops,
+// view changes that re-proposed the height, sync-adopted blocks) are
+// counted as unresolved and excluded from the percentile tables.
+//
+// Everything here is deterministic: inputs are simulated-time events, so
+// two same-seed runs produce byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace gpbft::obs {
+
+struct RequestBreakdown {
+  std::uint64_t trace_id{0};
+  std::uint64_t height{0};
+  std::uint64_t primary{0};  // node id that proposed the carrying block
+  std::int64_t submit_ns{0};
+  std::int64_t reply_ns{0};  // absolute end instant
+  // Phase durations, in trace order; the five sum to total_ns().
+  std::int64_t preprepare_wait{0};
+  std::int64_t prepare{0};
+  std::int64_t commit{0};
+  std::int64_t execute{0};
+  std::int64_t reply{0};
+
+  [[nodiscard]] std::int64_t total_ns() const { return reply_ns - submit_ns; }
+};
+
+struct PhasePercentiles {
+  std::string name;
+  double p50_ms{0}, p90_ms{0}, p99_ms{0}, max_ms{0};
+  double total_ms{0};  // summed over requests: the phase's share basis
+};
+
+class CriticalPathReport {
+ public:
+  /// Scans the recorded events once and resolves every completed request.
+  [[nodiscard]] static CriticalPathReport analyze(const TraceRecorder& trace);
+
+  [[nodiscard]] const std::vector<RequestBreakdown>& requests() const { return requests_; }
+  /// Requests that reached a reply but whose carrying block's phase spans
+  /// could not be resolved from the trace.
+  [[nodiscard]] std::size_t unresolved() const { return unresolved_; }
+  [[nodiscard]] bool empty() const { return requests_.empty(); }
+
+  /// Per-phase percentile breakdown plus the end-to-end row; `share` is
+  /// the phase's fraction of summed end-to-end latency.
+  [[nodiscard]] std::vector<PhasePercentiles> phase_stats() const;
+  [[nodiscard]] std::string phase_table() const;
+  /// The `top_n` slowest requests with their per-phase attribution.
+  [[nodiscard]] std::string slowest_table(std::size_t top_n = 10) const;
+
+ private:
+  std::vector<RequestBreakdown> requests_;
+  std::size_t unresolved_{0};
+};
+
+}  // namespace gpbft::obs

@@ -1,5 +1,7 @@
 #include "pbft/client.hpp"
 
+#include "obs/profiler.hpp"
+
 #include <algorithm>
 #include <map>
 
@@ -123,6 +125,7 @@ void Client::submit(const ledger::Transaction& tx) {
 }
 
 void Client::handle(const net::Envelope& envelope) {
+  GPBFT_PROFILE_SCOPE("pbft.client.handle");
   if (envelope.type != msg_type::kReply) return;  // not addressed to a client role
   auto body = open(keys_, envelope.from, id_, envelope.type,
                    BytesView(envelope.payload.data(), envelope.payload.size()), compute_macs_);

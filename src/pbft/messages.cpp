@@ -1,5 +1,7 @@
 #include "pbft/messages.hpp"
 
+#include "obs/profiler.hpp"
+
 #include "serde/reader.hpp"
 #include "serde/writer.hpp"
 
@@ -493,6 +495,7 @@ Bytes mac_input(BytesView body, net::MessageType type) {
 
 Bytes seal(const crypto::KeyRegistry& keys, NodeId sender, NodeId receiver, net::MessageType type,
            BytesView body, bool compute_macs) {
+  GPBFT_PROFILE_SCOPE("crypto.seal");
   serde::Writer w;
   w.bytes(body);
   w.u64(sender.value);
@@ -510,6 +513,7 @@ Bytes seal(const crypto::KeyRegistry& keys, NodeId sender, NodeId receiver, net:
 
 Result<Bytes> open(const crypto::KeyRegistry& keys, NodeId sender, NodeId receiver,
                    net::MessageType type, BytesView sealed, bool compute_macs) {
+  GPBFT_PROFILE_SCOPE("crypto.open");
   serde::Reader r(sealed);
   auto body = r.bytes();
   if (!body) return make_error(body.error());

@@ -1,5 +1,7 @@
 #include "pbft/replica.hpp"
 
+#include "obs/profiler.hpp"
+
 #include <algorithm>
 
 #include "common/logging.hpp"
@@ -86,6 +88,7 @@ Bytes Replica::open_or_drop(const net::Envelope& envelope) {
 }
 
 void Replica::handle(const net::Envelope& envelope) {
+  GPBFT_PROFILE_SCOPE("pbft.replica.handle");
   if (fault_mode_ == FaultMode::Silent) return;
 
   const Bytes body = open_or_drop(envelope);
@@ -419,6 +422,7 @@ void Replica::on_sync_response(const SyncResponse& msg) {
 }
 
 void Replica::maybe_propose() {
+  GPBFT_PROFILE_SCOPE("pbft.propose");
   if (halted_ || in_view_change_ || !is_primary() || !ready_to_propose()) return;
   const SeqNum next_seq = chain_.height() + 1;
   const auto it = log_.find(next_seq);
@@ -709,6 +713,7 @@ void Replica::try_commit(SeqNum seq) {
 }
 
 void Replica::try_execute() {
+  GPBFT_PROFILE_SCOPE("pbft.execute");
   while (true) {
     const SeqNum next = chain_.height() + 1;
     const auto it = log_.find(next);

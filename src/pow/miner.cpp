@@ -1,5 +1,7 @@
 #include "pow/miner.hpp"
 
+#include "obs/profiler.hpp"
+
 #include <algorithm>
 
 #include "common/logging.hpp"
@@ -115,6 +117,7 @@ void Miner::on_block_found(std::uint64_t attempt) {
 }
 
 void Miner::handle(const net::Envelope& envelope) {
+  GPBFT_PROFILE_SCOPE("pow.miner.handle");
   switch (envelope.type) {
     case kPowBlock: {
       if (auto block = PowBlock::decode(BytesView(envelope.payload.data(),

@@ -141,6 +141,81 @@ TEST(LatencyRecorder, PercentileGuardsEmptyAndOutOfRange) {
   EXPECT_EQ(empty.count, 0u);
 }
 
+TEST(LatencyRecorder, PercentileClampsAtBothExtremesExactly) {
+  sim::LatencyRecorder recorder;
+  recorder.record(Duration::seconds(1));
+  recorder.record(Duration::seconds(2));
+  recorder.record(Duration::seconds(3));
+  // Exactly at the boundaries, not just past them.
+  EXPECT_DOUBLE_EQ(recorder.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(recorder.percentile(100), 3.0);
+  // Far past them: infinities must clamp too, not index out of range.
+  EXPECT_DOUBLE_EQ(recorder.percentile(-1e300), 1.0);
+  EXPECT_DOUBLE_EQ(recorder.percentile(1e300), 3.0);
+  EXPECT_DOUBLE_EQ(recorder.percentile(50), 2.0);  // sanity: the median
+}
+
+TEST(LatencyRecorder, SingleSamplePercentilesAreThatSample) {
+  sim::LatencyRecorder recorder;
+  recorder.record(Duration::millis(250));
+  for (const double p : {0.0, 25.0, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(recorder.percentile(p), 0.25) << "p" << p;
+  }
+  const sim::BoxplotStats box = recorder.boxplot();
+  EXPECT_DOUBLE_EQ(box.min, 0.25);
+  EXPECT_DOUBLE_EQ(box.median, 0.25);
+  EXPECT_DOUBLE_EQ(box.max, 0.25);
+  EXPECT_EQ(box.count, 1u);
+}
+
+// --- satellite: histogram edge cases -------------------------------------------
+
+TEST(ObsRegistry, EmptyHistogramExportsZeroRow) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("never.observed");
+  EXPECT_EQ(h.count, 0u);
+  EXPECT_EQ(h.counts.size(), h.bounds.size() + 1);  // shaped at creation
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);                  // no division by zero
+  const std::string jsonl = reg.to_jsonl();
+  // The row exists (a created series is a fact about the run) with an
+  // all-zero profile.
+  EXPECT_NE(jsonl.find("never.observed"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"count\":0"), std::string::npos);
+  EXPECT_EQ(jsonl, reg.to_jsonl());  // stable bytes
+}
+
+TEST(ObsRegistry, OverflowBucketCatchesEverythingPastTheLastBound) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("tail", NodeId{1}, {1.0, 2.0});
+  h.observe(1.0);     // == a bound: next bucket up (upper_bound semantics)
+  h.observe(2.0);     // == last bound: overflow, not in-range
+  h.observe(2.0001);  // just past: overflow
+  h.observe(1e12);    // far past: overflow
+  ASSERT_EQ(h.counts.size(), 3u);
+  EXPECT_EQ(h.counts[0], 0u);
+  EXPECT_EQ(h.counts[1], 1u);       // the 1.0 at the first bound
+  EXPECT_EQ(h.counts.back(), 3u);   // everything >= the last bound
+  EXPECT_EQ(h.count, 4u);
+  // Merging propagates overflow counts, not just sum/count.
+  obs::Histogram& other = reg.histogram("tail", NodeId{2}, {1.0, 2.0});
+  other.observe(5.0);
+  const obs::Histogram total = reg.histogram_total("tail");
+  EXPECT_EQ(total.counts.back(), 4u);
+  EXPECT_EQ(total.count, 5u);
+}
+
+TEST(ObsRegistry, StandaloneHistogramShapesCountsOnFirstObserve) {
+  // A Histogram constructed outside the registry starts with empty counts;
+  // the first observe must lazily shape counts to bounds.size() + 1.
+  obs::Histogram h;
+  h.bounds = {10.0};
+  EXPECT_TRUE(h.counts.empty());
+  h.observe(3.0);
+  ASSERT_EQ(h.counts.size(), 2u);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 0u);
+}
+
 // --- satellite: Logger sim-time scope ------------------------------------------
 
 TEST(Logging, SimTimeScopeRestoresPreviousState) {

@@ -26,7 +26,17 @@
 //            --trace-out enables causal tracing and writes a Chrome/
 //            Perfetto trace.json (both byte-identical for identical seeds).
 //   report   like run, but also pretty-prints the telemetry rollup
-//            (per-family counter totals, histogram means) after the run.
+//            (per-family counter totals, histogram means) after the run;
+//            with --trace-out it additionally prints the commit
+//            critical-path breakdown derived from the trace.
+//   profile  like run, but with the wall-clock profiler enabled: prints
+//            the probe hotspot table (exclusive wall time per site), the
+//            commit critical-path phase breakdown and the slowest
+//            requests. --profile-out writes the probe call tree as JSON;
+//            --collapsed-out writes Brendan-Gregg collapsed stacks for
+//            flamegraph.pl / speedscope. Profiling reads only the host's
+//            steady clock: the run's chain tip, metrics and trace exports
+//            are byte-identical to an unprofiled same-seed run.
 //
 // Common options (defaults = the calibrated values of DESIGN.md §4):
 //   --protocol pbft|gpbft|dbft|pow   --nodes N[,N...]   --seed S
@@ -48,6 +58,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/critical_path.hpp"
+#include "obs/profiler.hpp"
 #include "sim/chaos.hpp"
 #include "sim/experiment.hpp"
 #include "sim/workload_plane.hpp"
@@ -75,6 +87,9 @@ struct CliOptions {
   std::string scenario_path;      // run: scenario file
   std::string trace_out;          // run/report: Perfetto trace destination
   std::string metrics_out;        // run/report: metrics JSONL destination
+  std::string profile_out;        // profile: probe call tree JSON
+  std::string collapsed_out;      // profile: collapsed-stack flamegraph input
+  std::size_t top = 15;           // profile/report: hotspot table rows
   bool protocol_set = false;      // chaos/run defaults when unset
   bool seed_set = false;          // run keeps the file's seed when unset
   bool txs_set = false;           // chaos keeps its own default when unset
@@ -82,7 +97,7 @@ struct CliOptions {
 
 void print_usage() {
   std::fprintf(stderr,
-               "usage: gpbft_cli <latency|cost|sweep|chaos|run|report> [options]\n"
+               "usage: gpbft_cli <latency|cost|sweep|chaos|run|report|profile> [options]\n"
                "  --protocol pbft|gpbft|dbft|pow   consensus to run (default gpbft)\n"
                "  --nodes N[,N...]                 network sizes (default 40)\n"
                "  --seed S --txs K --period SEC --rate S --batch B\n"
@@ -109,11 +124,15 @@ void print_usage() {
                "                                   under a man-on-the-side Inject storm; with\n"
                "                                   MACs on the chain tips must be identical\n"
                "  --seed S --txs K\n"
-               "run/report options:\n"
+               "run/report/profile options:\n"
                "  --scenario FILE                  declarative scenario (key=value)\n"
                "  --protocol P --seed S            override the file's values\n"
                "  --trace-out FILE                 enable tracing, write Perfetto trace.json\n"
-               "  --metrics-out FILE               write the metrics registry as JSONL\n");
+               "  --metrics-out FILE               write the metrics registry as JSONL\n"
+               "profile options:\n"
+               "  --profile-out FILE               write the probe call tree as JSON\n"
+               "  --collapsed-out FILE             write collapsed stacks (flamegraph input)\n"
+               "  --top N                          hotspot/slowest-request table rows (15)\n");
 }
 
 std::vector<std::size_t> parse_node_list(const std::string& arg) {
@@ -135,7 +154,8 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
   if (argc < 2) return false;
   options.command = argv[1];
   if (options.command != "latency" && options.command != "cost" && options.command != "sweep" &&
-      options.command != "chaos" && options.command != "run" && options.command != "report") {
+      options.command != "chaos" && options.command != "run" && options.command != "report" &&
+      options.command != "profile") {
     return false;
   }
 
@@ -215,6 +235,13 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
       options.trace_out = value;
     } else if (flag == "--metrics-out") {
       options.metrics_out = value;
+    } else if (flag == "--profile-out") {
+      options.profile_out = value;
+    } else if (flag == "--collapsed-out") {
+      options.collapsed_out = value;
+    } else if (flag == "--top") {
+      options.top = std::strtoull(value.c_str(), nullptr, 10);
+      if (options.top == 0) options.top = 15;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -232,7 +259,7 @@ bool parse_args(int argc, char** argv, CliOptions& options) {
     }
     return true;
   }
-  if (options.command == "run" || options.command == "report") {
+  if (options.command == "run" || options.command == "report" || options.command == "profile") {
     if (options.scenario_path.empty()) return false;
     if (options.protocol_set && !sim::protocol_from_name(options.protocol).ok()) return false;
     return true;
@@ -340,6 +367,13 @@ int run_scenario(const CliOptions& options) {
   if (options.seed_set) spec.seed = options.experiment.seed;
 
   const std::unique_ptr<sim::Deployment> deployment = sim::make_deployment(spec);
+  const bool profiling = options.command == "profile";
+  if (profiling) {
+    // The profiler reads the host's steady clock only; it cannot perturb
+    // the run. The critical-path analyzer needs the causal trace.
+    obs::Profiler::instance().set_enabled(true);
+    deployment->telemetry().set_trace_enabled(true);
+  }
   if (!options.trace_out.empty()) deployment->telemetry().set_trace_enabled(true);
   sim::InvariantMonitor monitor(deployment->simulator());
   const bool durability =
@@ -460,6 +494,29 @@ int run_scenario(const CliOptions& options) {
   print_result(sim::protocol_name(spec.protocol), options.csv, result);
   if (options.command == "report") {
     std::fputs(deployment->telemetry().metrics().summary().c_str(), stdout);
+    if (deployment->telemetry().trace_enabled()) {
+      const auto path = obs::CriticalPathReport::analyze(deployment->telemetry().trace());
+      std::printf("\n%s", path.phase_table().c_str());
+    }
+  }
+  if (profiling) {
+    obs::Profiler& prof = obs::Profiler::instance();
+    prof.set_enabled(false);
+    std::printf("\ntip %s\n", deployment->tip_hex().c_str());
+    std::printf("\n--- wall-clock hotspots (exclusive time) ---\n%s",
+                prof.hotspot_table(options.top).c_str());
+    const auto path = obs::CriticalPathReport::analyze(deployment->telemetry().trace());
+    std::printf("\n--- commit critical path ---\n%s", path.phase_table().c_str());
+    std::printf("\n--- slowest requests ---\n%s", path.slowest_table(options.top).c_str());
+    if (!options.profile_out.empty() && !prof.write_json(options.profile_out)) {
+      std::fprintf(stderr, "cannot write profile to %s\n", options.profile_out.c_str());
+      return 2;
+    }
+    if (!options.collapsed_out.empty() && !prof.write_collapsed(options.collapsed_out)) {
+      std::fprintf(stderr, "cannot write collapsed stacks to %s\n",
+                   options.collapsed_out.c_str());
+      return 2;
+    }
   }
   if (!options.trace_out.empty() && !deployment->telemetry().write_trace(options.trace_out)) {
     std::fprintf(stderr, "cannot write trace to %s\n", options.trace_out.c_str());
@@ -488,7 +545,9 @@ int main(int argc, char** argv) {
   }
 
   if (options.command == "chaos") return run_chaos(options);
-  if (options.command == "run" || options.command == "report") return run_scenario(options);
+  if (options.command == "run" || options.command == "report" || options.command == "profile") {
+    return run_scenario(options);
+  }
 
   if (options.csv) print_csv_header();
 
