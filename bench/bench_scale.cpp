@@ -19,12 +19,17 @@
 // unbatched points is the pipeline's headline speedup, tracked in
 // BENCH_scale.json.
 //
-// Usage: bench_scale [--smoke] [--plane]
+// Usage: bench_scale [--smoke] [--plane] [--threads-sweep]
 //   --smoke   n = 20 only (both protocols, unbatched + batched): the CI
 //             perf-smoke leg. Fails (exit 1) only on golden-hash mismatch —
 //             events/sec is reported, never gated (machines differ;
 //             regressions are judged against BENCH_scale.json trends
 //             instead).
+//   --threads-sweep  parallel MAC plane showcase: the PBFT n=202 point with
+//             MACs ON at sim.threads in {1, 2, 4, 8}. Fails (exit 1) when
+//             the chain tip differs across thread counts (the determinism
+//             contract); wall-clock scaling is reported and recorded as
+//             scale.pbft.macs202.tN series rows.
 //   --plane   million-device WorkloadPlane smoke: a 10^6-device diurnal
 //             PBFT run (n=20, 8 concrete endpoints, batch.size=32) executed
 //             twice with the same seed. Fails (exit 1) when the two runs
@@ -46,6 +51,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "net/workers.hpp"
 #include "sim/experiment.hpp"
 #include "sim/workload_plane.hpp"
 
@@ -99,16 +105,7 @@ struct ScaleResult {
 /// factory, timed on the host clock. Mirrors sim::run_latency but keeps the
 /// deployment in scope so the chain tip and simulator counters are
 /// readable afterwards.
-ScaleResult run_point(const ScalePoint& point) {
-  sim::ExperimentOptions options = sim::default_options();
-  if (point.batch_close > 1) {
-    options.batch.size = point.batch_close;
-    // The engine's per-block ceiling must not clip a batch the close
-    // policy formed (default max_batch_size is 32).
-    options.engine.batch_size = std::max<std::size_t>(options.engine.batch_size,
-                                                      point.batch_close);
-  }
-  const sim::ScenarioSpec spec = sim::latency_scenario(point.protocol, point.nodes, options);
+ScaleResult run_spec(const sim::ScenarioSpec& spec) {
   const std::unique_ptr<sim::Deployment> deployment = sim::make_deployment(spec);
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -116,7 +113,7 @@ ScaleResult run_point(const ScalePoint& point) {
   sim::LatencyRecorder recorder;
   deployment->schedule_workload(spec.workload, &recorder);
   const bool done = deployment->run_until_committed(spec.workload.txs_per_client,
-                                                    TimePoint{options.hard_deadline.ns});
+                                                    TimePoint{spec.deadline.ns});
   // Time-to-done, read before the drain: the drain below fires pre-armed
   // periodic timers (e.g. the replicas' pending-request tick at
   // request_timeout/4 = 1000 s) whose timestamps say nothing about when the
@@ -126,9 +123,18 @@ ScaleResult run_point(const ScalePoint& point) {
   deployment->stop();
   deployment->simulator().run();  // drain in-flight deliveries deterministically
   const auto wall_end = std::chrono::steady_clock::now();
+  if (const net::OrderedRunner* runner = deployment->mac_runner()) {
+    std::fprintf(stderr, "  [mac plane: %llu jobs, %llu stolen by releaser (%.1f%% offloaded)]\n",
+                 static_cast<unsigned long long>(runner->released()),
+                 static_cast<unsigned long long>(runner->stolen()),
+                 runner->released() == 0
+                     ? 0.0
+                     : 100.0 * static_cast<double>(runner->released() - runner->stolen()) /
+                           static_cast<double>(runner->released()));
+  }
 
   ScaleResult result;
-  result.experiment.nodes = point.nodes;
+  result.experiment.nodes = spec.nodes;
   result.experiment.committee = deployment->committee_size();
   result.experiment.latency_samples = recorder.samples();
   result.experiment.latency = recorder.boxplot();
@@ -143,7 +149,7 @@ ScaleResult run_point(const ScalePoint& point) {
   result.wire_messages = deployment->stats().total_messages;
   result.wall_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(wall_end - wall_start).count();
-  result.batch_close = point.batch_close;
+  result.batch_close = spec.batch.size;
 
   if (auto* pbft = dynamic_cast<sim::PbftCluster*>(deployment.get())) {
     result.tip_hex = pbft->replica(0).chain().tip().hash().hex();
@@ -151,6 +157,18 @@ ScaleResult run_point(const ScalePoint& point) {
     result.tip_hex = gpbft->endorser(0).chain().tip().hash().hex();
   }
   return result;
+}
+
+ScaleResult run_point(const ScalePoint& point) {
+  sim::ExperimentOptions options = sim::default_options();
+  if (point.batch_close > 1) {
+    options.batch.size = point.batch_close;
+    // The engine's per-block ceiling must not clip a batch the close
+    // policy formed (default max_batch_size is 32).
+    options.engine.batch_size = std::max<std::size_t>(options.engine.batch_size,
+                                                      point.batch_close);
+  }
+  return run_spec(sim::latency_scenario(point.protocol, point.nodes, options));
 }
 
 void append_scale_record(const char* series, const ScaleResult& r) {
@@ -218,6 +236,52 @@ int run(bool smoke) {
     return 1;
   }
   std::printf("bench_scale: golden hashes OK\n");
+  return 0;
+}
+
+// --- parallel MAC plane sweep (--threads-sweep) --------------------------------
+
+// The worker-pool showcase: the Fig. 3 PBFT n=202 point with MACs ON —
+// the authenticated configuration the paper's threat model assumes — run
+// at 1, 2, 4 and 8 total threads. Every HMAC seal/verify rides the ordered
+// sequencer, so the tip must be byte-identical across the sweep (enforced
+// here, not just in the test suite); wall-clock is the only thing allowed
+// to move. Recorded as scale.pbft.macs202.tN rows in BENCH_scale.json.
+int run_threads_sweep() {
+  std::printf("bench_scale --threads-sweep: PBFT n=202, MACs on, Fig. 3 workload (seed 1)\n");
+  std::printf("%8s %10s %12s %9s %12s %9s  %s\n", "threads", "committed", "sim events",
+              "wall(s)", "events/sec", "speedup", "tip");
+  sim::ExperimentOptions options = sim::default_options();
+  options.engine.compute_macs = true;
+  sim::ScenarioSpec spec = sim::latency_scenario(sim::ProtocolKind::Pbft, 202, options);
+
+  int failures = 0;
+  std::string baseline_tip;
+  double baseline_wall = 0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    spec.threads = threads;
+    const ScaleResult r = run_spec(spec);
+    if (threads == 1) {
+      baseline_tip = r.tip_hex;
+      baseline_wall = r.wall_seconds;
+    } else if (r.tip_hex != baseline_tip) {
+      std::fprintf(stderr,
+                   "bench_scale --threads-sweep: NONDETERMINISM at threads=%zu\n"
+                   "  threads=1 tip %s\n  threads=%zu tip %s\n",
+                   threads, baseline_tip.c_str(), threads, r.tip_hex.c_str());
+      ++failures;
+    }
+    const double speedup = r.wall_seconds <= 0 ? 0.0 : baseline_wall / r.wall_seconds;
+    std::printf("%8zu %10llu %12llu %9.2f %12.0f %8.2fx  %s\n", threads,
+                static_cast<unsigned long long>(r.experiment.committed),
+                static_cast<unsigned long long>(r.sim_events), r.wall_seconds,
+                r.events_per_sec(), speedup, r.tip_hex.c_str());
+    const std::string series = "scale.pbft.macs202.t" + std::to_string(threads);
+    append_json_record(series.c_str(), r.experiment, 1);
+    append_scale_record(series.c_str(), r);
+  }
+  if (failures > 0) return 1;
+  std::printf("bench_scale --threads-sweep: tips byte-identical across thread counts\n");
   return 0;
 }
 
@@ -351,16 +415,20 @@ int run_plane() {
 int main(int argc, char** argv) {
   bool smoke = false;
   bool plane = false;
+  bool threads_sweep = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--plane") == 0) {
       plane = true;
+    } else if (std::strcmp(argv[i], "--threads-sweep") == 0) {
+      threads_sweep = true;
     } else {
-      std::fprintf(stderr, "usage: bench_scale [--smoke] [--plane]\n");
+      std::fprintf(stderr, "usage: bench_scale [--smoke] [--plane] [--threads-sweep]\n");
       return 2;
     }
   }
   if (plane) return gpbft::bench::run_plane();
+  if (threads_sweep) return gpbft::bench::run_threads_sweep();
   return gpbft::bench::run(smoke);
 }

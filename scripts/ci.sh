@@ -8,9 +8,10 @@
 # Knobs:
 #   GPBFT_CI_BUILD_DIR=build   build directory (default build)
 #   GPBFT_CI_JOBS=N            parallel ctest jobs (default nproc)
-#   GPBFT_CI_SANITIZE=1        also run the ASan/UBSan leg
-#                              (scripts/check_sanitizers.sh; off by default —
-#                              it configures and builds a second tree)
+#   GPBFT_CI_SANITIZE=1        also run the ASan/UBSan and TSan legs
+#                              (scripts/check_sanitizers.sh + check_tsan.sh;
+#                              off by default — each configures and builds
+#                              its own tree)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -57,6 +58,24 @@ for run in 1 2; do
 done
 cmp "${TAMPER_DIR}/trace.1.json" "${TAMPER_DIR}/trace.2.json"
 cmp "${TAMPER_DIR}/metrics.1.jsonl" "${TAMPER_DIR}/metrics.2.jsonl"
+
+# Parallel MAC plane gate (docs/performance.md "Parallel MAC plane"). Label
+# re-selection first (same rationale as the legs above): the ordered-runner
+# unit tests plus the 20-seed determinism-under-parallelism sweep. Then the
+# end-to-end check: the same seeded scenario at 1 and 8 threads must export
+# byte-identical telemetry — `--threads` is a host-performance knob, never
+# a model parameter.
+ctest --test-dir "${BUILD_DIR}" -L tier1-parallel -j "${JOBS}" --output-on-failure
+PAR_DIR="${BUILD_DIR}/parallel-ci"
+mkdir -p "${PAR_DIR}"
+for threads in 1 8; do
+  "${BUILD_DIR}/tools/gpbft_cli" run --scenario scenarios/telemetry_smoke.scenario \
+    --threads "${threads}" \
+    --trace-out "${PAR_DIR}/trace.t${threads}.json" \
+    --metrics-out "${PAR_DIR}/metrics.t${threads}.jsonl" >/dev/null
+done
+cmp "${PAR_DIR}/trace.t1.json" "${PAR_DIR}/trace.t8.json"
+cmp "${PAR_DIR}/metrics.t1.jsonl" "${PAR_DIR}/metrics.t8.jsonl"
 
 # Fuzz gate: replay the checked-in malformed corpus and run a seeded
 # mutation sweep over every wire-decode target. Each target carries its own
@@ -158,10 +177,13 @@ fi
 # and the wall budget (GPBFT_PLANE_BUDGET_SECS, default 120 s per run).
 "${BUILD_DIR}/bench/bench_scale" --plane
 
-# Opt-in sanitizer leg: a full ASan/UBSan build + test sweep in its own
-# build directory. Kept off the default path so the fast gate stays fast.
+# Opt-in sanitizer legs: a full ASan/UBSan build + test sweep, then a TSan
+# build running the threaded suites (the two sanitizers cannot share one
+# binary, so each gets its own build directory). Kept off the default path
+# so the fast gate stays fast.
 if [[ "${GPBFT_CI_SANITIZE:-0}" == "1" ]]; then
   scripts/check_sanitizers.sh
+  scripts/check_tsan.sh
 fi
 
 echo "ci: OK"

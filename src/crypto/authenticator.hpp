@@ -15,9 +15,23 @@
 //
 // The threat model (§III-A) matches: adversaries cannot forge or tamper with
 // others' messages, only emit invalid ones of their own.
+//
+// Caching & concurrency: identity keys and pairwise session entries are
+// derived once and cached (a session entry also holds the precomputed
+// HmacKey pad states, so a tag costs two SHA-256 passes over the message,
+// not a rederivation chain of four HMACs). Both caches are guarded by
+// shared mutexes — sharded for the O(n^2) session space — because the
+// parallel MAC plane (net::OrderedRunner) computes seal/verify tags from
+// worker threads against one shared registry. Cache population order is
+// thread-schedule-dependent; cache *contents* are pure functions of the
+// genesis seed, so results never depend on interleaving.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <map>
+#include <shared_mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -52,23 +66,50 @@ class KeyRegistry {
   /// 32-byte identity key of a node (derived lazily, cached).
   [[nodiscard]] const Hash256& identity_key(NodeId id) const;
 
-  /// Symmetric pairwise session key.
+  /// Symmetric pairwise session key (derived lazily, cached).
   [[nodiscard]] Hash256 session_key(NodeId a, NodeId b) const;
+
+  /// One truncated tag for a single receiver, streaming `payload_parts`
+  /// (logically concatenated) into the HMAC without materializing the
+  /// buffer. This is the seal/open hot path; at most 7 parts.
+  [[nodiscard]] std::array<std::uint8_t, 8> tag(NodeId sender, NodeId receiver,
+                                                std::span<const BytesView> payload_parts) const;
 
   /// Builds the authenticator `sender` attaches for `receivers` over `payload`.
   [[nodiscard]] Authenticator authenticate(NodeId sender, const std::vector<NodeId>& receivers,
                                            BytesView payload) const;
+  [[nodiscard]] Authenticator authenticate(NodeId sender, const std::vector<NodeId>& receivers,
+                                           std::span<const BytesView> payload_parts) const;
 
   /// Verifies the tag addressed to `receiver` in `auth` over `payload`.
   /// Returns false when no tag for `receiver` exists or the tag mismatches.
   [[nodiscard]] bool verify(const Authenticator& auth, NodeId receiver, BytesView payload) const;
+  [[nodiscard]] bool verify(const Authenticator& auth, NodeId receiver,
+                            std::span<const BytesView> payload_parts) const;
 
  private:
-  [[nodiscard]] std::array<std::uint8_t, 8> tag_for(NodeId sender, NodeId receiver,
-                                                    BytesView payload) const;
+  /// Cached pairwise material: the 32-byte session key plus the HMAC pad
+  /// states precomputed from it.
+  struct SessionEntry {
+    Hash256 key;
+    HmacKey mac;
+  };
+  /// Stable reference into the session cache (entries are never erased).
+  [[nodiscard]] const SessionEntry& session_entry(NodeId a, NodeId b) const;
+
+  /// The pairwise space is O(n^2); shard the cache so concurrent workers
+  /// sealing/verifying different links rarely contend on one lock.
+  struct SessionShard {
+    mutable std::shared_mutex mu;
+    // std::map: node-based, so references stay valid across inserts.
+    std::map<std::pair<std::uint64_t, std::uint64_t>, SessionEntry> entries;
+  };
+  static constexpr std::size_t kSessionShards = 16;
 
   std::uint64_t genesis_seed_;
+  mutable std::shared_mutex identity_mu_;
   mutable std::unordered_map<NodeId, Hash256> identity_cache_;
+  mutable std::array<SessionShard, kSessionShards> sessions_;
 };
 
 }  // namespace gpbft::crypto

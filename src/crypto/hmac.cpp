@@ -4,7 +4,7 @@
 
 namespace gpbft::crypto {
 
-Hash256 hmac_sha256(BytesView key, BytesView data) {
+HmacKey::HmacKey(BytesView key) {
   std::array<std::uint8_t, 64> block_key{};
   if (key.size() > 64) {
     const Hash256 hashed = sha256(key);
@@ -19,17 +19,29 @@ Hash256 hmac_sha256(BytesView key, BytesView data) {
     ipad[i] = block_key[i] ^ 0x36;
     opad[i] = block_key[i] ^ 0x5c;
   }
+  // Each pad is exactly one SHA-256 block, so after these updates the
+  // contexts hold compressed mid-states with empty buffers — cloning them
+  // is a 100-odd-byte copy, not a compression call.
+  inner_.update(BytesView(ipad.data(), ipad.size()));
+  outer_.update(BytesView(opad.data(), opad.size()));
+}
 
-  Sha256 inner;
-  inner.update(BytesView(ipad.data(), ipad.size()));
-  inner.update(data);
+Hash256 HmacKey::mac(BytesView data) const {
+  const std::array<BytesView, 1> parts{data};
+  return mac(std::span<const BytesView>(parts.data(), parts.size()));
+}
+
+Hash256 HmacKey::mac(std::span<const BytesView> parts) const {
+  Sha256 inner = inner_;
+  for (const BytesView part : parts) inner.update(part);
   const Hash256 inner_digest = inner.finalize();
 
-  Sha256 outer;
-  outer.update(BytesView(opad.data(), opad.size()));
+  Sha256 outer = outer_;
   outer.update(inner_digest.view());
   return outer.finalize();
 }
+
+Hash256 hmac_sha256(BytesView key, BytesView data) { return HmacKey(key).mac(data); }
 
 bool constant_time_equal(BytesView a, BytesView b) {
   if (a.size() != b.size()) return false;

@@ -4,12 +4,42 @@
 // Castro-Liskov PBFT: replicas share pairwise session keys (distributed via
 // the genesis key registry, appropriate for the consortium chains G-PBFT
 // targets) and authenticate protocol messages with HMAC tags.
+//
+// Two surfaces:
+//   - hmac_sha256(): one-shot, for one-off callers (key derivation, tests).
+//   - HmacKey: a precomputed key context. The ipad/opad key schedule of
+//     HMAC is exactly one SHA-256 block each; a context absorbs both pads
+//     once at construction and clones the two mid-states per message, so a
+//     session key reused across thousands of tags pays the two extra
+//     compression calls exactly once instead of per message. Output is
+//     bit-identical to hmac_sha256 (proven in tests/crypto_test.cpp).
 #pragma once
+
+#include <span>
 
 #include "common/bytes.hpp"
 #include "crypto/sha256.hpp"
 
 namespace gpbft::crypto {
+
+/// Precomputed HMAC-SHA256 key context (keyed pads hashed once, cloned per
+/// message). Copyable; safe to use concurrently from multiple threads —
+/// mac() clones the stored mid-states and never mutates the context.
+class HmacKey {
+ public:
+  HmacKey() = default;
+  explicit HmacKey(BytesView key);
+
+  /// HMAC-SHA256 over `data`; equals hmac_sha256(key, data).
+  [[nodiscard]] Hash256 mac(BytesView data) const;
+  /// As above over the concatenation of `parts` — lets callers stream a
+  /// prefix + payload into the MAC without materializing the buffer.
+  [[nodiscard]] Hash256 mac(std::span<const BytesView> parts) const;
+
+ private:
+  Sha256 inner_;  // state after absorbing key ^ ipad
+  Sha256 outer_;  // state after absorbing key ^ opad
+};
 
 /// HMAC-SHA256 over `data` with `key` (any key length).
 [[nodiscard]] Hash256 hmac_sha256(BytesView key, BytesView data);

@@ -163,14 +163,12 @@ void Delegate::handle_extra(const net::Envelope& envelope) {
     Replica::handle_extra(envelope);
     return;
   }
-  auto body = pbft::open(keys(), envelope.from, id(), envelope.type,
-                         BytesView(envelope.payload.data(), envelope.payload.size()),
-                         /*compute_macs=*/false);
+  auto body = pbft::open_envelope(keys(), id(), envelope, /*compute_macs=*/false);
   if (!body) {
     network().note_rejected(envelope.type);
     return;
   }
-  auto block = ledger::Block::decode(BytesView(body.value().data(), body.value().size()));
+  auto block = ledger::Block::decode(body.value());
   if (!block) {
     network().note_rejected(envelope.type);
     return;

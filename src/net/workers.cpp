@@ -1,0 +1,119 @@
+#include "net/workers.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace gpbft::net {
+
+OrderedRunner::OrderedRunner(std::size_t threads) : ring_(kRingSize) {
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+OrderedRunner::~OrderedRunner() {
+  // Finish everything first: prologues may reference state (key registry,
+  // payload cells) owned by layers that outlive the runner, and running the
+  // leftover epilogues keeps teardown on the same code path as a release.
+  drain();
+  stopping_.store(true, std::memory_order_release);
+  {
+    // Taking the lock orders the store against a worker's predicate check,
+    // so no worker can park after missing the stop flag.
+    const std::lock_guard<std::mutex> lock(mu_);
+  }
+  task_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::uint64_t OrderedRunner::submit(Prologue prologue) {
+  const std::uint64_t ticket = ++next_ticket_;
+  // Ring full (kRingSize unreleased tickets): free the oldest slots. submit
+  // runs on the releasing thread, so releasing here is in-contract.
+  if (ticket > kRingSize && released_ < ticket - kRingSize) {
+    release_until(ticket - kRingSize);
+  }
+  Slot& slot = ring_[ticket & kRingMask];
+  assert(slot.state.load(std::memory_order_relaxed) == Slot::kEmpty);
+  slot.run = std::move(prologue);
+  slot.state.store(Slot::kQueued, std::memory_order_relaxed);
+  // Publication point: a worker that acquires submitted_ >= ticket sees the
+  // slot writes above. seq_cst pairs with the worker's seq_cst sleepers_
+  // increment (Dekker): either this thread sees the sleeper and notifies,
+  // or the sleeper's predicate sees the new ticket and never parks.
+  submitted_.store(ticket, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    // Lock-then-notify closes the race against a worker between its
+    // predicate check and its park; skipped entirely while workers spin.
+    { const std::lock_guard<std::mutex> lock(mu_); }
+    task_cv_.notify_all();
+  }
+  return ticket;
+}
+
+void OrderedRunner::release_until(std::uint64_t ticket) {
+  if (ticket > next_ticket_) ticket = next_ticket_;
+  while (released_ < ticket) {
+    const std::uint64_t t = released_ + 1;
+    Slot& slot = ring_[t & kRingMask];
+    std::uint64_t expected = t;
+    if (claim_.compare_exchange_strong(expected, t + 1, std::memory_order_acq_rel)) {
+      // Unclaimed: help-steal. Runs the prologue right here instead of
+      // waiting for a worker — with zero workers this IS the execution path.
+      slot.epilogue = slot.run();
+      slot.run = nullptr;
+      ++stolen_;
+    } else {
+      // A worker owns ticket t; spin until it publishes the epilogue. The
+      // wait is bounded by one prologue execution, so parking would cost
+      // more than it saves.
+      while (slot.state.load(std::memory_order_acquire) != Slot::kDone) {
+        std::this_thread::yield();
+      }
+    }
+    Epilogue epilogue = std::move(slot.epilogue);
+    slot.epilogue = nullptr;
+    slot.state.store(Slot::kEmpty, std::memory_order_release);
+    ++released_;
+    if (epilogue) epilogue();
+  }
+}
+
+void OrderedRunner::worker_loop() {
+  int idle = 0;
+  for (;;) {
+    std::uint64_t t = claim_.load(std::memory_order_relaxed);
+    if (t > submitted_.load(std::memory_order_acquire)) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (++idle < kIdleSpins) {
+        std::this_thread::yield();
+        continue;
+      }
+      // Queue has been dry for a while: park until new work or shutdown.
+      // seq_cst on the sleepers_/submitted_ pair — see submit().
+      std::unique_lock<std::mutex> lock(mu_);
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      task_cv_.wait(lock, [this]() {
+        return stopping_.load(std::memory_order_acquire) ||
+               claim_.load(std::memory_order_relaxed) <=
+                   submitted_.load(std::memory_order_seq_cst);
+      });
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+      idle = 0;
+      continue;
+    }
+    if (!claim_.compare_exchange_weak(t, t + 1, std::memory_order_acq_rel)) {
+      continue;  // lost the race (another worker or the help-stealing releaser)
+    }
+    idle = 0;
+    Slot& slot = ring_[t & kRingMask];
+    slot.epilogue = slot.run();
+    slot.run = nullptr;
+    // Publication point: the releaser acquires kDone and sees the epilogue.
+    slot.state.store(Slot::kDone, std::memory_order_release);
+  }
+}
+
+}  // namespace gpbft::net

@@ -23,8 +23,13 @@
 //
 // Sites register once per process (static registration: the macro stores
 // the id in a function-local static, and registering the same name twice
-// returns the same id). The profiler is a process-wide singleton, matching
-// the single-threaded discrete-event core; it is NOT thread-safe.
+// returns the same id). The profiler is a process-wide singleton. The tree
+// and stack belong to the thread that created the singleton (the simulation
+// thread): probes hit from any other thread — the parallel MAC plane's
+// workers run seal/verify sites — latch inactive and record nothing, so the
+// hot path stays lock-free and the tree stays single-threaded. Site
+// registration is mutex-guarded because function-local statics in worker-
+// reachable code paths register concurrently.
 //
 // Exports:
 //   to_json()       nested call tree; `calls` and structure are
@@ -37,10 +42,13 @@
 //                   `profile` subcommand prints this).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace gpbft::obs {
@@ -58,10 +66,16 @@ class Profiler {
   [[nodiscard]] const std::string& site_name(SiteId id) const { return site_names_.at(id); }
   [[nodiscard]] std::size_t site_count() const { return site_names_.size(); }
 
-  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   /// Toggle only between runs (with no probes open): enabling or disabling
   /// mid-scope would unbalance the probe stack.
-  void set_enabled(bool on) { enabled_ = on; }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// True on the thread that owns the probe tree (the one that first
+  /// touched the singleton — the simulation thread).
+  [[nodiscard]] bool on_owner_thread() const {
+    return std::this_thread::get_id() == owner_thread_;
+  }
 
   /// Opens/closes a frame for `site` under the current tree position.
   /// Callers normally go through ScopedProbe, which pairs these.
@@ -109,7 +123,9 @@ class Profiler {
 
   Profiler() = default;
 
-  bool enabled_{false};
+  std::atomic<bool> enabled_{false};
+  const std::thread::id owner_thread_{std::this_thread::get_id()};
+  mutable std::mutex sites_mu_;  // guards site_names_ / site_ids_ only
   std::vector<std::string> site_names_;
   std::map<std::string, SiteId> site_ids_;
   Node root_;
@@ -129,11 +145,14 @@ class ScopedProbe {
 
 /// RAII frame around one probe site. The enabled check is latched at
 /// construction so a (misplaced) mid-scope toggle cannot unbalance the
-/// profiler's stack.
+/// profiler's stack; off-owner-thread probes (worker-side seal/verify under
+/// the parallel MAC plane) latch inactive — the tree is owned by the
+/// simulation thread.
 class ScopedProbe {
  public:
   explicit ScopedProbe(Profiler::SiteId site)
-      : profiler_(Profiler::instance()), active_(profiler_.enabled()) {
+      : profiler_(Profiler::instance()),
+        active_(profiler_.enabled() && profiler_.on_owner_thread()) {
     if (active_) profiler_.enter(site);
   }
   ~ScopedProbe() {

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 namespace gpbft::pbft {
 
@@ -97,6 +98,24 @@ void Client::send_request(const ledger::Transaction& tx) {
     }
     return;
   }
+  if (network_.mac_plane_active()) {
+    // Per-receiver seals deferred to the worker plane: one shared body
+    // buffer, each receiver's HMAC computed off the simulation thread.
+    const auto shared = std::make_shared<const Bytes>(body);
+    for (NodeId endorser : committee_) {
+      net::Envelope envelope;
+      envelope.from = id_;
+      envelope.to = endorser;
+      envelope.type = msg_type::kClientRequest;
+      envelope.payload = net::Payload(
+          sealed_size(shared->size()), [&keys = keys_, from = id_, endorser, shared]() {
+            return seal(keys, from, endorser, msg_type::kClientRequest,
+                        BytesView(shared->data(), shared->size()), /*compute_macs=*/true);
+          });
+      network_.send(std::move(envelope));
+    }
+    return;
+  }
   for (NodeId endorser : committee_) {
     net::Envelope envelope;
     envelope.from = id_;
@@ -127,13 +146,12 @@ void Client::submit(const ledger::Transaction& tx) {
 void Client::handle(const net::Envelope& envelope) {
   GPBFT_PROFILE_SCOPE("pbft.client.handle");
   if (envelope.type != msg_type::kReply) return;  // not addressed to a client role
-  auto body = open(keys_, envelope.from, id_, envelope.type,
-                   BytesView(envelope.payload.data(), envelope.payload.size()), compute_macs_);
+  auto body = open_envelope(keys_, id_, envelope, compute_macs_);
   if (!body) {
     network_.note_rejected(envelope.type);
     return;
   }
-  auto reply = Reply::decode(BytesView(body.value().data(), body.value().size()));
+  auto reply = Reply::decode(body.value());
   if (!reply) {
     network_.note_rejected(envelope.type);
     return;

@@ -1,5 +1,9 @@
 #include "pbft/messages.hpp"
 
+#include <array>
+#include <cassert>
+#include <span>
+
 #include "obs/profiler.hpp"
 
 #include "serde/reader.hpp"
@@ -479,16 +483,15 @@ Result<EraLaunchMsg> EraLaunchMsg::decode(BytesView data) {
 
 namespace {
 
-/// The authenticated input: body bytes followed by the envelope's
-/// MessageType (little-endian u16). See the seal() declaration for why the
-/// type must be bound into the tag.
-Bytes mac_input(BytesView body, net::MessageType type) {
-  Bytes input;
-  input.reserve(body.size() + 2);
-  input.insert(input.end(), body.begin(), body.end());
-  input.push_back(static_cast<std::uint8_t>(type & 0xffu));
-  input.push_back(static_cast<std::uint8_t>(type >> 8));
-  return input;
+/// The authenticated payload, expressed as HMAC-streamable parts: body bytes
+/// followed by the envelope's MessageType (little-endian u16, encoded into
+/// the caller-provided scratch). See the seal() declaration for why the type
+/// must be bound into the tag.
+std::array<BytesView, 2> mac_parts(BytesView body, net::MessageType type,
+                                   std::array<std::uint8_t, 2>& type_le) {
+  type_le[0] = static_cast<std::uint8_t>(type & 0xffu);
+  type_le[1] = static_cast<std::uint8_t>(type >> 8);
+  return {body, BytesView(type_le.data(), type_le.size())};
 }
 
 }  // namespace
@@ -500,23 +503,27 @@ Bytes seal(const crypto::KeyRegistry& keys, NodeId sender, NodeId receiver, net:
   w.bytes(body);
   w.u64(sender.value);
   if (compute_macs) {
-    const Bytes input = mac_input(body, type);
-    const crypto::Authenticator auth =
-        keys.authenticate(sender, {receiver}, BytesView(input.data(), input.size()));
-    w.raw(BytesView(auth.tags.front().tag.data(), auth.tags.front().tag.size()));
+    std::array<std::uint8_t, 2> type_le;
+    const auto parts = mac_parts(body, type, type_le);
+    const std::array<std::uint8_t, 8> tag =
+        keys.tag(sender, receiver, std::span<const BytesView>(parts.data(), parts.size()));
+    w.raw(BytesView(tag.data(), tag.size()));
   } else {
     const std::array<std::uint8_t, 8> zero{};
     w.raw(BytesView(zero.data(), zero.size()));
   }
-  return w.take();
+  Bytes out = w.take();
+  assert(out.size() == sealed_size(body.size()));
+  return out;
 }
 
-Result<Bytes> open(const crypto::KeyRegistry& keys, NodeId sender, NodeId receiver,
-                   net::MessageType type, BytesView sealed, bool compute_macs) {
+Result<BytesView> open_view(const crypto::KeyRegistry& keys, NodeId sender, NodeId receiver,
+                            net::MessageType type, BytesView sealed, bool compute_macs) {
   GPBFT_PROFILE_SCOPE("crypto.open");
   serde::Reader r(sealed);
-  auto body = r.bytes();
-  if (!body) return make_error(body.error());
+  auto body_view = r.bytes_view();
+  if (!body_view) return make_error(body_view.error());
+  const BytesView body = body_view.value();
   auto claimed_sender = r.u64();
   if (!claimed_sender) return make_error(claimed_sender.error());
   if (claimed_sender.value() != sender.value) {
@@ -527,18 +534,39 @@ Result<Bytes> open(const crypto::KeyRegistry& keys, NodeId sender, NodeId receiv
   if (!r.exhausted()) return make_error("seal: trailing bytes");
 
   if (compute_macs) {
-    crypto::Authenticator auth;
-    auth.sender = sender;
-    crypto::AuthTag entry;
-    entry.receiver = receiver;
-    std::copy(tag.value().begin(), tag.value().end(), entry.tag.begin());
-    auth.tags.push_back(entry);
-    const Bytes input = mac_input(BytesView(body.value().data(), body.value().size()), type);
-    if (!keys.verify(auth, receiver, BytesView(input.data(), input.size()))) {
+    std::array<std::uint8_t, 2> type_le;
+    const auto parts = mac_parts(body, type, type_le);
+    const std::array<std::uint8_t, 8> expected =
+        keys.tag(sender, receiver, std::span<const BytesView>(parts.data(), parts.size()));
+    if (!crypto::constant_time_equal(BytesView(tag.value().data(), tag.value().size()),
+                                     BytesView(expected.data(), expected.size()))) {
       return make_error("seal: HMAC verification failed (body or type forged)");
     }
   }
-  return std::move(body.value());
+  return body;
+}
+
+Result<Bytes> open(const crypto::KeyRegistry& keys, NodeId sender, NodeId receiver,
+                   net::MessageType type, BytesView sealed, bool compute_macs) {
+  auto body = open_view(keys, sender, receiver, type, sealed, compute_macs);
+  if (!body) return make_error(body.error());
+  return Bytes(body.value().begin(), body.value().end());
+}
+
+Result<BytesView> open_envelope(const crypto::KeyRegistry& keys, NodeId receiver,
+                                const net::Envelope& envelope, bool compute_macs) {
+  const auto& job = envelope.open_job;
+  // A released job is reusable when it checked at least as much as the
+  // caller wants: same strictness, or a *passed* MACs-on verdict serving a
+  // framing-only open (verification implies framing; a MACs-on failure
+  // could be the tag alone, so it cannot answer for framing).
+  if (job != nullptr && job->ready &&
+      (job->macs == compute_macs || (job->macs && job->body.ok()))) {
+    if (!job->body.ok()) return make_error(job->body.error());
+    return BytesView(job->body.value().data(), job->body.value().size());
+  }
+  return open_view(keys, envelope.from, receiver, envelope.type, envelope.payload.view(),
+                   compute_macs);
 }
 
 }  // namespace gpbft::pbft

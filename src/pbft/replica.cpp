@@ -32,11 +32,32 @@ NodeId Replica::primary_of(ViewId view) const {
 
 void Replica::send_to(NodeId to, net::MessageType type, BytesView body) {
   if (to == id_) return;
+  if (lazy_seal_active()) {
+    send_sealed_lazy(to, type, std::make_shared<const Bytes>(body.begin(), body.end()));
+    return;
+  }
   net::Envelope envelope;
   envelope.from = id_;
   envelope.to = to;
   envelope.type = type;
   envelope.payload = seal(keys_, id_, to, type, body, config_.compute_macs);
+  network_.send(std::move(envelope));
+}
+
+void Replica::send_sealed_lazy(NodeId to, net::MessageType type,
+                               const std::shared_ptr<const Bytes>& body) {
+  net::Envelope envelope;
+  envelope.from = id_;
+  envelope.to = to;
+  envelope.type = type;
+  // Wire size is exact without the tag (sealed_size), so traffic accounting
+  // and transmission delays are untouched; the HMAC itself runs on whichever
+  // worker first needs the bytes — normally the receiver's verify prologue.
+  envelope.payload = net::Payload(
+      sealed_size(body->size()), [&keys = keys_, from = id_, to, type, body]() {
+        return seal(keys, from, to, type, BytesView(body->data(), body->size()),
+                    /*compute_macs=*/true);
+      });
   network_.send(std::move(envelope));
 }
 
@@ -47,6 +68,16 @@ void Replica::broadcast_committee(net::MessageType type, BytesView body) {
 void Replica::send_to_each(const std::vector<NodeId>& peers, net::MessageType type,
                            BytesView body) {
   if (config_.compute_macs) {
+    if (lazy_seal_active()) {
+      // Per-receiver seals, deferred to the plane; one shared body buffer
+      // feeds every receiver's seal closure.
+      const auto shared = std::make_shared<const Bytes>(body.begin(), body.end());
+      for (NodeId peer : peers) {
+        if (peer == id_) continue;
+        send_sealed_lazy(peer, type, shared);
+      }
+      return;
+    }
     // Per-receiver MAC tags: every sealed payload differs, seal per peer.
     for (NodeId peer : peers) send_to(peer, type, body);
     return;
@@ -75,25 +106,22 @@ void Replica::persist_now() {
   telemetry().count("pbft.persists", id_);
 }
 
-Bytes Replica::open_or_drop(const net::Envelope& envelope) {
-  auto body = open(keys_, envelope.from, id_, envelope.type,
-                   BytesView(envelope.payload.data(), envelope.payload.size()),
-                   config_.compute_macs);
+Result<BytesView> Replica::open_or_drop(const net::Envelope& envelope) {
+  auto body = open_envelope(keys_, id_, envelope, config_.compute_macs);
   if (!body) {
     log_debug(id_.str() + ": rejecting message with bad seal: " + body.error());
     network_.note_rejected(envelope.type);
-    return {};
   }
-  return std::move(body).value();
+  return body;
 }
 
 void Replica::handle(const net::Envelope& envelope) {
   GPBFT_PROFILE_SCOPE("pbft.replica.handle");
   if (fault_mode_ == FaultMode::Silent) return;
 
-  const Bytes body = open_or_drop(envelope);
-  if (body.empty()) return;  // seal failure (all valid bodies are non-empty)
-  const BytesView view(body.data(), body.size());
+  const auto body = open_or_drop(envelope);
+  if (!body) return;  // seal failure
+  const BytesView view = body.value();
 
   // Wire-layer hardening: a body that opened but does not decode as its
   // claimed type is rejected, accounted, and otherwise ignored — reject,

@@ -89,6 +89,16 @@ Result<Bytes> Reader::bytes(std::size_t max_len) {
   return raw(static_cast<std::size_t>(len.value()));
 }
 
+Result<BytesView> Reader::bytes_view(std::size_t max_len) {
+  auto len = varint();
+  if (!len) return make_error(len.error());
+  if (len.value() > max_len) return make_error("serde: length exceeds limit");
+  if (len.value() > remaining()) return make_error("serde: declared length exceeds remaining bytes");
+  const BytesView out = data_.subspan(pos_, static_cast<std::size_t>(len.value()));
+  pos_ += static_cast<std::size_t>(len.value());
+  return out;
+}
+
 Result<std::string> Reader::string(std::size_t max_len) {
   auto data = bytes(max_len);
   if (!data) return make_error(data.error());

@@ -32,6 +32,9 @@ class Reader {
   /// varint length-prefixed byte string. `max_len` bounds attacker-supplied
   /// lengths before any allocation happens.
   [[nodiscard]] Result<Bytes> bytes(std::size_t max_len = kDefaultMaxLen);
+  /// As bytes(), but a view into the reader's underlying buffer — no copy.
+  /// Valid only while the bytes handed to the Reader's constructor live.
+  [[nodiscard]] Result<BytesView> bytes_view(std::size_t max_len = kDefaultMaxLen);
   [[nodiscard]] Result<std::string> string(std::size_t max_len = kDefaultMaxLen);
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }

@@ -2,6 +2,12 @@
 // HMAC-SHA256 (RFC 4231 vectors), Merkle trees, authenticators, addresses.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
+#include <span>
+#include <thread>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "crypto/address.hpp"
 #include "crypto/authenticator.hpp"
@@ -252,6 +258,164 @@ TEST(Authenticator, WireSizeAccountsEntries) {
   const Authenticator auth = keys.authenticate(
       NodeId{1}, {NodeId{2}, NodeId{3}, NodeId{4}}, BytesView(payload.data(), payload.size()));
   EXPECT_EQ(auth.wire_size(), 8 + 3 * 16u);
+}
+
+// --- HmacKey precomputed context --------------------------------------------------
+
+// The context must be bit-identical to the one-shot function on the RFC 4231
+// vectors (including the >block-size key, which exercises the key-hashing
+// path in the pad precomputation).
+TEST(HmacKey, MatchesOneShotOnRfc4231Vectors) {
+  struct Vector {
+    Bytes key;
+    Bytes data;
+  };
+  const std::string jefe = "Jefe";
+  const std::string nothing = "what do ya want for nothing?";
+  const std::string long_key_data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  std::vector<Vector> vectors;
+  vectors.push_back({Bytes(20, 0x0b), Bytes{'H', 'i', ' ', 'T', 'h', 'e', 'r', 'e'}});
+  vectors.push_back({Bytes(jefe.begin(), jefe.end()), Bytes(nothing.begin(), nothing.end())});
+  vectors.push_back({Bytes(20, 0xaa), Bytes(50, 0xdd)});
+  vectors.push_back({Bytes(131, 0xaa), Bytes(long_key_data.begin(), long_key_data.end())});
+  for (std::size_t i = 0; i < vectors.size(); ++i) {
+    const BytesView key(vectors[i].key.data(), vectors[i].key.size());
+    const BytesView data(vectors[i].data.data(), vectors[i].data.size());
+    EXPECT_EQ(HmacKey(key).mac(data), hmac_sha256(key, data)) << "vector " << i;
+  }
+}
+
+TEST(HmacKey, MatchesOneShotAcrossKeyAndDataSizes) {
+  // Key lengths straddling the SHA-256 block size (64) and data lengths
+  // straddling its padding boundaries.
+  for (const std::size_t key_len : {0u, 1u, 32u, 63u, 64u, 65u, 131u}) {
+    const Bytes key(key_len, static_cast<std::uint8_t>(0x42 + key_len));
+    const HmacKey ctx(BytesView(key.data(), key.size()));
+    for (const std::size_t data_len : {0u, 1u, 55u, 56u, 64u, 65u, 300u}) {
+      const Bytes data(data_len, static_cast<std::uint8_t>(data_len));
+      const BytesView view(data.data(), data.size());
+      EXPECT_EQ(ctx.mac(view), hmac_sha256(BytesView(key.data(), key.size()), view))
+          << "key " << key_len << " data " << data_len;
+    }
+  }
+}
+
+TEST(HmacKey, ContextIsReusable) {
+  // mac() clones the pad mid-states; the context itself never mutates, so
+  // repeated calls (the whole point of the precomputation) stay identical.
+  const Bytes key(32, 0x7f);
+  const HmacKey ctx(BytesView(key.data(), key.size()));
+  const Bytes data{1, 2, 3, 4};
+  const Hash256 first = ctx.mac(BytesView(data.data(), data.size()));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ctx.mac(BytesView(data.data(), data.size())), first);
+  }
+}
+
+TEST(HmacKey, PartsStreamEqualsConcatenation) {
+  const Bytes key(32, 0x11);
+  const HmacKey ctx(BytesView(key.data(), key.size()));
+  Bytes whole;
+  for (std::size_t i = 0; i < 200; ++i) whole.push_back(static_cast<std::uint8_t>(i * 7));
+  const Hash256 expected = ctx.mac(BytesView(whole.data(), whole.size()));
+  for (const std::size_t split : {0u, 1u, 63u, 64u, 100u, 199u, 200u}) {
+    const std::array<BytesView, 2> parts{BytesView(whole.data(), split),
+                                         BytesView(whole.data() + split, whole.size() - split)};
+    EXPECT_EQ(ctx.mac(std::span<const BytesView>(parts.data(), parts.size())), expected)
+        << "split " << split;
+  }
+  // Degenerate streams: empty parts interleaved must not change the digest.
+  const std::array<BytesView, 4> padded{BytesView(), BytesView(whole.data(), whole.size()),
+                                        BytesView(), BytesView()};
+  EXPECT_EQ(ctx.mac(std::span<const BytesView>(padded.data(), padded.size())), expected);
+}
+
+// --- streamed tag vs historical materialized input ----------------------------------
+
+TEST(Authenticator, StreamedTagMatchesMaterializedInput) {
+  // The seal hot path streams u64(sender) || varint(len) || payload into
+  // the HMAC. This pins bit-compatibility against the historical code that
+  // materialized that exact buffer per receiver — the goldens depend on it.
+  KeyRegistry keys(2024);
+  const NodeId sender{3};
+  const NodeId receiver{11};
+  for (const std::size_t len : {0u, 1u, 0x7fu, 0x80u, 300u}) {  // varint width changes at 0x80
+    Bytes payload(len);
+    for (std::size_t i = 0; i < len; ++i) payload[i] = static_cast<std::uint8_t>(i ^ len);
+
+    Bytes materialized;
+    std::uint64_t sender_le = sender.value;
+    for (int i = 0; i < 8; ++i) {
+      materialized.push_back(static_cast<std::uint8_t>(sender_le & 0xffu));
+      sender_le >>= 8;
+    }
+    std::uint64_t v = len;
+    while (v >= 0x80) {
+      materialized.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+      v >>= 7;
+    }
+    materialized.push_back(static_cast<std::uint8_t>(v));
+    materialized.insert(materialized.end(), payload.begin(), payload.end());
+
+    const Hash256 reference = hmac_sha256(keys.session_key(sender, receiver).view(),
+                                          BytesView(materialized.data(), materialized.size()));
+    const std::array<BytesView, 1> parts{BytesView(payload.data(), payload.size())};
+    const auto tag = keys.tag(sender, receiver, std::span<const BytesView>(parts.data(), 1));
+    EXPECT_TRUE(std::equal(tag.begin(), tag.end(), reference.bytes.begin())) << "len " << len;
+  }
+}
+
+TEST(Authenticator, MultiPartTagEqualsSinglePartTag) {
+  KeyRegistry keys(55);
+  Bytes body(96);
+  for (std::size_t i = 0; i < body.size(); ++i) body[i] = static_cast<std::uint8_t>(i);
+  const std::array<BytesView, 1> one{BytesView(body.data(), body.size())};
+  const auto whole = keys.tag(NodeId{1}, NodeId{2}, std::span<const BytesView>(one.data(), 1));
+  const std::array<BytesView, 3> three{BytesView(body.data(), 10), BytesView(body.data() + 10, 50),
+                                       BytesView(body.data() + 60, 36)};
+  const auto split = keys.tag(NodeId{1}, NodeId{2}, std::span<const BytesView>(three.data(), 3));
+  EXPECT_EQ(whole, split);
+}
+
+// --- registry caches under concurrent access -----------------------------------------
+
+TEST(Authenticator, RegistryIsConsistentUnderConcurrentDerivation) {
+  // The parallel MAC plane shares one KeyRegistry across workers. Hammer
+  // the identity/session caches from several threads on overlapping links;
+  // every derived value must equal the serial one (cache contents are pure
+  // functions of the seed — population order must not matter). Run under
+  // the TSan CI leg, this is also the data-race probe for the caches.
+  KeyRegistry keys(909);
+  const Bytes payload = {1, 2, 3, 4, 5};
+  const std::array<BytesView, 1> parts{BytesView(payload.data(), payload.size())};
+
+  KeyRegistry serial(909);
+  std::vector<std::array<std::uint8_t, 8>> expected;
+  for (std::uint64_t s = 1; s <= 6; ++s) {
+    for (std::uint64_t r = 1; r <= 6; ++r) {
+      if (s == r) continue;
+      expected.push_back(serial.tag(NodeId{s}, NodeId{r}, std::span<const BytesView>(parts.data(), 1)));
+    }
+  }
+
+  std::atomic<bool> mismatch{false};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&keys, &parts, &expected, &mismatch]() {
+      std::size_t idx = 0;
+      for (std::uint64_t s = 1; s <= 6; ++s) {
+        for (std::uint64_t r = 1; r <= 6; ++r) {
+          if (s == r) continue;
+          const auto tag = keys.tag(NodeId{s}, NodeId{r}, std::span<const BytesView>(parts.data(), 1));
+          if (tag != expected[idx]) mismatch.store(true);
+          ++idx;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_FALSE(mismatch.load());
 }
 
 }  // namespace

@@ -1,0 +1,183 @@
+// Determinism-under-parallelism sweep (label: tier1-parallel).
+//
+// The parallel MAC plane's contract is that `sim.threads` is a pure
+// host-performance knob: for every seed and every fault mix, a run at
+// threads=N must be byte-identical to the single-threaded run — same chain
+// tip, same metrics JSONL, same Perfetto trace. The sequencer makes this
+// structural (seal/open are pure functions released in submission order),
+// and this suite pins it empirically: a 20-seed sweep across
+// threads in {1, 2, 8} for clean MACs-on runs, node-fault chaos runs and
+// wire-tamper storm runs. Any divergence — a reordered event, a
+// double-counted metric, a worker-perturbed RNG draw — fails the sweep.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "crypto/sha256.hpp"
+#include "sim/chaos.hpp"
+#include "sim/deployment.hpp"
+#include "sim/scenario.hpp"
+
+namespace gpbft::sim {
+namespace {
+
+enum class Flavor { Clean, Chaos, Tamper };
+
+const char* flavor_name(Flavor flavor) {
+  switch (flavor) {
+    case Flavor::Clean: return "clean";
+    case Flavor::Chaos: return "chaos";
+    case Flavor::Tamper: return "tamper";
+  }
+  return "?";
+}
+
+struct RunDigests {
+  std::string tip;
+  std::string metrics_sha256;
+  std::string trace_sha256;
+  std::uint64_t committed{0};
+
+  friend bool operator==(const RunDigests&, const RunDigests&) = default;
+};
+
+/// One seeded PBFT run (MACs on) at the given thread count, digested over
+/// the full observable surface. The spec and the fault plan depend only on
+/// the seed and flavor — never on `threads` — so differing digests can only
+/// come from the parallel plane itself.
+RunDigests run_and_digest(std::uint64_t seed, Flavor flavor, std::size_t threads) {
+  ScenarioSpec spec;
+  spec.protocol = ProtocolKind::Pbft;
+  spec.nodes = 5;
+  spec.clients = 2;
+  spec.seed = seed;
+  spec.threads = threads;
+  spec.workload.period = Duration::seconds(2);
+  spec.workload.txs_per_client = 3;
+  spec.engine.compute_macs = true;
+
+  const std::unique_ptr<Deployment> deployment = make_deployment(spec);
+  deployment->telemetry().set_trace_enabled(true);
+
+  FaultPlan plan;
+  if (flavor != Flavor::Clean) {
+    ChaosProfile profile =
+        flavor == Flavor::Chaos ? ChaosProfile::light() : profile_for("none");
+    if (flavor == Flavor::Tamper) {
+      // A dense storm of in-flight mutations: every opened window must
+      // produce the same REJECTs and the same survivor set at any thread
+      // count, because verification verdicts are sequenced, not raced.
+      profile.tamper_chance = 0.6;
+    }
+    const std::vector<NodeId> victims = deployment->fault_targets();
+    profile.max_faulty = victims.empty() ? 0 : (victims.size() - 1) / 3;
+    plan = FaultPlan::random(seed, profile, victims, Duration::seconds(20));
+    FaultPlan::ChaosHandlers handlers;
+    handlers.set_byzantine = [&deployment](NodeId id, pbft::FaultMode mode) {
+      deployment->set_fault_mode(id, mode);
+    };
+    plan.schedule(deployment->simulator(), deployment->network(), handlers);
+  }
+
+  deployment->start();
+  LatencyRecorder recorder;
+  deployment->schedule_workload(spec.workload, &recorder);
+  deployment->run_for(Duration::seconds(45));
+  deployment->stop();
+  deployment->finalize_telemetry();
+
+  RunDigests digests;
+  digests.committed = deployment->committed_count();
+  auto* pbft = dynamic_cast<PbftCluster*>(deployment.get());
+  digests.tip = pbft->replica(0).chain().tip().hash().hex();
+  digests.metrics_sha256 = crypto::sha256(deployment->telemetry().metrics().to_jsonl()).hex();
+  digests.trace_sha256 =
+      crypto::sha256(deployment->telemetry().trace().to_perfetto_json()).hex();
+  EXPECT_EQ(deployment->telemetry().trace().dropped(), 0u);
+  return digests;
+}
+
+constexpr std::uint64_t kSeeds = 20;
+
+void sweep(Flavor flavor) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const RunDigests baseline = run_and_digest(seed, flavor, 1);
+    // A clean run this size must actually commit; a sweep of empty chains
+    // would vacuously "agree". Chaos/tamper runs may legitimately stall.
+    if (flavor == Flavor::Clean) {
+      ASSERT_GT(baseline.committed, 0u) << "seed " << seed;
+    }
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      const RunDigests parallel = run_and_digest(seed, flavor, threads);
+      ASSERT_EQ(parallel.tip, baseline.tip)
+          << flavor_name(flavor) << " seed " << seed << " threads " << threads;
+      ASSERT_EQ(parallel.metrics_sha256, baseline.metrics_sha256)
+          << flavor_name(flavor) << " seed " << seed << " threads " << threads;
+      ASSERT_EQ(parallel.trace_sha256, baseline.trace_sha256)
+          << flavor_name(flavor) << " seed " << seed << " threads " << threads;
+      ASSERT_EQ(parallel.committed, baseline.committed)
+          << flavor_name(flavor) << " seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelDeterminism, CleanMacsOnRunsAreByteIdenticalAcrossThreadCounts) {
+  sweep(Flavor::Clean);
+}
+
+TEST(ParallelDeterminism, NodeFaultChaosRunsAreByteIdenticalAcrossThreadCounts) {
+  sweep(Flavor::Chaos);
+}
+
+TEST(ParallelDeterminism, WireTamperStormRunsAreByteIdenticalAcrossThreadCounts) {
+  sweep(Flavor::Tamper);
+}
+
+// G-PBFT exercises the roster fan-out, era switches and geo gossip on top
+// of the MAC plane; one smaller sweep guards the protocol-specific paths.
+TEST(ParallelDeterminism, GpbftEraSwitchRunsAreByteIdenticalAcrossThreadCounts) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ScenarioSpec spec;
+    spec.protocol = ProtocolKind::Gpbft;
+    spec.nodes = 6;
+    spec.clients = 2;
+    spec.seed = seed;
+    spec.committee.era_period = Duration::seconds(15);
+    spec.geo.report_period = Duration::seconds(3);
+    spec.geo.window = Duration::seconds(12);
+    spec.geo.min_reports = 2;
+    spec.geo.promotion_threshold = Duration::seconds(20);
+    spec.workload.period = Duration::seconds(2);
+    spec.workload.txs_per_client = 3;
+
+    std::string baseline_tip;
+    std::string baseline_metrics;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      spec.threads = threads;
+      const std::unique_ptr<Deployment> deployment = make_deployment(spec);
+      deployment->start();
+      LatencyRecorder recorder;
+      deployment->schedule_workload(spec.workload, &recorder);
+      deployment->run_for(Duration::seconds(45));
+      deployment->stop();
+      deployment->finalize_telemetry();
+      auto* gpbft = dynamic_cast<GpbftCluster*>(deployment.get());
+      const std::string tip = gpbft->endorser(0).chain().tip().hash().hex();
+      const std::string metrics =
+          crypto::sha256(deployment->telemetry().metrics().to_jsonl()).hex();
+      if (threads == 1) {
+        baseline_tip = tip;
+        baseline_metrics = metrics;
+      } else {
+        ASSERT_EQ(tip, baseline_tip) << "seed " << seed;
+        ASSERT_EQ(metrics, baseline_metrics) << "seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpbft::sim

@@ -18,7 +18,6 @@
 
 #include <memory>
 #include <string>
-#include <fstream>
 
 #include "crypto/sha256.hpp"
 #include "sim/deployment.hpp"
@@ -58,7 +57,6 @@ RunDigests run_and_digest(const ScenarioSpec& spec, Duration horizon) {
     digests.tip = gpbft->endorser(0).chain().tip().hash().hex();
   }
   digests.metrics_sha256 = crypto::sha256(deployment->telemetry().metrics().to_jsonl()).hex();
-  { std::ofstream f("/tmp/pp_metrics_" + digests.tip.substr(0, 8) + ".jsonl"); f << deployment->telemetry().metrics().to_jsonl(); }
   digests.trace_sha256 =
       crypto::sha256(deployment->telemetry().trace().to_perfetto_json()).hex();
   EXPECT_EQ(deployment->telemetry().trace().dropped(), 0u)

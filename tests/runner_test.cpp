@@ -1,0 +1,167 @@
+// OrderedRunner unit tests: the sequencer under the parallel MAC plane.
+//
+// The contract under test is the dsnet ordered-runner model: prologues run
+// concurrently on workers, epilogues run on the releasing thread strictly
+// in submission order — no matter how the workers' completions interleave.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "net/workers.hpp"
+
+namespace gpbft::net {
+namespace {
+
+TEST(OrderedRunner, EpiloguesReleaseInSubmissionOrder) {
+  OrderedRunner runner(5);  // 4 workers
+  ASSERT_EQ(runner.worker_count(), 4u);
+
+  // Earlier tickets sleep longer, so workers complete roughly in *reverse*
+  // submission order; the release order must still be 0,1,2,...,N-1.
+  constexpr int kTasks = 32;
+  std::vector<int> released;
+  released.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    runner.submit([i, &released]() -> OrderedRunner::Epilogue {
+      std::this_thread::sleep_for(std::chrono::microseconds((kTasks - i) * 50));
+      return [i, &released]() { released.push_back(i); };
+    });
+  }
+  runner.drain();
+
+  ASSERT_EQ(released.size(), static_cast<std::size_t>(kTasks));
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(released[static_cast<std::size_t>(i)], i);
+}
+
+TEST(OrderedRunner, PartialReleaseStopsAtTheRequestedTicket) {
+  OrderedRunner runner(3);
+  std::vector<int> released;
+  std::vector<std::uint64_t> tickets;
+  for (int i = 0; i < 8; ++i) {
+    tickets.push_back(runner.submit([i, &released]() -> OrderedRunner::Epilogue {
+      return [i, &released]() { released.push_back(i); };
+    }));
+  }
+  EXPECT_EQ(tickets.front(), 1u);  // tickets are 1-based and dense
+  EXPECT_EQ(tickets.back(), 8u);
+
+  runner.release_until(tickets[2]);
+  EXPECT_EQ(released, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(runner.released(), 3u);
+
+  // Releasing an already-released ticket is a no-op.
+  runner.release_until(tickets[1]);
+  EXPECT_EQ(released.size(), 3u);
+
+  runner.drain();
+  EXPECT_EQ(released, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(OrderedRunner, DestructorDrainsInFlightWork) {
+  std::atomic<int> epilogues_run{0};
+  std::atomic<int> prologues_run{0};
+  {
+    OrderedRunner runner(4);
+    for (int i = 0; i < 24; ++i) {
+      runner.submit([&prologues_run, &epilogues_run]() -> OrderedRunner::Epilogue {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        prologues_run.fetch_add(1);
+        return [&epilogues_run]() { epilogues_run.fetch_add(1); };
+      });
+    }
+    // No explicit drain: destruction must finish every prologue and release
+    // every epilogue before joining the workers.
+  }
+  EXPECT_EQ(prologues_run.load(), 24);
+  EXPECT_EQ(epilogues_run.load(), 24);
+}
+
+TEST(OrderedRunner, ZeroTaskShutdownIsClean) {
+  {
+    OrderedRunner runner(8);
+    EXPECT_EQ(runner.submitted(), 0u);
+    EXPECT_EQ(runner.released(), 0u);
+  }  // must not hang or crash
+  {
+    OrderedRunner runner(8);
+    runner.drain();  // drain with nothing submitted is a no-op
+  }
+  SUCCEED();
+}
+
+TEST(OrderedRunner, InlineModeRunsEverythingAtReleaseInOrder) {
+  // threads <= 1: no workers. Submitted prologues stay queued until the
+  // releasing thread help-steals them, so prologue AND epilogue both run at
+  // release time, on the caller, in ticket order — the ordering contract is
+  // thread-count-blind.
+  OrderedRunner runner(1);
+  EXPECT_EQ(runner.worker_count(), 0u);
+
+  bool prologue_ran = false;
+  std::vector<int> released;
+  runner.submit([&prologue_ran, &released]() -> OrderedRunner::Epilogue {
+    prologue_ran = true;
+    return [&released]() { released.push_back(0); };
+  });
+  EXPECT_FALSE(prologue_ran);     // deferred to release
+  EXPECT_TRUE(released.empty());
+
+  runner.submit([&released]() -> OrderedRunner::Epilogue {
+    return [&released]() { released.push_back(1); };
+  });
+  runner.drain();
+  EXPECT_TRUE(prologue_ran);
+  EXPECT_EQ(released, (std::vector<int>{0, 1}));
+}
+
+TEST(OrderedRunner, RingWrapForcesOldestReleasesFirst) {
+  // More unreleased tickets than the ring holds: submit() frees the oldest
+  // slots itself (it runs on the releasing thread), so ordering survives a
+  // wrap and nothing is dropped.
+  OrderedRunner runner(1);
+  constexpr int kTasks = 10000;  // > kRingSize
+  std::vector<int> released;
+  released.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    runner.submit([i, &released]() -> OrderedRunner::Epilogue {
+      return [i, &released]() { released.push_back(i); };
+    });
+  }
+  runner.drain();
+  ASSERT_EQ(released.size(), static_cast<std::size_t>(kTasks));
+  for (int i = 0; i < kTasks; ++i) ASSERT_EQ(released[static_cast<std::size_t>(i)], i);
+}
+
+TEST(OrderedRunner, NullEpiloguesAreSkipped) {
+  OrderedRunner runner(2);
+  std::vector<int> released;
+  runner.submit([]() -> OrderedRunner::Epilogue { return nullptr; });
+  runner.submit([&released]() -> OrderedRunner::Epilogue {
+    return [&released]() { released.push_back(1); };
+  });
+  runner.drain();
+  EXPECT_EQ(released, (std::vector<int>{1}));
+  EXPECT_EQ(runner.released(), 2u);
+}
+
+TEST(OrderedRunner, ReleaseBlocksOnStragglers) {
+  OrderedRunner runner(2);
+  std::atomic<bool> slow_done{false};
+  runner.submit([&slow_done]() -> OrderedRunner::Epilogue {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    slow_done.store(true);
+    return nullptr;
+  });
+  const std::uint64_t fast = runner.submit([]() -> OrderedRunner::Epilogue { return nullptr; });
+  // Releasing the *second* ticket must wait for the first (slow) prologue:
+  // order is by submission, not completion.
+  runner.release_until(fast);
+  EXPECT_TRUE(slow_done.load());
+  EXPECT_EQ(runner.released(), 2u);
+}
+
+}  // namespace
+}  // namespace gpbft::net
